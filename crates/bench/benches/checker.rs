@@ -1,0 +1,46 @@
+//! Criterion bench: legality-checker throughput (the rayon-parallel
+//! point-disjointness sweep is the reproduction's hot loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlv_grid::checker::check;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::families;
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker");
+    g.sample_size(10);
+    let cases = [
+        ("hypercube n=8 L=2", families::hypercube(8), 2usize),
+        ("hypercube n=10 L=4", families::hypercube(10), 4),
+        ("GHC 16x16 L=2", families::genhyper(&[16, 16]), 2),
+        ("6-ary 4-cube L=4", families::karyn_cube(6, 4, false), 4),
+    ];
+    for (name, fam, layers) in &cases {
+        let layout = fam.realize(*layers);
+        let m = LayoutMetrics::of(&layout);
+        g.throughput(Throughput::Elements(m.total_wire + m.wire_count as u64));
+        g.bench_with_input(BenchmarkId::new("check", *name), &layout, |b, layout| {
+            b.iter(|| {
+                let r = check(black_box(layout), Some(&fam.graph));
+                assert!(r.is_legal());
+                black_box(r.wire_points)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.sample_size(20);
+    let fam = families::hypercube(10);
+    let layout = fam.realize(4);
+    g.bench_function("metrics hypercube n=10", |b| {
+        b.iter(|| black_box(LayoutMetrics::of(&layout).area))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checker, bench_metrics);
+criterion_main!(benches);

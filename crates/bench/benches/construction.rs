@@ -1,0 +1,101 @@
+//! Criterion bench: end-to-end layout construction (spec building +
+//! grid realization) per family and per layer count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlv_layout::families;
+use std::hint::black_box;
+
+fn bench_spec_building(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spec_building");
+    g.sample_size(10);
+    g.bench_function("hypercube n=10", |b| {
+        b.iter(|| black_box(families::hypercube(10).spec.wire_count()))
+    });
+    g.bench_function("6-ary 4-cube", |b| {
+        b.iter(|| black_box(families::karyn_cube(6, 4, false).spec.wire_count()))
+    });
+    g.bench_function("GHC 16x16", |b| {
+        b.iter(|| black_box(families::genhyper(&[16, 16]).spec.wire_count()))
+    });
+    g.bench_function("butterfly m=8", |b| {
+        b.iter(|| black_box(families::butterfly(8).spec.wire_count()))
+    });
+    g.bench_function("CCC n=6", |b| {
+        b.iter(|| black_box(families::ccc(6).spec.wire_count()))
+    });
+    g.bench_function("HSN(3,K8)", |b| {
+        b.iter(|| black_box(families::hsn(3, 8).spec.wire_count()))
+    });
+    g.finish();
+}
+
+fn bench_realization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("realization");
+    g.sample_size(10);
+    let cases = [
+        ("hypercube n=8", families::hypercube(8)),
+        ("6-ary 4-cube", families::karyn_cube(6, 4, false)),
+        ("GHC 16x16", families::genhyper(&[16, 16])),
+        ("CCC n=6", families::ccc(6)),
+    ];
+    for (name, fam) in &cases {
+        for layers in [2usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(*name, format!("L={layers}")),
+                &layers,
+                |b, &layers| b.iter(|| black_box(fam.realize(layers).wires.len())),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_realization_3d(c: &mut Criterion) {
+    use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
+    let mut g = c.benchmark_group("realization_3d");
+    g.sample_size(10);
+    let fam = families::karyn_cube(8, 2, false);
+    for la in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("8-ary 2-cube L=8", format!("LA={la}")), &la, |b, &la| {
+            b.iter(|| {
+                black_box(
+                    realize_3d(
+                        &fam.spec,
+                        &Realize3dOptions {
+                            layers: 8,
+                            active_layers: la,
+                            node_side: Some(16),
+                        },
+                    )
+                    .wires
+                    .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    use mlv_grid::io::{read_layout, write_layout};
+    let mut g = c.benchmark_group("layout_io");
+    g.sample_size(20);
+    let layout = families::hypercube(8).realize(4);
+    g.bench_function("write hypercube n=8", |b| {
+        b.iter(|| black_box(write_layout(&layout).len()))
+    });
+    let text = write_layout(&layout);
+    g.bench_function("read hypercube n=8", |b| {
+        b.iter(|| black_box(read_layout(&text).unwrap().wires.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spec_building,
+    bench_realization,
+    bench_realization_3d,
+    bench_io
+);
+criterion_main!(benches);

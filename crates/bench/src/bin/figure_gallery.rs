@@ -1,0 +1,66 @@
+//! Figures F1–F4: regenerate the paper's construction figures as ASCII
+//! diagrams from the actual constructions.
+//!
+//! * F1 — recursive grid scheme block arrangement (paper Fig. 1)
+//! * F2 — collinear 3-ary 2-cube, 8 tracks (paper Fig. 2)
+//! * F3 — collinear K₉, 20 tracks (paper Fig. 3)
+//! * F4 — collinear 4-cube in Gray order, 10 tracks (paper Fig. 4)
+//!
+//! Run with an argument (`f1`…`f4`, `layout`) to print a single figure;
+//! no argument prints all.
+
+use mlv_collinear::complete::complete_collinear;
+use mlv_collinear::hypercube::hypercube_collinear;
+use mlv_collinear::karyn::kary_collinear;
+use mlv_collinear::render::render_tracks;
+use mlv_grid::render::{render_block_grid, render_layer, render_top};
+use mlv_layout::families;
+use mlv_layout::scheme::figure1_labels;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let all = arg.is_empty();
+
+    if all || arg == "f1" {
+        println!("--- Figure 1: recursive grid scheme, level-l blocks as a 2-D grid ---");
+        println!(
+            "{}",
+            render_block_grid(&figure1_labels(3, 4), 7, 3)
+        );
+    }
+    if all || arg == "f2" {
+        let l = kary_collinear(3, 2);
+        println!(
+            "--- Figure 2: collinear 3-ary 2-cube ({} tracks) ---",
+            l.tracks()
+        );
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || arg == "f3" {
+        let l = complete_collinear(9);
+        println!(
+            "--- Figure 3: collinear 9-node complete graph ({} tracks) ---",
+            l.tracks()
+        );
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || arg == "f4" {
+        let l = hypercube_collinear(4);
+        println!(
+            "--- Figure 4: collinear 4-cube, Gray order ({} tracks) ---",
+            l.tracks()
+        );
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || arg == "layout" {
+        // bonus: a full realized multilayer layout, top view + per layer
+        let fam = families::hypercube(3);
+        let layout = fam.realize(4);
+        println!("--- Bonus: realized 3-cube layout at L=4, top view ---");
+        println!("{}", render_top(&layout));
+        for z in 0..4 {
+            println!("--- layer z={z} ---");
+            println!("{}", render_layer(&layout, z));
+        }
+    }
+}

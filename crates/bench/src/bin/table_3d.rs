@@ -1,0 +1,89 @@
+//! Experiment T-3d: the multilayer **3-D** grid model (paper §2.2
+//! defines it; constructions deferred) — a concrete riser-based
+//! instance, measured against the 2-D multilayer scheme at the same
+//! total layer budget.
+//!
+//! Claim under test (from the model's definition): stacking `L_A`
+//! active layers removes `L_A − 1` of every stack's node footprints at
+//! the cost of a thicker per-slab bundle (wiring is a wash) plus one
+//! riser column per block-crossing wire. It therefore pays off where
+//! the 2-D scheme saturates: node-dominated layouts with few crossing
+//! wires.
+
+use mlv_bench::{f, Table};
+use mlv_grid::checker;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::families::{self, Family};
+use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
+
+fn measure_3d(fam: &Family, l: usize, la: usize, side: Option<usize>) -> LayoutMetrics {
+    let layout = realize_3d(
+        &fam.spec,
+        &Realize3dOptions {
+            layers: l,
+            active_layers: la,
+            node_side: side,
+        },
+    );
+    checker::assert_legal(&layout, Some(&fam.graph));
+    LayoutMetrics::of(&layout)
+}
+
+fn main() {
+    let l = 8usize;
+    let mut t = Table::new(
+        "T-3d: 2-D vs 3-D grid model at L = 8 (area; gain over L_A = 1)",
+        &[
+            "network", "node side", "LA=1", "LA=2", "gain", "LA=4", "gain",
+        ],
+    );
+    let cases: Vec<(String, Family)> = vec![
+        ("8-ary 2-cube".into(), families::karyn_cube(8, 2, false)),
+        ("8-ary 2-mesh".into(), families::karyn_mesh(8, 2)),
+        ("4-ary 4-cube".into(), families::karyn_cube(4, 4, false)),
+        ("6-cube".into(), families::hypercube(6)),
+    ];
+    for (label, fam) in &cases {
+        for side in [None, Some(16), Some(32)] {
+            let m1 = measure_3d(fam, l, 1, side);
+            let m2 = measure_3d(fam, l, 2, side);
+            let m4 = measure_3d(fam, l, 4, side);
+            t.row(vec![
+                label.clone(),
+                side.map(|s| s.to_string()).unwrap_or("min".into()),
+                m1.area.to_string(),
+                m2.area.to_string(),
+                f(m1.area as f64 / m2.area as f64),
+                m4.area.to_string(),
+                f(m1.area as f64 / m4.area as f64),
+            ]);
+        }
+    }
+    t.print();
+
+    // volume is conserved (L × area falls only as far as area does) and
+    // the max wire shrinks with the shorter column spans
+    let mut t = Table::new(
+        "T-3d: wire length and risers at node side 16, L = 8",
+        &["network", "LA", "height", "max wire", "width (risers included)"],
+    );
+    for (label, fam) in &cases {
+        for la in [1usize, 2, 4] {
+            let m = measure_3d(fam, l, la, Some(16));
+            t.row(vec![
+                label.clone(),
+                la.to_string(),
+                m.height.to_string(),
+                m.max_wire_planar.to_string(),
+                m.width.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check: with minimal node sizes stacking is a wash (wiring conserved);\n\
+         with processor-scale nodes the gain approaches L_A on tori/meshes (few\n\
+         risers) and stays smaller on hypercubes (every high-dimension link crosses\n\
+         blocks and buys a riser column)."
+    );
+}

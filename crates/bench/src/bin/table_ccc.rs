@@ -1,0 +1,75 @@
+//! Experiment T-ccc (paper §5.2): cube-connected cycles and reduced
+//! hypercubes as hypercube PN clusters.
+//!
+//! Paper: area `16N²/(9L²·log₂²N)` for both (the hypercube links
+//! dominate; the cycles/clusters ride inside the blocks).
+
+use mlv_bench::{f, measure, ratio, Table};
+use mlv_formulas::predictions::ccc as predict;
+use mlv_layout::families;
+
+fn main() {
+    let mut t = Table::new(
+        "T-ccc: CCC and reduced hypercube layouts vs paper leading terms",
+        &[
+            "family", "N", "L", "area", "paper area", "a-ratio", "max wire",
+            "volume", "v-ratio",
+        ],
+    );
+    let cases: Vec<(String, mlv_layout::families::Family)> = vec![
+        ("CCC(3)".into(), families::ccc(3)),
+        ("CCC(4)".into(), families::ccc(4)),
+        ("CCC(5)".into(), families::ccc(5)),
+        ("CCC(6)".into(), families::ccc(6)),
+        ("RH(2,2)".into(), families::reduced_hypercube(4)),
+        ("RH(3,3)".into(), families::reduced_hypercube(8)),
+    ];
+    for (label, fam) in &cases {
+        let nn = fam.graph.node_count();
+        for layers in [2usize, 4, 8] {
+            let m = measure(fam, layers, false);
+            let p = predict(nn, layers);
+            t.row(vec![
+                label.clone(),
+                nn.to_string(),
+                layers.to_string(),
+                m.metrics.area.to_string(),
+                f(p.area),
+                ratio(m.metrics.area as f64, p.area),
+                m.metrics.max_wire_planar.to_string(),
+                m.metrics.volume.to_string(),
+                ratio(m.metrics.volume as f64, p.volume),
+            ]);
+        }
+    }
+    t.print();
+
+    // CCC vs same-cube-dimension hypercube: the constant-degree CCC pays
+    // only a polylog more area than its quotient hypercube
+    let mut t = Table::new(
+        "T-ccc: CCC vs its quotient hypercube (area overhead of the cycles)",
+        &["n", "CCC N", "cube N", "L", "CCC area", "cube area", "overhead"],
+    );
+    for n in [4usize, 5, 6] {
+        let c = families::ccc(n);
+        let h = families::hypercube(n);
+        for layers in [2usize, 4] {
+            let mc = measure(&c, layers, false);
+            let mh = measure(&h, layers, false);
+            t.row(vec![
+                n.to_string(),
+                c.graph.node_count().to_string(),
+                h.graph.node_count().to_string(),
+                layers.to_string(),
+                mc.metrics.area.to_string(),
+                mh.metrics.area.to_string(),
+                ratio(mc.metrics.area as f64, mh.metrics.area as f64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check: CCC area ~ its quotient hypercube's (N^2/lg^2 N scaling, small\n\
+         constant overhead for the cycles), matching 16N^2/(9 L^2 lg^2 N)."
+    );
+}

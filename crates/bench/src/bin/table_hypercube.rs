@@ -1,0 +1,98 @@
+//! Experiment T-hcube (paper §5.1): hypercube collinear tracks and
+//! L-layer layouts.
+//!
+//! Paper: `⌊2N/3⌋` collinear tracks; area `16N²/(9L²)`; volume
+//! `16N²/(9L)` (volume = L·area by §2.2 — §5.1's printed `9L²` is a
+//! typo); max wire `2N/(3L)`.
+
+use mlv_bench::{f, measure, ratio, Table};
+use mlv_collinear::hypercube::{hypercube_collinear, hypercube_track_count};
+use mlv_formulas::predictions::hypercube as predict;
+use mlv_layout::families;
+
+fn main() {
+    let mut t = Table::new(
+        "T-hcube (a): collinear track counts = floor(2N/3)",
+        &["n", "N", "constructed", "paper", "load lower bound"],
+    );
+    for n in 1..=10usize {
+        let l = hypercube_collinear(n);
+        l.assert_valid();
+        t.row(vec![
+            n.to_string(),
+            (1usize << n).to_string(),
+            l.tracks().to_string(),
+            hypercube_track_count(n).to_string(),
+            l.max_load().to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "T-hcube (b): L-layer layouts vs paper leading terms",
+        &[
+            "n", "N", "L", "area", "paper area", "a-ratio", "max wire", "paper wire",
+            "w-ratio", "used layers",
+        ],
+    );
+    for n in [6usize, 8, 10] {
+        let fam = families::hypercube(n);
+        for layers in [2usize, 4, 6, 8] {
+            let m = measure(&fam, layers, false);
+            let p = predict(1 << n, layers);
+            t.row(vec![
+                n.to_string(),
+                (1usize << n).to_string(),
+                layers.to_string(),
+                m.metrics.area.to_string(),
+                f(p.area),
+                ratio(m.metrics.area as f64, p.area),
+                m.metrics.max_wire_planar.to_string(),
+                f(p.max_wire.unwrap()),
+                ratio(m.metrics.max_wire_planar as f64, p.max_wire.unwrap()),
+                (m.metrics.max_used_layer + 1).to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // odd vs even L: odd leaves a layer unused (paper's L^2 - 1)
+    let mut t = Table::new(
+        "T-hcube (c): odd L pairs with L-1 (paper's L^2-1 denominators)",
+        &["n", "L", "area", "area at L-1"],
+    );
+    let fam = families::hypercube(8);
+    for layers in [3usize, 5, 7, 9] {
+        let odd = measure(&fam, layers, false);
+        let even = measure(&fam, layers - 1, false);
+        t.row(vec![
+            "8".into(),
+            layers.to_string(),
+            odd.metrics.area.to_string(),
+            even.metrics.area.to_string(),
+        ]);
+    }
+    t.print();
+
+    // split ablation: the paper's balanced digit split is area-optimal
+    let mut t = Table::new(
+        "T-hcube (d): split-point ablation at n = 8, L = 4",
+        &["split (cols+rows)", "width", "height", "area"],
+    );
+    for lo in [1usize, 2, 3, 4, 5, 6] {
+        let fam = families::hypercube_with_split(8, lo);
+        let m = measure(&fam, 4, false);
+        t.row(vec![
+            format!("{lo}+{}", 8 - lo),
+            m.metrics.width.to_string(),
+            m.metrics.height.to_string(),
+            m.metrics.area.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: tracks are exactly floor(2N/3) and equal the order's load bound;\n\
+         area tracks 16N^2/9L^2 (ratio shrinking toward 1 with N); odd L = even L-1;\n\
+         the balanced 4+4 split minimizes the area (the paper's ceil/floor choice)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Experiment T-kary (paper §3.1): k-ary n-cube track counts, L-layer
+//! area/volume, and the folded max-wire bound.
+//!
+//! Paper: collinear tracks `f_k(n) = 2(kⁿ−1)/(k−1)`; L-layer area
+//! `16N²/(L²k²) + o(·)`; volume `16N²/(Lk²)`; folded max wire
+//! `O(N/(Lk²))`.
+
+use mlv_bench::{f, measure, ratio, Table};
+use mlv_collinear::karyn::{kary_collinear, kary_track_count};
+use mlv_formulas::predictions::{karyn, karyn_max_wire_scale};
+use mlv_layout::families;
+
+fn main() {
+    // --- exact track counts ---
+    let mut t = Table::new(
+        "T-kary (a): collinear track counts f_k(n) = 2(k^n - 1)/(k - 1)",
+        &["k", "n", "constructed", "paper formula", "load lower bound"],
+    );
+    for (k, n) in [(3usize, 2usize), (3, 3), (4, 2), (4, 3), (5, 2), (8, 2), (16, 1)] {
+        let l = kary_collinear(k, n);
+        l.assert_valid();
+        t.row(vec![
+            k.to_string(),
+            n.to_string(),
+            l.tracks().to_string(),
+            kary_track_count(k, n).to_string(),
+            l.max_load().to_string(),
+        ]);
+    }
+    t.print();
+
+    // --- L-layer area/volume vs paper leading terms ---
+    let mut t = Table::new(
+        "T-kary (b): L-layer layouts vs paper leading terms (ratio -> 1 as tracks dominate)",
+        &[
+            "k", "n", "N", "L", "area", "paper area", "a-ratio", "volume", "v-ratio",
+            "max wire",
+        ],
+    );
+    for (k, n) in [(4usize, 4usize), (6, 4), (3, 6), (8, 2), (16, 2)] {
+        let fam = families::karyn_cube(k, n, false);
+        let nn = k.pow(n as u32);
+        for layers in [2usize, 4, 8] {
+            let m = measure(&fam, layers, false);
+            let p = karyn(k, n, layers);
+            t.row(vec![
+                k.to_string(),
+                n.to_string(),
+                nn.to_string(),
+                layers.to_string(),
+                m.metrics.area.to_string(),
+                f(p.area),
+                ratio(m.metrics.area as f64, p.area),
+                m.metrics.volume.to_string(),
+                ratio(m.metrics.volume as f64, p.volume),
+                m.metrics.max_wire_planar.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // --- folding shortens the longest wire ---
+    let mut t = Table::new(
+        "T-kary (c): folded rows/columns cut the max wire (paper: O(N/(Lk^2)))",
+        &[
+            "k", "n", "L", "max wire (plain)", "max wire (folded)",
+            "scale N/(Lk^2)", "folded/scale",
+        ],
+    );
+    for (k, n) in [(4usize, 4usize), (6, 4), (3, 6)] {
+        for layers in [2usize, 4] {
+            let plain = measure(&families::karyn_cube(k, n, false), layers, false);
+            let folded = measure(&families::karyn_cube(k, n, true), layers, false);
+            let scale = karyn_max_wire_scale(k, n, layers);
+            t.row(vec![
+                k.to_string(),
+                n.to_string(),
+                layers.to_string(),
+                plain.metrics.max_wire_planar.to_string(),
+                folded.metrics.max_wire_planar.to_string(),
+                f(scale),
+                ratio(folded.metrics.max_wire_planar as f64, scale),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check: track counts match f_k(n) exactly; area ratios approach 1 and\n\
+         scale as 1/L^2; folding cuts the longest wire by ~k against the plain order."
+    );
+}

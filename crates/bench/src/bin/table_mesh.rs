@@ -1,0 +1,60 @@
+//! Mesh extension table (paper §3.2: "easily extended to general
+//! meshes and tori"): the k-ary n-mesh drops the wraparound links,
+//! halving every dimension's track count — area should approach a
+//! quarter of the torus'.
+
+use mlv_bench::{f, measure, ratio, Table};
+use mlv_collinear::mesh::{mesh_collinear, mesh_track_count};
+use mlv_formulas::predictions::karyn_mesh as predict;
+use mlv_layout::families;
+
+fn main() {
+    let mut t = Table::new(
+        "Mesh collinear track counts g_k(n) = (k^n - 1)/(k - 1)",
+        &["k", "n", "constructed", "formula", "torus tracks"],
+    );
+    for (k, n) in [(3usize, 2usize), (4, 2), (4, 3), (5, 2), (8, 2)] {
+        let l = mesh_collinear(k, n);
+        l.assert_valid();
+        t.row(vec![
+            k.to_string(),
+            n.to_string(),
+            l.tracks().to_string(),
+            mesh_track_count(k, n).to_string(),
+            mlv_collinear::karyn::kary_track_count(k, n).to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "Mesh vs torus layouts (paper: mesh area -> torus/4)",
+        &[
+            "k", "n", "L", "mesh area", "torus area", "mesh/torus", "paper ratio",
+            "a-ratio vs 4N^2/(L^2 k^2)",
+        ],
+    );
+    for (k, n) in [(6usize, 2usize), (8, 2), (4, 4), (6, 4)] {
+        let mesh = families::karyn_mesh(k, n);
+        let torus = families::karyn_cube(k, n, false);
+        for layers in [2usize, 4] {
+            let mm = measure(&mesh, layers, false);
+            let mt = measure(&torus, layers, false);
+            let p = predict(k, n, layers);
+            t.row(vec![
+                k.to_string(),
+                n.to_string(),
+                layers.to_string(),
+                mm.metrics.area.to_string(),
+                mt.metrics.area.to_string(),
+                f(mm.metrics.area as f64 / mt.metrics.area as f64),
+                "0.25".into(),
+                ratio(mm.metrics.area as f64, p.area),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check: mesh/torus area heads to 1/4 as tracks dominate the node\n\
+         footprints (footprints don't halve, so small instances sit above 0.25)."
+    );
+}

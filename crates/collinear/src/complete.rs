@@ -1,0 +1,70 @@
+//! Collinear layout of complete graphs (paper §4.1, Fig. 3; Yeh &
+//! Parhami, IPL 1998).
+//!
+//! All `C(N,2)` links become intervals on the slot line; the greedy
+//! interval colouring uses exactly the maximum gap load
+//! `⌈N/2⌉·⌊N/2⌋ = ⌊N²/4⌋` tracks, which is also the lower bound for
+//! *any* node order (every order makes K_N's middle gap carry
+//! `⌊N²/4⌋` links) — hence "strictly optimal".
+
+use crate::interval::color_intervals;
+use crate::track::CollinearLayout;
+
+/// The optimal complete-graph track count `⌊N²/4⌋`.
+pub fn complete_track_count(n: usize) -> usize {
+    n * n / 4
+}
+
+/// Strictly optimal collinear layout of K_n in natural node order.
+pub fn complete_collinear(n: usize) -> CollinearLayout {
+    let mut spans = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            spans.push((i, j));
+        }
+    }
+    let mut l = CollinearLayout::new(format!("K{n} collinear"), (0..n as u32).collect());
+    l.wires = color_intervals(&spans);
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::complete::complete;
+
+    #[test]
+    fn figure3_nine_node_complete_graph() {
+        // Fig. 3 of the paper: K9 in 20 tracks
+        let l = complete_collinear(9);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 20);
+        assert_eq!(complete_track_count(9), 20);
+        assert_eq!(l.edge_multiset(), complete(9).edge_multiset());
+    }
+
+    #[test]
+    fn optimal_for_all_small_n() {
+        for n in 2..16 {
+            let l = complete_collinear(n);
+            l.assert_valid();
+            assert_eq!(l.tracks(), n * n / 4, "n={n}");
+            assert_eq!(l.max_load(), n * n / 4, "n={n}");
+            assert_eq!(l.edge_multiset(), complete(n).edge_multiset());
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(complete_collinear(0).tracks(), 0);
+        assert_eq!(complete_collinear(1).tracks(), 0);
+        let l = complete_collinear(2);
+        assert_eq!(l.tracks(), 1);
+    }
+
+    #[test]
+    fn max_span_is_full_row() {
+        let l = complete_collinear(7);
+        assert_eq!(l.max_span(), 6);
+    }
+}

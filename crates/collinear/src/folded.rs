@@ -1,0 +1,130 @@
+//! Folded node orders — the paper's device for cutting the maximum wire
+//! length (§3.1: "to reduce the maximum wire length, we fold each row
+//! and column").
+//!
+//! A collinear k-ary layout built in digit order leaves the first
+//! dimension's ring spread across the whole row, so its wraparound link
+//! spans Θ(row length). *Folding* re-orders the row in the boustrophedon
+//! interleave `0, G−1, 1, G−2, …` of the outermost digit groups, after
+//! which every ring link of that dimension spans at most two groups.
+//! Wires are re-coloured greedily, which is optimal for the new order.
+
+use crate::interval::color_intervals;
+use crate::track::CollinearLayout;
+
+/// The folded visiting sequence of `g` groups: position `p` holds group
+/// `p/2` for even `p` and group `g−1−(p−1)/2` for odd `p` — i.e.
+/// `0, g−1, 1, g−2, 2, …`. Consecutive groups (and the `0/g−1` wrap
+/// pair) end up at positions at most 2 apart.
+pub fn folded_sequence(g: usize) -> Vec<usize> {
+    (0..g)
+        .map(|p| if p % 2 == 0 { p / 2 } else { g - 1 - (p - 1) / 2 })
+        .collect()
+}
+
+/// Re-order a layout's slots by an arbitrary permutation and re-colour
+/// all wires greedily (provably minimal tracks for the new order).
+/// `sequence[p]` gives the *old* slot placed at new position `p`.
+pub fn reorder_and_recolor(base: &CollinearLayout, sequence: &[usize]) -> CollinearLayout {
+    let n = base.slot_count();
+    assert_eq!(sequence.len(), n, "sequence must cover all slots");
+    // position of each old slot in the new order
+    let mut pos = vec![usize::MAX; n];
+    for (p, &old) in sequence.iter().enumerate() {
+        assert!(pos[old] == usize::MAX, "sequence repeats slot {old}");
+        pos[old] = p;
+    }
+    let node_at_slot: Vec<u32> = sequence.iter().map(|&old| base.node_at_slot[old]).collect();
+    let spans: Vec<(usize, usize)> = base
+        .wires
+        .iter()
+        .map(|w| {
+            let (a, b) = (pos[w.lo], pos[w.hi]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    let mut l = CollinearLayout::new(format!("{} (folded)", base.name), node_at_slot);
+    l.wires = color_intervals(&spans);
+    l
+}
+
+/// Fold the outermost digit of a layout whose slots consist of `groups`
+/// consecutive blocks (block = all slots sharing the outermost digit):
+/// blocks are re-ordered by [`folded_sequence`], slots within a block
+/// keep their order.
+pub fn fold_outer_groups(base: &CollinearLayout, groups: usize) -> CollinearLayout {
+    let n = base.slot_count();
+    assert!(groups >= 1 && n.is_multiple_of(groups), "groups must divide slots");
+    let size = n / groups;
+    let seq = folded_sequence(groups);
+    let mut sequence = Vec::with_capacity(n);
+    for &g in &seq {
+        for off in 0..size {
+            sequence.push(g * size + off);
+        }
+    }
+    reorder_and_recolor(base, &sequence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::karyn::kary_collinear;
+    use crate::ring::ring_collinear;
+    use mlv_topology::karyn::KaryNCube;
+    use mlv_topology::ring::ring;
+
+    #[test]
+    fn folded_sequence_shape() {
+        assert_eq!(folded_sequence(6), vec![0, 5, 1, 4, 2, 3]);
+        assert_eq!(folded_sequence(5), vec![0, 4, 1, 3, 2]);
+        assert_eq!(folded_sequence(1), vec![0]);
+    }
+
+    #[test]
+    fn folded_ring_has_short_wires() {
+        let base = ring_collinear(12);
+        assert_eq!(base.max_span(), 11); // wraparound spans everything
+        let folded = fold_outer_groups(&base, 12);
+        folded.assert_valid();
+        assert!(folded.max_span() <= 2, "span {}", folded.max_span());
+        assert_eq!(folded.edge_multiset(), ring(12).edge_multiset());
+        // folded ring needs at most 3 tracks (2 before)
+        assert!(folded.tracks() <= 3);
+    }
+
+    #[test]
+    fn folded_kary_cuts_max_span_by_about_k() {
+        let k = 5;
+        let n = 2;
+        let base = kary_collinear(k, n);
+        let folded = fold_outer_groups(&base, k);
+        folded.assert_valid();
+        assert_eq!(
+            folded.edge_multiset(),
+            KaryNCube::torus(k, n).graph.edge_multiset()
+        );
+        // outermost ring previously spanned (k-1)*k slots; now <= 2k
+        assert_eq!(base.max_span(), (k - 1) * k);
+        assert!(folded.max_span() <= 2 * k, "span {}", folded.max_span());
+        // track count stays within a small factor
+        assert!(folded.tracks() <= 2 * base.tracks());
+    }
+
+    #[test]
+    fn reorder_identity_preserves_everything() {
+        let base = kary_collinear(3, 2);
+        let same = reorder_and_recolor(&base, &(0..9).collect::<Vec<_>>());
+        same.assert_valid();
+        assert_eq!(same.edge_multiset(), base.edge_multiset());
+        // greedy recolor can only match or beat the constructive count
+        assert!(same.tracks() <= base.tracks());
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_sequence_rejected() {
+        let base = ring_collinear(4);
+        let _ = reorder_and_recolor(&base, &[0, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Generic collinear layouts for arbitrary graphs — the fallback behind
+//! §4.3's "similar strategies can be used for star graphs and other
+//! Cayley graphs".
+//!
+//! Any node order induces a collinear layout (edges become intervals,
+//! greedy colouring is optimal *for that order*), so the problem is
+//! picking the order — NP-hard in general (minimum cut-width). We
+//! provide the standard cheap heuristics: the natural order, a BFS
+//! order (good for expander-ish graphs), and seeded random restarts,
+//! keeping the best.
+
+use crate::interval::color_intervals;
+use crate::track::CollinearLayout;
+use mlv_topology::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Collinear layout of `graph` with nodes in the given order.
+pub fn generic_collinear(graph: &Graph, order: &[NodeId]) -> CollinearLayout {
+    assert_eq!(order.len(), graph.node_count(), "order must cover all nodes");
+    let mut pos = vec![usize::MAX; graph.node_count()];
+    for (slot, &v) in order.iter().enumerate() {
+        assert!(pos[v as usize] == usize::MAX, "order repeats node {v}");
+        pos[v as usize] = slot;
+    }
+    let spans: Vec<(usize, usize)> = graph
+        .edge_ids()
+        .map(|e| {
+            let (u, v) = graph.endpoints(e);
+            let (a, b) = (pos[u as usize], pos[v as usize]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    let mut l = CollinearLayout::new(
+        format!("{} collinear (generic)", graph.name()),
+        order.to_vec(),
+    );
+    l.wires = color_intervals(&spans);
+    l
+}
+
+/// BFS visiting order from node 0 (unreached nodes appended in id
+/// order) — tends to keep edges short on structured graphs.
+pub fn bfs_order(graph: &Graph) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut q = VecDeque::new();
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        q.push_back(root as NodeId);
+        while let Some(u) = q.pop_front() {
+            order.push(u);
+            for &(v, _) in graph.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Try the natural order, the BFS order, and `restarts` seeded random
+/// orders; return the layout with the fewest tracks (ties: first
+/// found). Deterministic for a given seed.
+pub fn best_order_collinear(graph: &Graph, restarts: usize, seed: u64) -> CollinearLayout {
+    let n = graph.node_count();
+    let natural: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut best = generic_collinear(graph, &natural);
+    let bfs = generic_collinear(graph, &bfs_order(graph));
+    if bfs.tracks() < best.tracks() {
+        best = bfs;
+    }
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut order = natural;
+    for _ in 0..restarts {
+        // Fisher-Yates with the xorshift stream
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let candidate = generic_collinear(graph, &order);
+        if candidate.tracks() < best.tracks() {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// Local-search refinement of a node order: hill climbing over two move
+/// kinds — adjacent transpositions and segment reversals — with the
+/// lexicographic fitness `(max gap load, total edge span)`. The max
+/// load is the real objective (= the order's optimal track count), but
+/// it moves in plateaus; the total span breaks ties and gives the
+/// search a descent direction across them. Deterministic for a given
+/// seed; stops after a full pass without improvement (≤ `max_rounds`).
+pub fn improve_order(
+    graph: &Graph,
+    start: &[NodeId],
+    max_rounds: usize,
+    seed: u64,
+) -> Vec<NodeId> {
+    let n = graph.node_count();
+    assert_eq!(start.len(), n);
+    let fitness = |order: &[NodeId]| -> (usize, usize) {
+        let mut pos = vec![0usize; n];
+        for (slot, &v) in order.iter().enumerate() {
+            pos[v as usize] = slot;
+        }
+        let mut spans = Vec::with_capacity(graph.edge_count());
+        let mut total = 0usize;
+        for e in graph.edge_ids() {
+            let (u, v) = graph.endpoints(e);
+            let (a, b) = (pos[u as usize], pos[v as usize]);
+            let (lo, hi) = (a.min(b), a.max(b));
+            spans.push((lo, hi));
+            total += hi - lo;
+        }
+        (crate::interval::max_load(&spans), total)
+    };
+    let mut order = start.to_vec();
+    let mut best = fitness(&order);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        // deterministic sweep of adjacent swaps
+        for i in 0..n.saturating_sub(1) {
+            order.swap(i, i + 1);
+            let f = fitness(&order);
+            if f < best {
+                best = f;
+                improved = true;
+            } else {
+                order.swap(i, i + 1);
+            }
+        }
+        // random segment reversals
+        for _ in 0..2 * n {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            let (lo, hi) = (a.min(b), a.max(b));
+            if hi - lo < 2 {
+                continue;
+            }
+            order[lo..=hi].reverse();
+            let f = fitness(&order);
+            if f < best {
+                best = f;
+                improved = true;
+            } else {
+                order[lo..=hi].reverse();
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::cayley::star;
+    use mlv_topology::complete::complete;
+    use mlv_topology::hypercube::hypercube;
+    use mlv_topology::ring::ring;
+
+    #[test]
+    fn natural_order_complete_graph_is_optimal() {
+        let g = complete(10);
+        let l = generic_collinear(&g, &(0..10).collect::<Vec<_>>());
+        l.assert_valid();
+        assert_eq!(l.tracks(), 25); // floor(100/4)
+        assert_eq!(l.edge_multiset(), g.edge_multiset());
+    }
+
+    #[test]
+    fn generic_matches_dedicated_on_rings() {
+        let g = ring(9);
+        let l = generic_collinear(&g, &(0..9).collect::<Vec<_>>());
+        l.assert_valid();
+        // greedy finds the 2-track layout for the natural order
+        assert_eq!(l.tracks(), 2);
+    }
+
+    #[test]
+    fn bfs_order_visits_everything() {
+        let g = star(4);
+        let o = bfs_order(&g);
+        let mut sorted = o.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn best_order_beats_or_matches_natural() {
+        let g = star(4);
+        let natural = generic_collinear(&g, &(0..24).collect::<Vec<_>>());
+        let best = best_order_collinear(&g, 8, 42);
+        best.assert_valid();
+        assert!(best.tracks() <= natural.tracks());
+        assert_eq!(best.edge_multiset(), g.edge_multiset());
+    }
+
+    #[test]
+    fn generic_on_hypercube_upper_bounds_dedicated() {
+        // the dedicated construction (2N/3) must never lose to the
+        // generic natural order
+        use crate::hypercube::hypercube_collinear;
+        let g = hypercube(6);
+        let generic = generic_collinear(&g, &(0..64).collect::<Vec<_>>());
+        let dedicated = hypercube_collinear(6);
+        assert!(dedicated.tracks() <= generic.tracks());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = star(4);
+        let a = best_order_collinear(&g, 4, 7);
+        let b = best_order_collinear(&g, 4, 7);
+        assert_eq!(a.tracks(), b.tracks());
+        assert_eq!(a.node_at_slot, b.node_at_slot);
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_order_rejected() {
+        let g = ring(3);
+        let _ = generic_collinear(&g, &[0, 1, 1]);
+    }
+
+    #[test]
+    fn improve_order_never_worsens() {
+        let g = star(4);
+        let start = bfs_order(&g);
+        let before = generic_collinear(&g, &start).max_load();
+        let improved = improve_order(&g, &start, 4, 11);
+        let after = generic_collinear(&g, &improved).max_load();
+        assert!(after <= before, "{after} > {before}");
+        // still a permutation realizing the graph
+        let l = generic_collinear(&g, &improved);
+        l.assert_valid();
+        assert_eq!(l.edge_multiset(), g.edge_multiset());
+    }
+
+    #[test]
+    fn improve_order_untangles_a_scrambled_ring() {
+        // a ring in a scrambled order has high load; local search should
+        // recover something close to the 2-track optimum
+        let g = ring(10);
+        let scrambled: Vec<u32> = vec![0, 5, 2, 7, 4, 9, 6, 1, 8, 3];
+        let before = generic_collinear(&g, &scrambled).max_load();
+        let improved = improve_order(&g, &scrambled, 50, 3);
+        let after = generic_collinear(&g, &improved).max_load();
+        assert!(after < before, "no improvement: {before} -> {after}");
+        assert!(after <= 4, "still tangled: {after}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Collinear layout of generalized hypercubes (paper §4.1).
+//!
+//! Same bottom-up shape as the k-ary n-cube construction, but each new
+//! dimension of radix `r` connects the `r` interleaved copies with a
+//! **complete graph** per slot group, laid out with the strictly optimal
+//! `⌊r²/4⌋`-track K_r template — the groups occupy disjoint slot ranges,
+//! so every group shares the same `⌊r²/4⌋` fresh tracks. Track count:
+//! `f_r(m+1) = r_m·f_r(m) + ⌊r_m²/4⌋`, and for fixed radix r,
+//! `f_r(n) = (N−1)·⌊r²/4⌋/(r−1)`.
+
+use crate::complete::complete_collinear;
+use crate::track::CollinearLayout;
+
+/// Track count of the construction for mixed radices (least significant
+/// first): `f(1) = ⌊r_0²/4⌋`, `f(m+1) = r_m·f(m) + ⌊r_m²/4⌋`.
+pub fn genhyper_track_count(radices: &[usize]) -> usize {
+    assert!(!radices.is_empty());
+    let mut f = radices[0] * radices[0] / 4;
+    for &r in &radices[1..] {
+        f = r * f + r * r / 4;
+    }
+    f
+}
+
+/// Closed form for fixed radix r: `(rⁿ − 1)·⌊r²/4⌋/(r − 1)`.
+pub fn genhyper_track_count_fixed(r: usize, n: usize) -> usize {
+    assert!(r >= 2);
+    (r.pow(n as u32) - 1) * (r * r / 4) / (r - 1)
+}
+
+/// Collinear layout of the generalized hypercube with the given radices
+/// (least significant first). Node ids are mixed-radix values.
+pub fn genhyper_collinear(radices: &[usize]) -> CollinearLayout {
+    assert!(!radices.is_empty());
+    assert!(radices.iter().all(|&r| r >= 2), "radices must be >= 2");
+    let mut layout = complete_collinear(radices[0]);
+    let mut card = radices[0];
+    for &r in &radices[1..] {
+        layout = extend_by_complete_dimension(&layout, r, card);
+        card *= r;
+    }
+    layout.name = format!(
+        "GHC({}) collinear",
+        radices
+            .iter()
+            .rev()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    layout
+}
+
+/// One recursion step: interleave `r` copies of `base` (which covers
+/// `card` nodes) and connect each slot group as K_r using the optimal
+/// template.
+fn extend_by_complete_dimension(
+    base: &CollinearLayout,
+    r: usize,
+    card: usize,
+) -> CollinearLayout {
+    let old_n = base.slot_count();
+    let f_old = base.tracks();
+    let mut node_at_slot = vec![0u32; old_n * r];
+    for (slot, &node) in base.node_at_slot.iter().enumerate() {
+        for j in 0..r {
+            node_at_slot[slot * r + j] = node + (j * card) as u32;
+        }
+    }
+    let mut l = CollinearLayout::new(base.name.clone(), node_at_slot);
+    for &w in &base.wires {
+        for j in 0..r {
+            l.add_wire(w.lo * r + j, w.hi * r + j, j * f_old + w.track);
+        }
+    }
+    // K_r connector template reused across all slot groups
+    let template = complete_collinear(r);
+    let t = r * f_old;
+    for s in 0..old_n {
+        for &w in &template.wires {
+            l.add_wire(s * r + w.lo, s * r + w.hi, t + w.track);
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::genhyper::GeneralizedHypercube;
+    use mlv_topology::hypercube::hypercube;
+
+    #[test]
+    fn track_formula_matches_construction() {
+        for radices in [
+            vec![3usize, 3],
+            vec![4, 4],
+            vec![3, 4, 2],
+            vec![5, 3],
+            vec![3, 3, 3],
+        ] {
+            let l = genhyper_collinear(&radices);
+            l.assert_valid();
+            assert_eq!(
+                l.tracks(),
+                genhyper_track_count(&radices),
+                "radices {radices:?}"
+            );
+            assert_eq!(
+                l.edge_multiset(),
+                GeneralizedHypercube::new(radices.clone()).graph.edge_multiset(),
+                "radices {radices:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_radix_closed_form() {
+        for (r, n) in [(3usize, 2usize), (3, 3), (4, 2), (5, 2)] {
+            assert_eq!(
+                genhyper_track_count(&vec![r; n]),
+                genhyper_track_count_fixed(r, n),
+                "r={r} n={n}"
+            );
+        }
+        // K9 as a 1-dimensional radix-9 GHC: 20 tracks (Fig. 3)
+        assert_eq!(genhyper_track_count_fixed(9, 1), 20);
+    }
+
+    #[test]
+    fn radix2_matches_binary_hypercube_topology() {
+        // radix-2 GHC is the hypercube; the GHC construction uses
+        // floor(4/4)=1 track per dimension-complete-graph, giving
+        // f = 2^n - 1 tracks (worse than the dedicated 2N/3 hypercube
+        // layout, as the paper's separate §5.1 treatment implies).
+        let l = genhyper_collinear(&[2, 2, 2]);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 7);
+        assert_eq!(l.edge_multiset(), hypercube(3).edge_multiset());
+    }
+
+    #[test]
+    fn single_dimension_is_complete_graph() {
+        let l = genhyper_collinear(&[6]);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 9);
+    }
+}

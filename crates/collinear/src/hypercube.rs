@@ -1,0 +1,168 @@
+//! Collinear layout of hypercubes in exactly `⌊2N/3⌋` tracks (paper
+//! §5.1, Fig. 4; Yeh, Varvarigos & Parhami, Frontiers '99).
+//!
+//! The construction uses the 2-track layout of the 2-cube (nodes in Gray
+//! order `00, 01, 11, 10`; the three adjacent links share a track, the
+//! `00–10` link takes the second) as its building block:
+//!
+//! * **even step** (n → n+2): interleave four copies of the n-cube
+//!   layout in Gray order within each slot group and connect each group
+//!   as a 2-cube with **2** new tracks — `f(n+2) = 4f(n) + 2`;
+//! * **odd step** (n → n+1): interleave two copies and connect the pairs
+//!   with **1** new track — `f(n+1) = 2f(n) + 1`.
+//!
+//! Taking even steps from `f(2) = 2` and at most one odd step from the
+//! top gives exactly `f(n) = ⌊2·2ⁿ/3⌋` for every n.
+
+use crate::track::CollinearLayout;
+
+/// The paper's hypercube track count `⌊2N/3⌋ = ⌊2·2ⁿ/3⌋`.
+pub fn hypercube_track_count(n: usize) -> usize {
+    (2 * (1usize << n)) / 3
+}
+
+/// Collinear layout of the n-cube in `⌊2N/3⌋` tracks. Node ids are the
+/// usual binary labels.
+///
+/// ```
+/// let l = mlv_collinear::hypercube::hypercube_collinear(4); // Fig. 4
+/// l.assert_valid();
+/// assert_eq!(l.tracks(), 10); // = floor(2*16/3)
+/// ```
+pub fn hypercube_collinear(n: usize) -> CollinearLayout {
+    assert!((1..26).contains(&n));
+    let l = build(n);
+    debug_assert_eq!(l.tracks(), hypercube_track_count(n));
+    l
+}
+
+fn build(n: usize) -> CollinearLayout {
+    match n {
+        1 => {
+            let mut l = CollinearLayout::new("1-cube collinear", vec![0, 1]);
+            l.add_wire(0, 1, 0);
+            l
+        }
+        2 => base_two_cube(),
+        _ if n % 2 == 1 => extend_one(&build(n - 1), n - 1),
+        _ => extend_two(&build(n - 2), n - 2),
+    }
+}
+
+/// Fig. 4's building block: the 2-cube in Gray order, 2 tracks.
+fn base_two_cube() -> CollinearLayout {
+    let mut l = CollinearLayout::new("2-cube collinear", vec![0b00, 0b01, 0b11, 0b10]);
+    l.add_wire(0, 1, 0);
+    l.add_wire(1, 2, 0);
+    l.add_wire(2, 3, 0);
+    l.add_wire(0, 3, 1);
+    l
+}
+
+/// Odd step: two interleaved copies plus one track of pair links for the
+/// new dimension `m` (0-based bit index).
+fn extend_one(base: &CollinearLayout, m: usize) -> CollinearLayout {
+    let old_n = base.slot_count();
+    let f_old = base.tracks();
+    let mut node_at_slot = vec![0u32; old_n * 2];
+    for (slot, &node) in base.node_at_slot.iter().enumerate() {
+        for j in 0..2u32 {
+            node_at_slot[slot * 2 + j as usize] = node | (j << m);
+        }
+    }
+    let mut l = CollinearLayout::new(format!("{}-cube collinear", m + 1), node_at_slot);
+    for &w in &base.wires {
+        for j in 0..2 {
+            l.add_wire(w.lo * 2 + j, w.hi * 2 + j, j * f_old + w.track);
+        }
+    }
+    let t = 2 * f_old;
+    for s in 0..old_n {
+        l.add_wire(s * 2, s * 2 + 1, t);
+    }
+    l
+}
+
+/// Even step: four interleaved copies in Gray order plus a 2-track
+/// 2-cube connector for new dimensions `m` and `m+1`.
+fn extend_two(base: &CollinearLayout, m: usize) -> CollinearLayout {
+    let old_n = base.slot_count();
+    let f_old = base.tracks();
+    // position p within each group holds copy GRAY[p]
+    const GRAY: [u32; 4] = [0b00, 0b01, 0b11, 0b10];
+    let mut node_at_slot = vec![0u32; old_n * 4];
+    for (slot, &node) in base.node_at_slot.iter().enumerate() {
+        for (p, &c) in GRAY.iter().enumerate() {
+            node_at_slot[slot * 4 + p] = node | (c << m);
+        }
+    }
+    let mut l = CollinearLayout::new(format!("{}-cube collinear", m + 2), node_at_slot);
+    // copies keep their own track blocks, indexed by position p
+    for &w in &base.wires {
+        for p in 0..4 {
+            l.add_wire(w.lo * 4 + p, w.hi * 4 + p, p * f_old + w.track);
+        }
+    }
+    // 2-cube connector per group: chain track + spanning track
+    let t = 4 * f_old;
+    for s in 0..old_n {
+        let b = s * 4;
+        l.add_wire(b, b + 1, t);
+        l.add_wire(b + 1, b + 2, t);
+        l.add_wire(b + 2, b + 3, t);
+        l.add_wire(b, b + 3, t + 1);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::hypercube::hypercube;
+
+    #[test]
+    fn figure4_four_cube() {
+        // Fig. 4 of the paper: 4-cube in floor(2*16/3) = 10 tracks
+        let l = hypercube_collinear(4);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 10);
+        assert_eq!(l.edge_multiset(), hypercube(4).edge_multiset());
+    }
+
+    #[test]
+    fn track_count_matches_floor_two_thirds() {
+        for n in 1..11 {
+            let l = hypercube_collinear(n);
+            l.assert_valid();
+            assert_eq!(l.tracks(), hypercube_track_count(n), "n={n}");
+            assert_eq!(
+                l.edge_multiset(),
+                hypercube(n).edge_multiset(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_values() {
+        let expect = [1, 2, 5, 10, 21, 42, 85, 170];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(hypercube_track_count(i + 1), e);
+        }
+    }
+
+    #[test]
+    fn two_cube_base_is_gray_ordered() {
+        let l = base_two_cube();
+        assert_eq!(l.node_at_slot, vec![0, 1, 3, 2]);
+        assert_eq!(l.tracks(), 2);
+    }
+
+    #[test]
+    fn beats_generic_greedy_order_bound() {
+        // the load lower bound for THIS order must not exceed the track
+        // count (sanity that construction is tight-ish)
+        let l = hypercube_collinear(6);
+        assert!(l.max_load() <= l.tracks());
+    }
+}

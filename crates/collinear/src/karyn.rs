@@ -1,0 +1,125 @@
+//! Collinear layout of k-ary n-cubes (paper §3.1, Fig. 2).
+//!
+//! Bottom-up recursion: a k-ary (m+1)-cube layout interleaves k copies
+//! of the k-ary m-cube layout (node `i` of copy `j` at slot `i·k + j`)
+//! and adds two tracks for the new dimension's rings — one for the k−1
+//! adjacent links of each ring, one for its wraparound link. Track
+//! count: `f_k(m+1) = k·f_k(m) + 2`, so
+//! `f_k(n) = 2(kⁿ − 1)/(k − 1)`.
+
+use crate::ring::ring_collinear;
+use crate::track::CollinearLayout;
+
+/// The paper's track-count formula `f_k(n) = 2(kⁿ − 1)/(k − 1)` for
+/// `k ≥ 3` (for `k = 2` the hypercube construction applies instead).
+pub fn kary_track_count(k: usize, n: usize) -> usize {
+    assert!(k >= 3);
+    2 * (k.pow(n as u32) - 1) / (k - 1)
+}
+
+/// Collinear k-ary n-cube layout. Node ids are k-ary digit vectors with
+/// digit 0 built first (least significant). Requires `k ≥ 3` (the
+/// binary case is the hypercube, see [`crate::hypercube`]).
+pub fn kary_collinear(k: usize, n: usize) -> CollinearLayout {
+    assert!(k >= 3, "use hypercube_collinear for k = 2");
+    assert!(n >= 1);
+    let mut layout = ring_collinear(k);
+    layout.name = format!("{k}-ary {n}-cube collinear");
+    let mut m = 1usize;
+    while m < n {
+        layout = extend_by_ring_dimension(&layout, k, m);
+        m += 1;
+    }
+    layout.name = format!("{k}-ary {n}-cube collinear");
+    layout
+}
+
+/// One recursion step: interleave k copies of `base` (a layout of the
+/// first `m` dimensions, `k^m` nodes) and connect the new dimension's
+/// rings with two fresh tracks.
+fn extend_by_ring_dimension(base: &CollinearLayout, k: usize, m: usize) -> CollinearLayout {
+    let old_n = base.slot_count();
+    let f_old = base.tracks();
+    let stride = (k.pow(m as u32)) as u32; // node-id increment per copy
+    let mut node_at_slot = vec![0u32; old_n * k];
+    for (slot, &node) in base.node_at_slot.iter().enumerate() {
+        for j in 0..k {
+            node_at_slot[slot * k + j] = node + j as u32 * stride;
+        }
+    }
+    let mut l = CollinearLayout::new(base.name.clone(), node_at_slot);
+    // scaled copies of the old wires, each copy in its own track block
+    for &w in &base.wires {
+        for j in 0..k {
+            l.add_wire(w.lo * k + j, w.hi * k + j, j * f_old + w.track);
+        }
+    }
+    // new-dimension rings across the k copies of each old slot
+    let t = k * f_old;
+    for s in 0..old_n {
+        for j in 0..k - 1 {
+            l.add_wire(s * k + j, s * k + j + 1, t);
+        }
+        l.add_wire(s * k, s * k + k - 1, t + 1);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::karyn::KaryNCube;
+
+    #[test]
+    fn figure2_three_ary_two_cube() {
+        // Fig. 2 of the paper: 3-ary 2-cube, f_3(2) = 2(9-1)/2 = 8 tracks
+        let l = kary_collinear(3, 2);
+        l.assert_valid();
+        assert_eq!(l.slot_count(), 9);
+        assert_eq!(l.tracks(), 8);
+        assert_eq!(kary_track_count(3, 2), 8);
+        assert_eq!(
+            l.edge_multiset(),
+            KaryNCube::torus(3, 2).graph.edge_multiset()
+        );
+    }
+
+    #[test]
+    fn track_formula_matches_construction() {
+        for (k, n) in [(3usize, 1usize), (3, 3), (4, 2), (5, 2), (4, 3)] {
+            let l = kary_collinear(k, n);
+            l.assert_valid();
+            assert_eq!(l.tracks(), kary_track_count(k, n), "k={k} n={n}");
+            assert_eq!(
+                l.edge_multiset(),
+                KaryNCube::torus(k, n).graph.edge_multiset(),
+                "k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn track_count_closed_form() {
+        assert_eq!(kary_track_count(3, 1), 2);
+        assert_eq!(kary_track_count(3, 2), 8);
+        assert_eq!(kary_track_count(3, 3), 26);
+        assert_eq!(kary_track_count(4, 2), 10);
+        assert_eq!(kary_track_count(10, 2), 22);
+    }
+
+    #[test]
+    fn tracks_are_near_optimal_for_this_order() {
+        // greedy lower bound (max load) should be within the two
+        // wrap-track slack of the construction
+        let l = kary_collinear(4, 2);
+        assert!(l.max_load() <= l.tracks());
+        assert!(l.tracks() <= l.max_load() + 2);
+    }
+
+    #[test]
+    fn one_dimension_is_ring() {
+        let l = kary_collinear(5, 1);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 2);
+    }
+}

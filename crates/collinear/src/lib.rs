@@ -1,0 +1,43 @@
+//! # mlv-collinear
+//!
+//! **Collinear layouts** — the 1-D building block of the paper's
+//! orthogonal multilayer layout scheme (Yeh, Varvarigos & Parhami,
+//! ICPP 2000).
+//!
+//! A collinear layout places all network nodes along a line and routes
+//! every link in one of a number of parallel **tracks** above the line;
+//! the track count is the layout's figure of merit, because in the 2-D
+//! orthogonal scheme the tracks of each row/column become the layout's
+//! height/width. This crate implements the paper's constructions with
+//! their exact track counts:
+//!
+//! | network | tracks | paper |
+//! |---|---|---|
+//! | k-node ring | 2 | §3.1 |
+//! | k-ary n-cube | `2(kⁿ−1)/(k−1)` | §3.1, Fig. 2 |
+//! | complete graph K_N | `⌊N²/4⌋` (strictly optimal) | §4.1, Fig. 3 |
+//! | generalized hypercube | `f_r(n+1) = r_n f_r(n) + ⌊r_n²/4⌋` | §4.1 |
+//! | hypercube | `⌊2N/3⌋` | §5.1, Fig. 4 |
+//!
+//! plus greedy interval-graph track colouring ([`interval`]) with its
+//! max-load lower bound (used both as a generic fallback and to certify
+//! optimality), folded node orders that shorten the longest wire
+//! ([`folded`]), and an ASCII track-diagram renderer ([`render`]) that
+//! regenerates the paper's Figures 2–4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complete;
+pub mod folded;
+pub mod generic;
+pub mod genhyper;
+pub mod hypercube;
+pub mod interval;
+pub mod karyn;
+pub mod mesh;
+pub mod render;
+pub mod ring;
+pub mod track;
+
+pub use track::{CollinearLayout, SpanWire, TrackError};

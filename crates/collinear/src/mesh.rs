@@ -1,0 +1,118 @@
+//! Collinear layouts of k-ary n-meshes (no wraparound links).
+//!
+//! The paper's §3.2 notes that the k-ary n-cube method "can be easily
+//! extended to general meshes and tori"; the mesh is the torus
+//! construction minus the wrap track: a k-node path needs **1** track
+//! (all k−1 adjacent links touch end to end), and each added dimension
+//! contributes one fresh track instead of two:
+//! `g_k(m+1) = k·g_k(m) + 1`, so `g_k(n) = (kⁿ − 1)/(k − 1)` — exactly
+//! half the torus count in the limit.
+
+use crate::track::CollinearLayout;
+
+/// Mesh track count `g_k(n) = (kⁿ − 1)/(k − 1)`.
+pub fn mesh_track_count(k: usize, n: usize) -> usize {
+    assert!(k >= 2);
+    (k.pow(n as u32) - 1) / (k - 1)
+}
+
+/// Collinear k-ary n-mesh layout (paths instead of rings per
+/// dimension). Node ids are k-ary digit vectors, digit 0 built first.
+pub fn mesh_collinear(k: usize, n: usize) -> CollinearLayout {
+    assert!(k >= 2 && n >= 1);
+    // base: k-node path, 1 track
+    let mut layout = CollinearLayout::new(
+        format!("{k}-ary {n}-mesh collinear"),
+        (0..k as u32).collect(),
+    );
+    for i in 0..k - 1 {
+        layout.add_wire(i, i + 1, 0);
+    }
+    let mut m = 1usize;
+    while m < n {
+        layout = extend_by_path_dimension(&layout, k, m);
+        m += 1;
+    }
+    layout.name = format!("{k}-ary {n}-mesh collinear");
+    layout
+}
+
+fn extend_by_path_dimension(base: &CollinearLayout, k: usize, m: usize) -> CollinearLayout {
+    let old_n = base.slot_count();
+    let f_old = base.tracks();
+    let stride = (k.pow(m as u32)) as u32;
+    let mut node_at_slot = vec![0u32; old_n * k];
+    for (slot, &node) in base.node_at_slot.iter().enumerate() {
+        for j in 0..k {
+            node_at_slot[slot * k + j] = node + j as u32 * stride;
+        }
+    }
+    let mut l = CollinearLayout::new(base.name.clone(), node_at_slot);
+    for &w in &base.wires {
+        for j in 0..k {
+            l.add_wire(w.lo * k + j, w.hi * k + j, j * f_old + w.track);
+        }
+    }
+    let t = k * f_old;
+    for s in 0..old_n {
+        for j in 0..k - 1 {
+            l.add_wire(s * k + j, s * k + j + 1, t);
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::karyn::KaryNCube;
+
+    #[test]
+    fn track_counts_match_closed_form() {
+        for (k, n) in [(2usize, 3usize), (3, 2), (3, 3), (4, 2), (5, 2), (8, 2)] {
+            let l = mesh_collinear(k, n);
+            l.assert_valid();
+            assert_eq!(l.tracks(), mesh_track_count(k, n), "k={k} n={n}");
+            assert_eq!(
+                l.edge_multiset(),
+                KaryNCube::mesh(k, n).graph.edge_multiset(),
+                "k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_halves_torus_tracks_asymptotically() {
+        use crate::karyn::kary_track_count;
+        for (k, n) in [(3usize, 3usize), (4, 3), (5, 2)] {
+            assert_eq!(2 * mesh_track_count(k, n), kary_track_count(k, n));
+        }
+    }
+
+    #[test]
+    fn one_dimensional_mesh_is_single_track() {
+        let l = mesh_collinear(7, 1);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 1);
+        assert_eq!(l.max_span(), 1);
+    }
+
+    #[test]
+    fn mesh_tracks_are_order_optimal() {
+        let l = mesh_collinear(4, 3);
+        assert_eq!(l.tracks(), l.max_load());
+    }
+
+    #[test]
+    fn binary_mesh_is_valid() {
+        // k = 2 mesh == k = 2 torus == hypercube topology, but laid out
+        // with the simple path recursion (2^n - 1 tracks)
+        let l = mesh_collinear(2, 4);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 15);
+        assert_eq!(
+            l.edge_multiset(),
+            mlv_topology::hypercube::hypercube(4).edge_multiset()
+        );
+    }
+}

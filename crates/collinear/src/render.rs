@@ -1,0 +1,107 @@
+//! ASCII track diagrams of collinear layouts — regenerates the paper's
+//! Figures 2 (3-ary 2-cube), 3 (K₉), and 4 (4-cube).
+//!
+//! Nodes are drawn on the bottom line as `[i]`; each track is one text
+//! row with wires drawn as `o----o` spans. Tracks are drawn top-down
+//! (highest track first), matching the paper's figures.
+
+use crate::track::CollinearLayout;
+
+/// Render a track diagram. Each slot gets a column of width
+/// `col_width` (auto-sized to the longest node label when `None`).
+pub fn render_tracks(layout: &CollinearLayout, col_width: Option<usize>) -> String {
+    let n = layout.slot_count();
+    if n == 0 {
+        return String::new();
+    }
+    let labels: Vec<String> = layout
+        .node_at_slot
+        .iter()
+        .map(|&v| format!("[{v}]"))
+        .collect();
+    let cw = col_width
+        .unwrap_or_else(|| labels.iter().map(|l| l.len()).max().unwrap_or(3) + 1)
+        .max(3);
+    let width = n * cw;
+    let center = |slot: usize| slot * cw + cw / 2;
+    let tracks = layout.tracks();
+    let mut rows: Vec<Vec<char>> = vec![vec![' '; width]; tracks];
+    for w in &layout.wires {
+        let row = &mut rows[w.track];
+        let (a, b) = (center(w.lo), center(w.hi));
+        for cell in row.iter_mut().take(b).skip(a + 1) {
+            *cell = '-';
+        }
+        row[a] = 'o';
+        row[b] = 'o';
+    }
+    let mut s = String::new();
+    for (t, row) in rows.iter().enumerate().rev() {
+        s.push_str(&format!("t{t:>3} "));
+        s.push_str(&row.iter().collect::<String>());
+        s.push('\n');
+    }
+    s.push_str("     ");
+    let mut node_line = vec![' '; width];
+    for (slot, label) in labels.iter().enumerate() {
+        let start = slot * cw + (cw.saturating_sub(label.len())) / 2;
+        for (i, ch) in label.chars().enumerate() {
+            if start + i < width {
+                node_line[start + i] = ch;
+            }
+        }
+    }
+    s.push_str(&node_line.iter().collect::<String>());
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::complete_collinear;
+    use crate::hypercube::hypercube_collinear;
+    use crate::karyn::kary_collinear;
+    use crate::ring::ring_collinear;
+
+    #[test]
+    fn ring_diagram() {
+        let s = render_tracks(&ring_collinear(4), Some(4));
+        // two track rows + node row
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("o--"));
+        assert!(s.contains("[0]"));
+        assert!(s.contains("[3]"));
+    }
+
+    #[test]
+    fn figure2_renders_eight_tracks() {
+        let s = render_tracks(&kary_collinear(3, 2), None);
+        assert_eq!(s.lines().count(), 8 + 1);
+    }
+
+    #[test]
+    fn figure3_renders_twenty_tracks() {
+        let s = render_tracks(&complete_collinear(9), None);
+        assert_eq!(s.lines().count(), 20 + 1);
+    }
+
+    #[test]
+    fn figure4_renders_ten_tracks_in_gray_order() {
+        let s = render_tracks(&hypercube_collinear(4), None);
+        assert_eq!(s.lines().count(), 10 + 1);
+        // Gray order of the low two bits within the first group
+        let node_line = s.lines().last().unwrap();
+        let i0 = node_line.find("[0]").unwrap();
+        let i1 = node_line.find("[1]").unwrap();
+        let i3 = node_line.find("[3]").unwrap();
+        let i2 = node_line.find("[2]").unwrap();
+        assert!(i0 < i1 && i1 < i3 && i3 < i2);
+    }
+
+    #[test]
+    fn empty_layout_renders_empty() {
+        let l = CollinearLayout::new("e", vec![]);
+        assert_eq!(render_tracks(&l, None), "");
+    }
+}

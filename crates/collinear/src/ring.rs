@@ -1,0 +1,53 @@
+//! Collinear layout of rings — the base case of §3.1.
+//!
+//! k nodes along a row; the k−1 adjacent links share track 0 (they only
+//! touch at nodes), the wraparound link takes track 1. Exactly 2 tracks
+//! for `k ≥ 3`, 1 track for `k = 2`, none for `k = 1`.
+
+use crate::track::CollinearLayout;
+
+/// Collinear ring layout in natural node order.
+pub fn ring_collinear(k: usize) -> CollinearLayout {
+    let mut l = CollinearLayout::new(format!("{k}-ring collinear"), (0..k as u32).collect());
+    if k == 2 {
+        l.add_wire(0, 1, 0);
+    } else if k >= 3 {
+        for i in 0..k - 1 {
+            l.add_wire(i, i + 1, 0);
+        }
+        l.add_wire(0, k - 1, 1);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::ring::ring;
+
+    #[test]
+    fn two_tracks_for_rings() {
+        for k in 3..12 {
+            let l = ring_collinear(k);
+            l.assert_valid();
+            assert_eq!(l.tracks(), 2, "k={k}");
+            assert_eq!(l.edge_multiset(), ring(k).edge_multiset());
+        }
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        let l = ring_collinear(2);
+        l.assert_valid();
+        assert_eq!(l.tracks(), 1);
+        assert_eq!(l.edge_multiset(), ring(2).edge_multiset());
+        let l = ring_collinear(1);
+        assert_eq!(l.tracks(), 0);
+    }
+
+    #[test]
+    fn max_span_is_whole_row() {
+        let l = ring_collinear(8);
+        assert_eq!(l.max_span(), 7);
+    }
+}

@@ -1,0 +1,246 @@
+//! The collinear layout data structure and its validity rules.
+
+use mlv_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// One wire of a collinear layout: it spans the slot interval
+/// `[lo, hi]` in the given track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanWire {
+    /// Left slot (inclusive), `lo < hi`.
+    pub lo: usize,
+    /// Right slot (inclusive).
+    pub hi: usize,
+    /// Track index (0-based; track 0 is closest to the node row).
+    pub track: usize,
+}
+
+/// A collinear layout: network nodes in a row of *slots* with wires in
+/// horizontal tracks above the row.
+///
+/// Validity (checked by [`CollinearLayout::validate`]):
+///
+/// * `node_at_slot` is a permutation of the network's node ids;
+/// * every wire has `lo < hi` within the slot range;
+/// * within each track, wires may only *touch* at shared slots — their
+///   open intervals are pairwise disjoint. (Two wires meeting at a slot
+///   attach to distinct terminals of that node when the layout is
+///   realized on the grid, exactly as in the paper's ring layout where
+///   all k−1 adjacent links share track 1.)
+#[derive(Clone, Debug)]
+pub struct CollinearLayout {
+    /// Human-readable name.
+    pub name: String,
+    /// Which network node occupies each slot (left to right).
+    pub node_at_slot: Vec<NodeId>,
+    /// The routed wires.
+    pub wires: Vec<SpanWire>,
+}
+
+/// A validity violation in a collinear layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrackError {
+    /// `node_at_slot` repeats or skips node ids.
+    NotAPermutation,
+    /// A wire's slots are out of range or reversed.
+    BadSpan(SpanWire),
+    /// Two wires in the same track overlap in more than a touching slot.
+    Overlap(SpanWire, SpanWire),
+}
+
+impl CollinearLayout {
+    /// Create a layout with the given slot order and no wires.
+    pub fn new(name: impl Into<String>, node_at_slot: Vec<NodeId>) -> Self {
+        CollinearLayout {
+            name: name.into(),
+            node_at_slot,
+            wires: Vec::new(),
+        }
+    }
+
+    /// Number of node slots.
+    pub fn slot_count(&self) -> usize {
+        self.node_at_slot.len()
+    }
+
+    /// Number of tracks used (max track index + 1; 0 when wireless).
+    pub fn tracks(&self) -> usize {
+        self.wires.iter().map(|w| w.track + 1).max().unwrap_or(0)
+    }
+
+    /// Longest wire span in slots.
+    pub fn max_span(&self) -> usize {
+        self.wires.iter().map(|w| w.hi - w.lo).max().unwrap_or(0)
+    }
+
+    /// Slot of a given network node. O(n); build your own inverse for
+    /// hot paths.
+    pub fn slot_of(&self, node: NodeId) -> Option<usize> {
+        self.node_at_slot.iter().position(|&x| x == node)
+    }
+
+    /// Inverse of `node_at_slot`: `slot_index[node] = slot`.
+    pub fn slot_index(&self) -> Vec<usize> {
+        let mut inv = vec![usize::MAX; self.node_at_slot.len()];
+        for (slot, &node) in self.node_at_slot.iter().enumerate() {
+            inv[node as usize] = slot;
+        }
+        inv
+    }
+
+    /// Add a wire (canonicalizes `lo <= hi`).
+    pub fn add_wire(&mut self, a: usize, b: usize, track: usize) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.wires.push(SpanWire { lo, hi, track });
+    }
+
+    /// The multiset of wire endpoint pairs as *node ids* (canonical
+    /// order), for verification against `Graph::edge_multiset`.
+    pub fn edge_multiset(&self) -> BTreeMap<(NodeId, NodeId), usize> {
+        let mut m = BTreeMap::new();
+        for w in &self.wires {
+            let (a, b) = (self.node_at_slot[w.lo], self.node_at_slot[w.hi]);
+            let key = if a <= b { (a, b) } else { (b, a) };
+            *m.entry(key).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Check all validity rules.
+    pub fn validate(&self) -> Result<(), TrackError> {
+        // permutation check
+        let n = self.node_at_slot.len();
+        let mut seen = vec![false; n];
+        for &x in &self.node_at_slot {
+            if (x as usize) >= n || seen[x as usize] {
+                return Err(TrackError::NotAPermutation);
+            }
+            seen[x as usize] = true;
+        }
+        // span checks
+        for &w in &self.wires {
+            if w.lo >= w.hi || w.hi >= n {
+                return Err(TrackError::BadSpan(w));
+            }
+        }
+        // per-track open-interval disjointness
+        let mut by_track: BTreeMap<usize, Vec<SpanWire>> = BTreeMap::new();
+        for &w in &self.wires {
+            by_track.entry(w.track).or_default().push(w);
+        }
+        for (_, mut ws) in by_track {
+            ws.sort_by_key(|w| (w.lo, w.hi));
+            for pair in ws.windows(2) {
+                if pair[1].lo < pair[0].hi {
+                    return Err(TrackError::Overlap(pair[0], pair[1]));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panic with context if invalid — the standard test assertion.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("collinear layout '{}' invalid: {e:?}", self.name);
+        }
+    }
+
+    /// Per-gap wire load: `load[g]` counts wires whose open interval
+    /// crosses the gap between slots `g` and `g+1`. The maximum load is
+    /// a lower bound on the achievable track count for this slot order.
+    pub fn gap_loads(&self) -> Vec<usize> {
+        let n = self.slot_count();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut delta = vec![0isize; n];
+        for w in &self.wires {
+            delta[w.lo] += 1;
+            delta[w.hi] -= 1;
+        }
+        let mut loads = Vec::with_capacity(n - 1);
+        let mut acc = 0isize;
+        for &d in &delta[..n - 1] {
+            acc += d;
+            loads.push(acc as usize);
+        }
+        loads
+    }
+
+    /// Maximum gap load — the track-count lower bound for this order.
+    pub fn max_load(&self) -> usize {
+        self.gap_loads().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> CollinearLayout {
+        let mut l = CollinearLayout::new("t", vec![0, 1, 2, 3]);
+        l.add_wire(0, 1, 0);
+        l.add_wire(1, 2, 0);
+        l.add_wire(0, 3, 1);
+        l
+    }
+
+    #[test]
+    fn touching_wires_valid() {
+        let l = simple();
+        assert!(l.validate().is_ok());
+        assert_eq!(l.tracks(), 2);
+        assert_eq!(l.max_span(), 3);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut l = simple();
+        l.add_wire(0, 2, 0); // overlaps both wires in track 0
+        assert!(matches!(l.validate(), Err(TrackError::Overlap(_, _))));
+    }
+
+    #[test]
+    fn bad_span_detected() {
+        let mut l = simple();
+        l.wires.push(SpanWire { lo: 2, hi: 2, track: 3 });
+        assert!(matches!(l.validate(), Err(TrackError::BadSpan(_))));
+        let mut l2 = simple();
+        l2.add_wire(0, 9, 0);
+        assert!(matches!(l2.validate(), Err(TrackError::BadSpan(_))));
+    }
+
+    #[test]
+    fn permutation_checked() {
+        let mut l = simple();
+        l.node_at_slot[2] = 1;
+        assert_eq!(l.validate(), Err(TrackError::NotAPermutation));
+    }
+
+    #[test]
+    fn edge_multiset_uses_node_ids() {
+        let mut l = CollinearLayout::new("perm", vec![2, 0, 1]);
+        l.add_wire(0, 2, 0); // slots 0 and 2 = nodes 2 and 1
+        let m = l.edge_multiset();
+        assert_eq!(m.get(&(1, 2)), Some(&1));
+    }
+
+    #[test]
+    fn gap_loads_and_lower_bound() {
+        let l = simple();
+        // gaps: 0-1: wires (0,1) and (0,3) -> 2; 1-2: (1,2),(0,3) -> 2;
+        // 2-3: (0,3) -> 1
+        assert_eq!(l.gap_loads(), vec![2, 2, 1]);
+        assert_eq!(l.max_load(), 2);
+        assert!(l.tracks() >= l.max_load());
+    }
+
+    #[test]
+    fn slot_index_inverse() {
+        let l = CollinearLayout::new("perm", vec![2, 0, 1]);
+        assert_eq!(l.slot_index(), vec![1, 2, 0]);
+        assert_eq!(l.slot_of(2), Some(0));
+        assert_eq!(l.slot_of(5), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) for collinear layouts: greedy
+//! colouring optimality, construction validity across parameters, and
+//! order-change invariants.
+
+use mlv_collinear::complete::complete_collinear;
+use mlv_collinear::folded::{fold_outer_groups, folded_sequence, reorder_and_recolor};
+use mlv_collinear::genhyper::{genhyper_collinear, genhyper_track_count};
+use mlv_collinear::hypercube::{hypercube_collinear, hypercube_track_count};
+use mlv_collinear::interval::{color_intervals, max_load};
+use mlv_collinear::karyn::{kary_collinear, kary_track_count};
+use mlv_collinear::track::CollinearLayout;
+use proptest::prelude::*;
+
+proptest! {
+    /// Greedy interval colouring is optimal: tracks used == max gap
+    /// load, and the result validates.
+    #[test]
+    fn greedy_is_optimal(
+        spans_raw in prop::collection::vec((0usize..40, 0usize..40), 1..80)
+    ) {
+        let spans: Vec<(usize, usize)> = spans_raw
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        prop_assume!(!spans.is_empty());
+        let wires = color_intervals(&spans);
+        let mut l = CollinearLayout::new("t", (0..41u32).collect());
+        l.wires = wires;
+        l.assert_valid();
+        prop_assert_eq!(l.tracks(), max_load(&spans));
+    }
+
+    /// The k-ary construction matches its closed form and the torus
+    /// topology for every (k, n) in range.
+    #[test]
+    fn kary_construction_sound(k in 3usize..6, n in 1usize..4) {
+        let l = kary_collinear(k, n);
+        l.assert_valid();
+        prop_assert_eq!(l.tracks(), kary_track_count(k, n));
+        prop_assert_eq!(
+            l.edge_multiset(),
+            mlv_topology::karyn::KaryNCube::torus(k, n).graph.edge_multiset()
+        );
+    }
+
+    /// The hypercube construction hits ⌊2N/3⌋ for every n.
+    #[test]
+    fn hypercube_construction_sound(n in 1usize..10) {
+        let l = hypercube_collinear(n);
+        l.assert_valid();
+        prop_assert_eq!(l.tracks(), hypercube_track_count(n));
+        prop_assert_eq!(
+            l.edge_multiset(),
+            mlv_topology::hypercube::hypercube(n).edge_multiset()
+        );
+    }
+
+    /// The GHC construction matches its recurrence for random radix
+    /// vectors.
+    #[test]
+    fn ghc_construction_sound(radices in prop::collection::vec(2usize..5, 1..4)) {
+        prop_assume!(radices.iter().product::<usize>() <= 256);
+        let l = genhyper_collinear(&radices);
+        l.assert_valid();
+        prop_assert_eq!(l.tracks(), genhyper_track_count(&radices));
+        prop_assert_eq!(
+            l.edge_multiset(),
+            mlv_topology::genhyper::GeneralizedHypercube::new(radices.clone())
+                .graph
+                .edge_multiset()
+        );
+    }
+
+    /// Reordering preserves the edge multiset, stays valid, and the
+    /// recoloured track count equals the new order's load bound.
+    #[test]
+    fn reorder_preserves_edges(k in 3usize..6, seed in 0u64..1000) {
+        let base = kary_collinear(k, 2);
+        // pseudo-random permutation of the slots
+        let n = base.slot_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let re = reorder_and_recolor(&base, &perm);
+        re.assert_valid();
+        prop_assert_eq!(re.edge_multiset(), base.edge_multiset());
+        prop_assert_eq!(re.tracks(), re.max_load());
+    }
+
+    /// Folded sequences are permutations placing consecutive groups at
+    /// distance ≤ 2 (wrap pair included).
+    #[test]
+    fn folded_sequence_is_short_permutation(g in 1usize..40) {
+        let seq = folded_sequence(g);
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g).collect::<Vec<_>>());
+        let mut pos = vec![0usize; g];
+        for (p, &grp) in seq.iter().enumerate() {
+            pos[grp] = p;
+        }
+        for i in 0..g.saturating_sub(1) {
+            prop_assert!(pos[i].abs_diff(pos[i + 1]) <= 2);
+        }
+        if g >= 2 {
+            prop_assert!(pos[0].abs_diff(pos[g - 1]) <= 2);
+        }
+    }
+
+    /// Folding the outer digit never lengthens the longest ring wire of
+    /// the outer dimension beyond 2 group widths and preserves edges.
+    #[test]
+    fn folding_preserves_and_shortens(k in 4usize..8) {
+        let base = kary_collinear(k, 2);
+        let folded = fold_outer_groups(&base, k);
+        folded.assert_valid();
+        prop_assert_eq!(folded.edge_multiset(), base.edge_multiset());
+        prop_assert!(folded.max_span() <= 2 * k);
+    }
+
+    /// Complete-graph layouts are strictly optimal for every N.
+    #[test]
+    fn complete_strictly_optimal(n in 2usize..24) {
+        let l = complete_collinear(n);
+        l.assert_valid();
+        prop_assert_eq!(l.tracks(), n * n / 4);
+        prop_assert_eq!(l.max_load(), n * n / 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Known bisection widths (exact or standard leading terms) for the
+//! paper's network families. These feed the layout lower bounds in
+//! [`crate::bounds`]; small instances are cross-checked against
+//! exhaustive search in the tests.
+
+/// Bisection width of the N-node complete graph: `⌈N/2⌉·⌊N/2⌋`.
+pub fn complete(n: usize) -> usize {
+    (n / 2) * n.div_ceil(2)
+}
+
+/// Bisection width of the n-dimensional hypercube: `N/2 = 2ⁿ⁻¹`.
+pub fn hypercube(n: usize) -> usize {
+    1usize << (n - 1)
+}
+
+/// Bisection width of the folded n-cube: the hypercube's `N/2` plus the
+/// `N/2` diameter links all crossing the complement cut ⇒ `N`... more
+/// precisely the standard value `2ⁿ` (cube cut `2ⁿ⁻¹` + diameter links
+/// `2ⁿ⁻¹`).
+pub fn folded_hypercube(n: usize) -> usize {
+    1usize << n
+}
+
+/// Bisection width of the k-ary n-cube (torus), even `k ≥ 4`:
+/// `2·kⁿ⁻¹` (cutting one dimension severs two links — forward and
+/// wraparound — per digit line).
+pub fn karyn(k: usize, n: usize) -> usize {
+    2 * k.pow(n as u32 - 1)
+}
+
+/// Bisection width of the fixed-radix generalized hypercube: cutting
+/// one dimension in half severs `(r/2)·(r−r/2)` links per digit line,
+/// with `N/r` lines ⇒ `≈ N·r/4`.
+pub fn genhyper(r: usize, n: usize) -> usize {
+    let lines = r.pow(n as u32 - 1);
+    lines * (r / 2) * r.div_ceil(2)
+}
+
+/// Standard leading term for the wrapped butterfly with `R = 2^m` rows:
+/// `Θ(R)`; we use the common `2R` figure (each of the R rows is cut once
+/// in each wrap direction).
+pub fn butterfly_wrapped(m: usize) -> usize {
+    2 * (1usize << m)
+}
+
+/// Standard leading term for CCC(n): the cube links dominate, giving
+/// `≈ 2ⁿ⁻¹` (half of one dimension's cube links).
+pub fn ccc(n: usize) -> usize {
+    1usize << (n - 1)
+}
+
+/// HSN over an r-nucleus with l levels (`N = r^l`): cutting the top
+/// dimension severs one link per cluster pair across the cut,
+/// `(r/2)·⌈r/2⌉` pairs per top-digit line × `N/r²` lines ⇒ `≈ N/4`.
+pub fn hsn(r: usize, levels: usize) -> usize {
+    let lines = r.pow(levels as u32 - 2); // top-dimension digit lines of clusters
+    lines * (r / 2) * r.div_ceil(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlv_topology::prelude::*;
+
+    #[test]
+    fn complete_matches_exact() {
+        for n in 2..10 {
+            let g = mlv_topology::complete::complete(n);
+            assert_eq!(g.exact_bisection(16), Some(complete(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn hypercube_matches_exact() {
+        for n in 1..5 {
+            let g = mlv_topology::hypercube::hypercube(n);
+            assert_eq!(g.exact_bisection(16), Some(hypercube(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn torus_matches_exact_small() {
+        let g = mlv_topology::karyn::KaryNCube::torus(4, 2).graph;
+        assert_eq!(g.exact_bisection(16), Some(karyn(4, 2)));
+    }
+
+    #[test]
+    fn ghc_matches_exact_small() {
+        let g = mlv_topology::genhyper::GeneralizedHypercube::fixed(4, 2).graph;
+        assert_eq!(g.exact_bisection(16), Some(genhyper(4, 2)));
+    }
+
+    #[test]
+    fn folded_hypercube_matches_exact_small() {
+        let g = mlv_topology::variants::folded_hypercube(3);
+        assert_eq!(g.exact_bisection(8), Some(folded_hypercube(3)));
+    }
+
+    #[test]
+    fn hsn_cut_is_achievable() {
+        // the numbering cut along the top digit achieves the formula
+        let nucleus = mlv_topology::complete::complete(4);
+        let h = mlv_topology::hsn::Hsn::new(3, &nucleus);
+        assert_eq!(h.graph.numbering_cut_width() , {
+            // numbering cut = top-digit halving cut: formula value plus
+            // intra-cluster/nucleus links crossing (none: clusters are
+            // contiguous in the numbering)
+            hsn(4, 3)
+        });
+    }
+
+    #[test]
+    fn butterfly_figures_are_plausible() {
+        // sanity: the numbering cut is within 2x of the 2R figure
+        let bf = mlv_topology::butterfly::Butterfly::wrapped(4);
+        let cut = bf.graph.numbering_cut_width();
+        let formula = butterfly_wrapped(4);
+        assert!(cut <= 2 * formula && formula <= 4 * cut, "cut={cut}");
+    }
+}

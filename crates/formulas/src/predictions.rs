@@ -1,0 +1,279 @@
+//! Leading-term predictions, one function per paper section.
+//!
+//! Conventions:
+//! * `l` is the number of wiring layers; even and odd `l` get the
+//!   paper's respective formulas (`L²` vs `L²−1` in denominators).
+//! * `max_wire` is `None` where the paper only gives an order bound
+//!   (k-ary n-cubes: `O(N/(Lk²))`).
+//! * `max_routed` is the "maximum total length of wires along a shortest
+//!   routing path" (paper §1 claim 4), given where the paper states it.
+
+/// Leading-term prediction for one (network, L) configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Layout area leading term.
+    pub area: f64,
+    /// Layout volume leading term (`L ×` area by the paper's definition).
+    pub volume: f64,
+    /// Maximum wire length leading term, when the paper states one.
+    pub max_wire: Option<f64>,
+    /// Maximum routed-path wire length leading term, when stated.
+    pub max_routed: Option<f64>,
+}
+
+/// Effective squared-layer factor: `L²` for even L, `L²−1` for odd L
+/// (odd L leaves one layer unpaired, exactly as in the paper's odd-L
+/// area formulas).
+fn l2_eff(l: usize) -> f64 {
+    let lf = l as f64;
+    if l.is_multiple_of(2) {
+        lf * lf
+    } else {
+        lf * lf - 1.0
+    }
+}
+
+/// §3.1 — k-ary n-cube with `N = kⁿ` nodes on `l` layers:
+/// area `16N²/(L²k²)`, volume `16N²/(Lk²)`, max wire `O(N/(Lk²))`
+/// (order only; `max_wire` is `None`).
+pub fn karyn(k: usize, n: usize, l: usize) -> Prediction {
+    let nn = (k as f64).powi(n as i32);
+    let k2 = (k * k) as f64;
+    let area = 16.0 * nn * nn / (l2_eff(l) * k2);
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: None,
+        max_routed: None,
+    }
+}
+
+/// §3.1's order bound for the folded k-ary n-cube maximum wire length,
+/// `c·N/(Lk²)` with the constant left free by the paper; we expose the
+/// scale `N/(Lk²)` so harnesses can report the measured constant.
+pub fn karyn_max_wire_scale(k: usize, n: usize, l: usize) -> f64 {
+    let nn = (k as f64).powi(n as i32);
+    nn / (l as f64 * (k * k) as f64)
+}
+
+/// §3.2's mesh extension — k-ary n-mesh: per-dimension tracks halve
+/// (`(kⁿ−1)/(k−1)` vs `2(kⁿ−1)/(k−1)`), so both sides halve and the
+/// area is a quarter of the torus': `4N²/(L²k²)`.
+pub fn karyn_mesh(k: usize, n: usize, l: usize) -> Prediction {
+    let torus = karyn(k, n, l);
+    Prediction {
+        area: torus.area / 4.0,
+        volume: torus.volume / 4.0,
+        max_wire: None,
+        max_routed: None,
+    }
+}
+
+/// §4.1 — n-dimensional radix-r generalized hypercube (`N = rⁿ`):
+/// area `r²N²/(4L²)`, volume `r²N²/(4L)`, max wire `rN/(2L)`,
+/// max routed-path `rN/L`.
+pub fn genhyper(r: usize, n: usize, l: usize) -> Prediction {
+    let nn = (r as f64).powi(n as i32);
+    let r2 = (r * r) as f64;
+    let area = r2 * nn * nn / (4.0 * l2_eff(l));
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: Some(r as f64 * nn / (2.0 * l as f64)),
+        max_routed: Some(r as f64 * nn / l as f64),
+    }
+}
+
+/// §4.2 — N-node butterfly: area `4N²/(L²·log₂²N)`, volume
+/// `4N²/(L·log₂²N)`, max wire `2N/(L·log₂N)`.
+pub fn butterfly(n_nodes: usize, l: usize) -> Prediction {
+    let nn = n_nodes as f64;
+    let lg = nn.log2();
+    let area = 4.0 * nn * nn / (l2_eff(l) * lg * lg);
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: Some(2.0 * nn / (l as f64 * lg)),
+        max_routed: None,
+    }
+}
+
+/// §4.3 — N-node hierarchical swap network (nucleus size r not a
+/// constant): area `N²/(4L²)`, volume `N²/(4L)`, max wire `N/(2L)`,
+/// max routed-path `N/L`. HHNs share these numbers.
+pub fn hsn(n_nodes: usize, l: usize) -> Prediction {
+    let nn = n_nodes as f64;
+    let area = nn * nn / (4.0 * l2_eff(l));
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: Some(nn / (2.0 * l as f64)),
+        max_routed: Some(nn / l as f64),
+    }
+}
+
+/// §4.3 — N-node indirect swap network: area and volume a factor ≈ 4
+/// below the same-size butterfly, wire lengths a factor ≈ 2 below.
+pub fn isn(n_nodes: usize, l: usize) -> Prediction {
+    let b = butterfly(n_nodes, l);
+    Prediction {
+        area: b.area / 4.0,
+        volume: b.volume / 4.0,
+        max_wire: b.max_wire.map(|w| w / 2.0),
+        max_routed: None,
+    }
+}
+
+/// §5.1 — N-node hypercube: area `16N²/(9L²)`, volume `16N²/(9L)`
+/// (the paper's §5.1 prints `9L²` for the volume too, but volume is
+/// `L·area` by its own §2.2 definition — we use `16N²/(9L)`), max wire
+/// `2N/(3L)`.
+pub fn hypercube(n_nodes: usize, l: usize) -> Prediction {
+    let nn = n_nodes as f64;
+    let area = 16.0 * nn * nn / (9.0 * l2_eff(l));
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: Some(2.0 * nn / (3.0 * l as f64)),
+        max_routed: None,
+    }
+}
+
+/// §5.2 — N-node CCC (`N = n·2ⁿ`): area `16N²/(9L²·log₂²N)`. Reduced
+/// hypercubes share the formula.
+pub fn ccc(n_nodes: usize, l: usize) -> Prediction {
+    let nn = n_nodes as f64;
+    let lg = nn.log2();
+    let area = 16.0 * nn * nn / (9.0 * l2_eff(l) * lg * lg);
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: None,
+        max_routed: None,
+    }
+}
+
+/// §5.3 — N-node folded hypercube: the hypercube layout plus `N/2`
+/// diameter links needing ≤ N/2 extra tracks each way:
+/// side `7N/(3L)`, area `49N²/(9L²)`.
+pub fn folded_hypercube(n_nodes: usize, l: usize) -> Prediction {
+    let nn = n_nodes as f64;
+    let area = 49.0 * nn * nn / (9.0 * l2_eff(l));
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: Some(7.0 * nn / (3.0 * l as f64)),
+        max_routed: None,
+    }
+}
+
+/// §5.3 — N-node enhanced cube: `N` extra links, side `10N/(3L)`,
+/// area `100N²/(9L²)`.
+pub fn enhanced_cube(n_nodes: usize, l: usize) -> Prediction {
+    let nn = n_nodes as f64;
+    let area = 100.0 * nn * nn / (9.0 * l2_eff(l));
+    Prediction {
+        area,
+        volume: l as f64 * area,
+        max_wire: Some(10.0 * nn / (3.0 * l as f64)),
+        max_routed: None,
+    }
+}
+
+/// §2.2 — the model-comparison ratios of the paper's introduction:
+/// going from 2 to `l` layers, the direct multilayer redesign divides
+/// the area by `l²/4` (even l), the folded-Thompson baseline only by
+/// `l/2`, and the multilayer-collinear baseline by at most `l/2`.
+pub fn model_area_gain_direct(l: usize) -> f64 {
+    l2_eff(l) / 4.0
+}
+
+/// §2.2 — area gain of the folded baseline: `l/2`.
+pub fn model_area_gain_folded(l: usize) -> f64 {
+    l as f64 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_odd_layer_factor() {
+        assert_eq!(l2_eff(4), 16.0);
+        assert_eq!(l2_eff(5), 24.0);
+        assert_eq!(l2_eff(2), 4.0);
+    }
+
+    #[test]
+    fn karyn_scales_as_l_squared() {
+        let a2 = karyn(8, 2, 2);
+        let a8 = karyn(8, 2, 8);
+        assert!((a2.area / a8.area - 16.0).abs() < 1e-9);
+        assert!((a2.volume / a8.volume - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypercube_thompson_matches_known_constant() {
+        // L = 2: area = 16N²/36 = 4N²/9 (the known 2-layer figure from
+        // Yeh et al. FMPC'99)
+        let p = hypercube(64, 2);
+        assert!((p.area - 4.0 * 64.0 * 64.0 / 9.0).abs() < 1e-9);
+        assert_eq!(p.max_wire, Some(2.0 * 64.0 / 6.0));
+    }
+
+    #[test]
+    fn ghc_prediction_shape() {
+        let p = genhyper(4, 3, 4);
+        let n = 64.0;
+        assert!((p.area - 16.0 * n * n / (4.0 * 16.0)).abs() < 1e-9);
+        assert_eq!(p.max_routed, Some(4.0 * n / 4.0));
+    }
+
+    #[test]
+    fn isn_is_quarter_butterfly() {
+        let b = butterfly(1024, 4);
+        let i = isn(1024, 4);
+        assert!((b.area / i.area - 4.0).abs() < 1e-9);
+        assert!((b.max_wire.unwrap() / i.max_wire.unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_and_enhanced_side_ratios() {
+        let h = hypercube(256, 2);
+        let f = folded_hypercube(256, 2);
+        let e = enhanced_cube(256, 2);
+        // sides 2N/3L : 7N/3L : 10N/3L => areas 16:49:100 over 9L²...
+        assert!((f.area / h.area - 49.0 / 16.0).abs() < 1e-9);
+        assert!((e.area / h.area - 100.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_gains() {
+        assert_eq!(model_area_gain_direct(8), 16.0);
+        assert_eq!(model_area_gain_folded(8), 4.0);
+        // direct beats folded for every L > 2
+        for l in (4..20).step_by(2) {
+            assert!(model_area_gain_direct(l) > model_area_gain_folded(l));
+        }
+        assert_eq!(model_area_gain_direct(2), model_area_gain_folded(2));
+    }
+
+    #[test]
+    fn volume_is_l_times_area_everywhere() {
+        for l in 2..9 {
+            for p in [
+                karyn(4, 3, l),
+                genhyper(3, 3, l),
+                butterfly(640, l),
+                hsn(625, l),
+                isn(768, l),
+                hypercube(128, l),
+                ccc(192, l),
+                folded_hypercube(64, l),
+                enhanced_cube(64, l),
+            ] {
+                assert!((p.volume - l as f64 * p.area).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Legality checking for multilayer grid layouts.
+//!
+//! A layout is **legal** (paper §2.2) when:
+//!
+//! 1. every wire stays within the layer budget `0 ≤ z < L` and uses only
+//!    axis-aligned segments;
+//! 2. node footprints are pairwise disjoint rectangles on their active
+//!    layers (nodes on *different* active layers may share planar
+//!    coordinates — the multilayer 3-D grid model);
+//! 3. wire paths are **node-disjoint**: no grid point is used by two
+//!    wires (this subsumes edge-disjointness), and no wire revisits a
+//!    point;
+//! 4. each wire starts at a grid point of its `u` endpoint's footprint
+//!    and ends at one of its `v` endpoint's footprint, on those nodes'
+//!    active layers;
+//! 5. a wire's points never pass through the footprint (at its active
+//!    layer) of a node other than its two endpoints (wires may run
+//!    *above or below* nodes on other layers);
+//! 6. optionally, the multiset of wire endpoint pairs equals the edge
+//!    multiset of a reference graph — the layout realizes exactly that
+//!    network.
+//!
+//! Checking is data-parallel over wires (rayon): per-wire validation
+//! first, then a parallel sort of all occupied grid points to detect
+//! cross-wire conflicts.
+
+use crate::geom::Point3;
+use crate::hasher::FxBuildHasher;
+use crate::layout::Layout;
+use mlv_topology::{Graph, NodeId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A single legality violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// Wire `wire` leaves the layer budget at the given point.
+    LayerOutOfRange {
+        /// Index into `layout.wires`.
+        wire: usize,
+        /// The offending point.
+        point: Point3,
+    },
+    /// Wire `wire` has a non-rectilinear or self-intersecting path.
+    BadPath {
+        /// Index into `layout.wires`.
+        wire: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two node footprints overlap.
+    NodeOverlap {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+    /// Wire endpoint does not touch the declared node's footprint.
+    BadTerminal {
+        /// Index into `layout.wires`.
+        wire: usize,
+        /// The network node the terminal should touch.
+        node: NodeId,
+        /// Where the wire actually starts/ends.
+        point: Point3,
+    },
+    /// Two wires share a grid point.
+    WireConflict {
+        /// First wire index.
+        a: usize,
+        /// Second wire index.
+        b: usize,
+        /// The shared point.
+        point: Point3,
+    },
+    /// A wire's active-layer point lies inside a foreign node footprint.
+    WireThroughNode {
+        /// Index into `layout.wires`.
+        wire: usize,
+        /// The node whose footprint is violated.
+        node: NodeId,
+        /// The offending point.
+        point: Point3,
+    },
+    /// A node referenced by a wire has no placement.
+    MissingNode {
+        /// The unplaced node.
+        node: NodeId,
+    },
+    /// The wire multiset does not match the reference graph.
+    TopologyMismatch {
+        /// Description of the first difference found.
+        detail: String,
+    },
+}
+
+/// Result of a legality check.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// All violations found (capped at [`CheckReport::ERROR_CAP`]).
+    pub errors: Vec<CheckError>,
+    /// Total grid points occupied by wires.
+    pub wire_points: u64,
+    /// Total grid points occupied by node footprints.
+    pub node_points: u64,
+}
+
+impl CheckReport {
+    /// Maximum number of errors retained.
+    pub const ERROR_CAP: usize = 64;
+
+    /// `true` when the layout is legal.
+    pub fn is_legal(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Check a layout; if `reference` is given, additionally verify the
+/// layout realizes exactly that graph.
+///
+/// ```
+/// use mlv_grid::{checker, Layout, Rect, WirePath, Point3};
+/// let mut l = Layout::new("pair", 2);
+/// l.place_node(0, Rect::new(0, 0, 0, 0));
+/// l.place_node(1, Rect::new(4, 0, 4, 0));
+/// l.add_wire(0, 1, WirePath::new(vec![Point3::new(0, 0, 0), Point3::new(4, 0, 0)]));
+/// assert!(checker::check(&l, None).is_legal());
+/// ```
+pub fn check(layout: &Layout, reference: Option<&Graph>) -> CheckReport {
+    let mut errors: Vec<CheckError> = Vec::new();
+    let cap = CheckReport::ERROR_CAP;
+
+    // --- node footprints: pairwise disjoint ---
+    let mut rects: Vec<(usize, &crate::layout::NodePlacement)> =
+        layout.nodes.iter().enumerate().collect();
+    rects.sort_by_key(|(_, n)| (n.layer, n.rect.x0));
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            if rects[j].1.layer != rects[i].1.layer || rects[j].1.rect.x0 > rects[i].1.rect.x1 {
+                break;
+            }
+            if rects[i].1.rect.intersects(&rects[j].1.rect) {
+                errors.push(CheckError::NodeOverlap {
+                    a: rects[i].1.node,
+                    b: rects[j].1.node,
+                });
+                if errors.len() >= cap {
+                    return finish(layout, errors);
+                }
+            }
+        }
+    }
+
+    // footprint point index for terminal / pass-through checks, keyed
+    // with the active layer (3-D model: stacked nodes are distinct)
+    let mut fp: HashMap<(i64, i64, i32), NodeId, FxBuildHasher> = HashMap::default();
+    for n in &layout.nodes {
+        for x in n.rect.x0..=n.rect.x1 {
+            for y in n.rect.y0..=n.rect.y1 {
+                fp.insert((x, y, n.layer), n.node);
+            }
+        }
+    }
+    let placed: HashMap<NodeId, i32, FxBuildHasher> =
+        layout.nodes.iter().map(|n| (n.node, n.layer)).collect();
+
+    // --- per-wire validation (parallel) ---
+    let layers = layout.layers as i32;
+    let per_wire: Vec<Vec<CheckError>> = layout
+        .wires
+        .par_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut errs = Vec::new();
+            if let Err(e) = w.path.validate() {
+                errs.push(CheckError::BadPath {
+                    wire: i,
+                    reason: format!("{e:?}"),
+                });
+                return errs; // point iteration unsafe on broken paths
+            }
+            for c in w.path.corners() {
+                if c.z < 0 || c.z >= layers {
+                    errs.push(CheckError::LayerOutOfRange { wire: i, point: *c });
+                }
+            }
+            for (node, pt) in [(w.u, w.path.start()), (w.v, w.path.end())] {
+                match placed.get(&node) {
+                    None => errs.push(CheckError::MissingNode { node }),
+                    Some(&layer) => {
+                        if pt.z != layer || fp.get(&(pt.x, pt.y, layer)) != Some(&node) {
+                            errs.push(CheckError::BadTerminal {
+                                wire: i,
+                                node,
+                                point: pt,
+                            });
+                        }
+                    }
+                }
+            }
+            // active-layer points may only touch own endpoints' footprints
+            for p in w.path.points() {
+                if let Some(&owner) = fp.get(&(p.x, p.y, p.z)) {
+                    if owner != w.u && owner != w.v {
+                        errs.push(CheckError::WireThroughNode {
+                            wire: i,
+                            node: owner,
+                            point: p,
+                        });
+                    }
+                }
+            }
+            errs
+        })
+        .collect();
+    for mut e in per_wire {
+        errors.append(&mut e);
+        if errors.len() >= cap {
+            errors.truncate(cap);
+            return finish(layout, errors);
+        }
+    }
+
+    // --- cross-wire point disjointness (parallel sort) ---
+    let mut occupancy: Vec<(Point3, u32)> = layout
+        .wires
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(i, w)| w.path.points().map(move |p| (p, i as u32)))
+        .collect();
+    occupancy.par_sort_unstable();
+    for pair in occupancy.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            errors.push(CheckError::WireConflict {
+                a: pair[0].1 as usize,
+                b: pair[1].1 as usize,
+                point: pair[0].0,
+            });
+            if errors.len() >= cap {
+                return finish(layout, errors);
+            }
+        }
+    }
+
+    // --- topology verification ---
+    if let Some(g) = reference {
+        if layout.nodes.len() != g.node_count() {
+            errors.push(CheckError::TopologyMismatch {
+                detail: format!(
+                    "{} nodes placed, graph has {}",
+                    layout.nodes.len(),
+                    g.node_count()
+                ),
+            });
+        }
+        let wires = layout.wire_multiset();
+        let edges = g.edge_multiset();
+        if wires != edges {
+            let detail = wires
+                .iter()
+                .find(|(k, v)| edges.get(k) != Some(v))
+                .map(|(k, v)| {
+                    format!(
+                        "pair {k:?}: {v} wire(s) vs {} edge(s)",
+                        edges.get(k).copied().unwrap_or(0)
+                    )
+                })
+                .or_else(|| {
+                    edges
+                        .iter()
+                        .find(|(k, _)| !wires.contains_key(k))
+                        .map(|(k, v)| format!("pair {k:?}: 0 wires vs {v} edge(s)"))
+                })
+                .unwrap_or_else(|| "multiset mismatch".to_string());
+            errors.push(CheckError::TopologyMismatch { detail });
+        }
+    }
+
+    finish(layout, errors)
+}
+
+fn finish(layout: &Layout, errors: Vec<CheckError>) -> CheckReport {
+    let wire_points: u64 = layout
+        .wires
+        .par_iter()
+        .map(|w| w.path.length() + 1)
+        .sum();
+    let node_points: u64 = layout.nodes.iter().map(|n| n.rect.point_count()).sum();
+    CheckReport {
+        errors,
+        wire_points,
+        node_points,
+    }
+}
+
+/// Panic with a readable message if the layout is illegal — the standard
+/// assertion used across the test suites.
+pub fn assert_legal(layout: &Layout, reference: Option<&Graph>) {
+    let report = check(layout, reference);
+    assert!(
+        report.is_legal(),
+        "layout '{}' illegal; first errors: {:#?}",
+        layout.name,
+        &report.errors[..report.errors.len().min(5)]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::path::WirePath;
+    use mlv_topology::GraphBuilder;
+
+    fn two_nodes() -> Layout {
+        let mut l = Layout::new("pair", 2);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(5, 0, 6, 1));
+        l
+    }
+
+    fn p(x: i64, y: i64, z: i32) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn legal_simple_wire() {
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        let r = check(&l, None);
+        assert!(r.is_legal(), "{:?}", r.errors);
+        assert_eq!(r.wire_points, 5);
+        assert_eq!(r.node_points, 8);
+    }
+
+    #[test]
+    fn detects_layer_overflow() {
+        let mut l = two_nodes();
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 0, 0), p(1, 0, 2), p(5, 0, 2), p(5, 0, 0)]),
+        );
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::LayerOutOfRange { .. })));
+    }
+
+    #[test]
+    fn detects_node_overlap() {
+        let mut l = two_nodes();
+        l.place_node(2, Rect::new(1, 1, 2, 2));
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::NodeOverlap { .. })));
+    }
+
+    #[test]
+    fn detects_bad_terminal() {
+        let mut l = two_nodes();
+        // starts outside node 0's footprint
+        l.add_wire(0, 1, WirePath::new(vec![p(2, 0, 0), p(5, 0, 0)]));
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::BadTerminal { node: 0, .. })));
+    }
+
+    #[test]
+    fn detects_terminal_off_active_layer() {
+        let mut l = two_nodes();
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 0, 1), p(5, 0, 1), p(5, 0, 0)]),
+        );
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::BadTerminal { node: 0, .. })));
+    }
+
+    #[test]
+    fn detects_wire_conflict() {
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 1, 0), p(3, 1, 0), p(3, 0, 0), p(5, 0, 0)]));
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::WireConflict { .. })));
+    }
+
+    #[test]
+    fn crossing_on_different_layers_is_legal() {
+        let mut l = Layout::new("cross", 2);
+        l.place_node(0, Rect::new(0, 5, 0, 5));
+        l.place_node(1, Rect::new(10, 5, 10, 5));
+        l.place_node(2, Rect::new(5, 0, 5, 0));
+        l.place_node(3, Rect::new(5, 10, 5, 10));
+        // horizontal wire on layer 0
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 5, 0), p(10, 5, 0)]));
+        // vertical wire hops to layer 1 to cross
+        l.add_wire(
+            2,
+            3,
+            WirePath::new(vec![p(5, 0, 0), p(5, 0, 1), p(5, 10, 1), p(5, 10, 0)]),
+        );
+        let r = check(&l, None);
+        assert!(r.is_legal(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn detects_wire_through_foreign_node() {
+        let mut l = two_nodes();
+        l.place_node(2, Rect::new(3, 0, 3, 3));
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::WireThroughNode { node: 2, .. })));
+    }
+
+    #[test]
+    fn wire_over_foreign_node_on_upper_layer_is_legal() {
+        let mut l = two_nodes();
+        l.place_node(2, Rect::new(3, 0, 3, 3));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 0, 0), p(1, 0, 1), p(5, 0, 1), p(5, 0, 0)]),
+        );
+        let r = check(&l, None);
+        assert!(r.is_legal(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn detects_missing_node() {
+        let mut l = two_nodes();
+        l.add_wire(0, 9, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        let r = check(&l, None);
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::MissingNode { node: 9 })));
+    }
+
+    #[test]
+    fn topology_verification() {
+        let mut b = GraphBuilder::new("edge", 2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        assert!(check(&l, Some(&g)).is_legal());
+        // extra wire -> mismatch
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 1, 0), p(0, 3, 0), p(6, 3, 0), p(6, 1, 0)]));
+        let r = check(&l, Some(&g));
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::TopologyMismatch { .. })));
+    }
+
+    #[test]
+    fn topology_detects_missing_wire() {
+        let mut b = GraphBuilder::new("edge", 2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let l = two_nodes();
+        let r = check(&l, Some(&g));
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::TopologyMismatch { .. })));
+    }
+}

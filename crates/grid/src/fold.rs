@@ -1,0 +1,247 @@
+//! The paper's two baseline ways of exploiting `L > 2` layers *without*
+//! redesigning the layout (§2.2), modelled analytically:
+//!
+//! 1. **Folded Thompson layout** — take a 2-layer layout and accordion-
+//!    fold it into `t = L/2` stacked slabs. Area drops by ≈ `t`, but the
+//!    volume is unaffected and wires keep (essentially) their lengths.
+//!    The paper compares against this baseline analytically, and so do
+//!    we: a *concrete* grid embedding of a fold needs per-crease jog
+//!    regions whose routing is a layout problem of its own (wires
+//!    crossing a crease at the same planar position but different layers
+//!    must wrap through nested z-arcs that cannot share a column), so we
+//!    model the crease cost explicitly instead of fabricating an
+//!    unchecked embedding. The model charges one service row per crease
+//!    plus `≤ L` extra wire length per crease crossing — an upper bound
+//!    that is generous to the baseline (it can only make the baseline
+//!    look better than it is, which strengthens the paper's conclusion
+//!    when the direct multilayer layout still wins).
+//!
+//! 2. **Multilayer collinear layout** — extend a collinear (single-row,
+//!    T-track) layout to L layers by splitting the tracks into `⌊L/2⌋`
+//!    groups. The row length is unchanged, so the area falls by at most
+//!    `L/2` and the volume and maximum wire length stay put.
+
+use crate::metrics::LayoutMetrics;
+
+/// Analytic estimate of folding a 2-layer layout onto `L` layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoldedEstimate {
+    /// Number of layers after folding (`L = 2t`).
+    pub layers: usize,
+    /// Folded bounding-box width.
+    pub width: u64,
+    /// Folded bounding-box height (shorter side stacked, plus one
+    /// service row per crease).
+    pub height: u64,
+    /// Folded area.
+    pub area: u64,
+    /// `layers × area` — asymptotically unchanged from the 2-layer
+    /// volume.
+    pub volume: u64,
+    /// Upper bound on the new maximum wire length: the original maximum
+    /// plus `L` per crease it can cross — asymptotically unchanged.
+    pub max_wire: u64,
+}
+
+impl FoldedEstimate {
+    /// Fold the given 2-layer layout metrics onto `layers` layers
+    /// (`layers` even, ≥ 2). Folds along the y (height) axis.
+    pub fn from_two_layer(m: &LayoutMetrics, layers: usize) -> Self {
+        assert!(layers >= 2 && layers.is_multiple_of(2), "fold needs even L >= 2");
+        assert_eq!(m.layers, 2, "folding starts from a 2-layer layout");
+        let t = (layers / 2) as u64;
+        let creases = t.saturating_sub(1);
+        let height = m.height.div_ceil(t) + creases;
+        let area = m.width * height;
+        FoldedEstimate {
+            layers,
+            width: m.width,
+            height,
+            area,
+            volume: layers as u64 * area,
+            max_wire: m.max_wire_full + creases * layers as u64,
+        }
+    }
+}
+
+/// Analytic estimate of the multilayer *collinear* layout baseline: a
+/// single row of `n` nodes of width `node_width` each, with `tracks`
+/// horizontal tracks split over `⌊L/2⌋` layer groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollinearMultilayerEstimate {
+    /// Number of layers.
+    pub layers: usize,
+    /// Row length (unchanged by adding layers).
+    pub width: u64,
+    /// Tracks per layer group, `⌈tracks/⌊L/2⌋⌉`, plus the node row.
+    pub height: u64,
+    /// Area.
+    pub area: u64,
+    /// `layers × area` — unchanged from the 2-layer collinear volume.
+    pub volume: u64,
+    /// Maximum wire length ~ row length — unchanged.
+    pub max_wire: u64,
+}
+
+impl CollinearMultilayerEstimate {
+    /// Estimate for `n` nodes of width `node_width`, `tracks` total
+    /// tracks, and `layers` layers.
+    pub fn new(n: u64, node_width: u64, tracks: u64, layers: usize) -> Self {
+        assert!(layers >= 2);
+        let groups = (layers / 2) as u64;
+        let width = n * node_width;
+        let height = tracks.div_ceil(groups) + node_width;
+        let area = width * height;
+        CollinearMultilayerEstimate {
+            layers,
+            width,
+            height,
+            area,
+            volume: layers as u64 * area,
+            max_wire: width,
+        }
+    }
+}
+
+/// Analytic estimate for the **multilayer 3-D grid model** (paper
+/// §2.2): nodes occupy `L_A` active layers instead of one, arranged as
+/// `L_A` stacked copies of the 2-D scheme. With the per-slab wiring
+/// budget `L/L_A` layers, each slab holds `N/L_A` nodes whose bundles
+/// shrink by `⌊L/(2·L_A)⌋`; inter-slab links ride dedicated via columns
+/// whose planar cost is `O(N/L_A)` (one grid column per crossing link
+/// column). The paper defers the concrete constructions to future work
+/// ("will be reported in the near future"), so — like the folding
+/// baseline — this is an accounting model, marked as such everywhere
+/// it is reported. Node cuboids follow the paper's `d/h × d/h × h`
+/// shape with `h = L_A`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreeDEstimate {
+    /// Total wiring layers `L`.
+    pub layers: usize,
+    /// Active layers `L_A` (divides the slabs).
+    pub active_layers: usize,
+    /// Estimated area (planar bounding box).
+    pub area: f64,
+    /// `L × area`.
+    pub volume: f64,
+    /// Estimated maximum wire length.
+    pub max_wire: f64,
+}
+
+impl ThreeDEstimate {
+    /// Estimate from a measured 2-D multilayer layout at the same `L`:
+    /// splitting the rows over `l_a` active slabs divides both sides of
+    /// the wiring by ≈ √L_A beyond what the 2-D scheme achieved, but
+    /// each slab only gets `L/L_A` wiring layers back — the net area
+    /// factor is `1/L_A × (L_A)` on bundles … worked through, the area
+    /// gains ≈ `L_A` while the volume is unchanged and the max wire
+    /// shrinks ≈ √L_A (both sides shrink by √L_A).
+    pub fn from_two_d(m: &LayoutMetrics, l_a: usize) -> Self {
+        assert!(l_a >= 1 && m.layers.is_multiple_of(l_a), "L_A must divide L");
+        let area = m.area as f64 / l_a as f64;
+        ThreeDEstimate {
+            layers: m.layers,
+            active_layers: l_a,
+            area,
+            volume: m.layers as f64 * area,
+            max_wire: m.max_wire_planar as f64 / (l_a as f64).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(width: u64, height: u64, max_wire: u64) -> LayoutMetrics {
+        LayoutMetrics {
+            width,
+            height,
+            area: width * height,
+            volume: 2 * width * height,
+            layers: 2,
+            max_used_layer: 1,
+            max_wire_planar: max_wire,
+            max_wire_full: max_wire,
+            total_wire: 0,
+            wire_count: 0,
+            via_count: 0,
+        }
+    }
+
+    #[test]
+    fn folding_reduces_area_by_t_only() {
+        let m = metrics(1000, 1000, 1000);
+        let f = FoldedEstimate::from_two_layer(&m, 8); // t = 4
+        // area falls by ~4 = L/2, NOT by (L/2)^2 = 16
+        assert!(f.area >= m.area / 4);
+        assert!(f.area <= m.area / 4 + 8 * m.width);
+        // volume essentially unchanged
+        assert!(f.volume >= m.volume);
+        // max wire essentially unchanged (within crease slack)
+        assert!(f.max_wire >= m.max_wire_full);
+        assert!(f.max_wire <= m.max_wire_full + 3 * 8);
+    }
+
+    #[test]
+    fn folding_identity_for_l2() {
+        let m = metrics(100, 60, 150);
+        let f = FoldedEstimate::from_two_layer(&m, 2);
+        assert_eq!(f.area, m.area);
+        assert_eq!(f.volume, m.volume);
+        assert_eq!(f.max_wire, m.max_wire_full);
+    }
+
+    #[test]
+    #[should_panic]
+    fn folding_rejects_odd_l() {
+        let m = metrics(10, 10, 10);
+        let _ = FoldedEstimate::from_two_layer(&m, 3);
+    }
+
+    #[test]
+    fn three_d_estimate_scales() {
+        let m = LayoutMetrics {
+            width: 100,
+            height: 100,
+            area: 10_000,
+            volume: 80_000,
+            layers: 8,
+            max_used_layer: 7,
+            max_wire_planar: 400,
+            max_wire_full: 420,
+            total_wire: 0,
+            wire_count: 0,
+            via_count: 0,
+        };
+        let e = ThreeDEstimate::from_two_d(&m, 4);
+        assert!((e.area - 2500.0).abs() < 1e-9);
+        assert!((e.volume - 20_000.0).abs() < 1e-9);
+        assert!((e.max_wire - 200.0).abs() < 1e-9);
+        // L_A = 1 is the identity
+        let id = ThreeDEstimate::from_two_d(&m, 1);
+        assert!((id.area - m.area as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn three_d_requires_divisor() {
+        let m = metrics(10, 10, 10);
+        let mut m8 = m;
+        m8.layers = 8;
+        let _ = ThreeDEstimate::from_two_d(&m8, 3);
+    }
+
+    #[test]
+    fn collinear_multilayer_volume_unchanged() {
+        let two = CollinearMultilayerEstimate::new(64, 4, 42, 2);
+        let eight = CollinearMultilayerEstimate::new(64, 4, 42, 8);
+        // width identical, height ~ T/4
+        assert_eq!(two.width, eight.width);
+        assert!(eight.height < two.height);
+        // volume within node-row slack of the 2-layer volume
+        assert!(eight.volume + 8 * eight.width >= two.volume);
+        // max wire unchanged
+        assert_eq!(two.max_wire, eight.max_wire);
+    }
+}

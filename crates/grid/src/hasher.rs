@@ -1,0 +1,101 @@
+//! A small Fx-style hasher for grid-point occupancy sets.
+//!
+//! The legality checker hashes tens of millions of `Point3`s; SipHash
+//! (std's default) is needlessly slow for that and HashDoS is not a
+//! concern for a layout checker, so we use the classic
+//! multiply-and-rotate Fx construction (as used by rustc; see the Rust
+//! Performance Book's Hashing chapter). Implemented locally (~30 lines)
+//! rather than pulling in a crate.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap`/`HashSet` build-hasher alias using [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A fast, non-cryptographic hasher (Fx construction).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_set_with_fx_works() {
+        let mut s: HashSet<(i64, i64, i32), FxBuildHasher> = HashSet::default();
+        for x in 0..100 {
+            for y in 0..100 {
+                assert!(s.insert((x, y, (x % 4) as i32)));
+            }
+        }
+        assert_eq!(s.len(), 10_000);
+        assert!(s.contains(&(42, 17, 2)));
+        assert!(!s.contains(&(42, 17, 3)));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes_smoke() {
+        // not a real collision test, just a sanity check that the hasher
+        // is not degenerate
+        let mut hashes = HashSet::new();
+        for i in 0..1000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            hashes.insert(h.finish());
+        }
+        assert_eq!(hashes.len(), 1000);
+    }
+}

@@ -1,0 +1,229 @@
+//! Plain-text serialization of layouts — a stable, diff-able interchange
+//! format so layouts can be saved, inspected, versioned, and re-checked
+//! by external tools.
+//!
+//! ```text
+//! mlvlayout 1
+//! layout <name-with-escaped-spaces> layers=<L>
+//! node <id> <x0> <y0> <x1> <y1> layer=<z>
+//! wire <u> <v> <x>,<y>,<z> <x>,<y>,<z> ...
+//! ```
+//!
+//! One record per line; wire corners in path order. Whitespace in names
+//! is escaped as `\x20`. Round-trips exactly (see the tests and the
+//! proptest suite).
+
+use crate::geom::{Point3, Rect};
+use crate::layout::Layout;
+use crate::path::WirePath;
+use std::fmt::Write as _;
+
+/// Serialize a layout to the text format.
+pub fn write_layout(layout: &Layout) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mlvlayout 1");
+    let _ = writeln!(
+        out,
+        "layout {} layers={}",
+        escape(&layout.name),
+        layout.layers
+    );
+    for n in &layout.nodes {
+        let _ = writeln!(
+            out,
+            "node {} {} {} {} {} layer={}",
+            n.node, n.rect.x0, n.rect.y0, n.rect.x1, n.rect.y1, n.layer
+        );
+    }
+    for w in &layout.wires {
+        let _ = write!(out, "wire {} {}", w.u, w.v);
+        for c in w.path.corners() {
+            let _ = write!(out, " {},{},{}", c.x, c.y, c.z);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A parse failure, with the offending 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parse a layout from the text format. Structural errors (bad numbers,
+/// missing headers) are reported with line numbers; *semantic* legality
+/// is the checker's job — run it after loading.
+pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (i, magic) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty input"))?;
+    if magic.trim() != "mlvlayout 1" {
+        return Err(err(i + 1, "expected header 'mlvlayout 1'"));
+    }
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| err(2, "missing layout line"))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("layout") {
+        return Err(err(i + 1, "expected 'layout <name> layers=<L>'"));
+    }
+    let name = unescape(parts.next().ok_or_else(|| err(i + 1, "missing name"))?);
+    let layers: usize = parts
+        .next()
+        .and_then(|t| t.strip_prefix("layers="))
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(i + 1, "missing or bad layers=<L>"))?;
+    let mut layout = Layout::new(name, layers);
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let mut num = |what: &str| -> Result<i64, ParseError> {
+                    parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(i + 1, &format!("bad node {what}")))
+                };
+                let id = num("id")? as u32;
+                let (x0, y0, x1, y1) = (num("x0")?, num("y0")?, num("x1")?, num("y1")?);
+                let layer: i32 = parts
+                    .next()
+                    .and_then(|t| t.strip_prefix("layer="))
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(i + 1, "missing or bad layer=<z>"))?;
+                if x1 < x0 || y1 < y0 {
+                    return Err(err(i + 1, "degenerate node rectangle"));
+                }
+                layout.place_node_at(id, Rect::new(x0, y0, x1, y1), layer);
+            }
+            Some("wire") => {
+                let mut id = |what: &str| -> Result<u32, ParseError> {
+                    parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(i + 1, &format!("bad wire {what}")))
+                };
+                let u = id("u")?;
+                let v = id("v")?;
+                let mut corners = Vec::new();
+                for tok in parts {
+                    let mut fields = tok.split(',');
+                    let mut num = || fields.next().and_then(|t| t.parse::<i64>().ok());
+                    match (num(), num(), num()) {
+                        (Some(x), Some(y), Some(z)) => {
+                            corners.push(Point3::new(x, y, z as i32))
+                        }
+                        _ => return Err(err(i + 1, &format!("bad corner '{tok}'"))),
+                    }
+                }
+                if corners.is_empty() {
+                    return Err(err(i + 1, "wire needs at least one corner"));
+                }
+                layout.add_wire(u, v, WirePath::new(corners));
+            }
+            Some(other) => {
+                return Err(err(i + 1, &format!("unknown record '{other}'")));
+            }
+            None => {}
+        }
+    }
+    Ok(layout)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\x5c").replace(' ', "\\x20")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\x20", " ").replace("\\x5c", "\\")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Layout {
+        let mut l = Layout::new("round trip", 4);
+        l.place_node(0, Rect::new(0, 0, 2, 2));
+        l.place_node_at(1, Rect::new(0, 0, 2, 2), 2);
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![
+                Point3::new(2, 0, 0),
+                Point3::new(4, 0, 0),
+                Point3::new(4, 0, 2),
+                Point3::new(2, 0, 2),
+            ]),
+        );
+        l
+    }
+
+    #[test]
+    fn round_trip() {
+        let l = sample();
+        let text = write_layout(&l);
+        let back = read_layout(&text).unwrap();
+        assert_eq!(back.name, l.name);
+        assert_eq!(back.layers, l.layers);
+        assert_eq!(back.nodes.len(), l.nodes.len());
+        assert_eq!(back.nodes[1].layer, 2);
+        assert_eq!(back.wires.len(), 1);
+        assert_eq!(back.wires[0].path, l.wires[0].path);
+        // and the re-serialization is byte-identical (stable format)
+        assert_eq!(write_layout(&back), text);
+    }
+
+    #[test]
+    fn name_escaping() {
+        let mut l = Layout::new("a b\\c", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        let back = read_layout(&write_layout(&l)).unwrap();
+        assert_eq!(back.name, "a b\\c");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_layout("nope").is_err());
+        assert!(read_layout("mlvlayout 1\nlayout x layers=abc").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_records_with_line_numbers() {
+        let text = "mlvlayout 1\nlayout x layers=2\nnode 0 0 0 0\n";
+        let e = read_layout(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        let text = "mlvlayout 1\nlayout x layers=2\nwire 0 1 1,2\n";
+        let e = read_layout(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        let text = "mlvlayout 1\nlayout x layers=2\nblob\n";
+        assert!(read_layout(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "mlvlayout 1\nlayout x layers=2\n\n# comment\nnode 7 0 0 1 1 layer=0\n";
+        let l = read_layout(text).unwrap();
+        assert_eq!(l.nodes.len(), 1);
+        assert_eq!(l.nodes[0].node, 7);
+    }
+}

@@ -1,0 +1,181 @@
+//! The layout container: node placements + wires + layer budget.
+
+use crate::geom::{Point3, Rect};
+use crate::path::WirePath;
+use mlv_topology::NodeId;
+
+/// Placement of one network node: an upright rectangle of grid points
+/// it occupies exclusively on its **active layer**. The multilayer 2-D
+/// grid model (paper §2.2) puts every node on layer 0; the multilayer
+/// **3-D** grid model allows several active layers, with nodes of
+/// different layers free to share planar coordinates.
+#[derive(Clone, Debug)]
+pub struct NodePlacement {
+    /// The network node this placement realizes.
+    pub node: NodeId,
+    /// Footprint on the node's active layer.
+    pub rect: Rect,
+    /// The active layer (`z`) the node sits on (0 in the 2-D model).
+    pub layer: i32,
+}
+
+/// One routed wire realizing one network edge.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    /// The network edge's endpoints (unordered; stored as given).
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// The routed path. `path.start()` must lie in `u`'s footprint and
+    /// `path.end()` in `v`'s, each on that node's active layer.
+    pub path: WirePath,
+}
+
+/// A complete multilayer layout of a network.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Human-readable description (family + parameters + L).
+    pub name: String,
+    /// Number of wiring layers `L` the layout claims to use (`z` must
+    /// stay in `0..L`).
+    pub layers: usize,
+    /// One placement per network node.
+    pub nodes: Vec<NodePlacement>,
+    /// One wire per network edge.
+    pub wires: Vec<Wire>,
+}
+
+impl Layout {
+    /// Create an empty layout with a layer budget.
+    pub fn new(name: impl Into<String>, layers: usize) -> Self {
+        assert!(layers >= 1, "need at least one layer");
+        Layout {
+            name: name.into(),
+            layers,
+            nodes: Vec::new(),
+            wires: Vec::new(),
+        }
+    }
+
+    /// Add a node placement on the default active layer (`z = 0`).
+    pub fn place_node(&mut self, node: NodeId, rect: Rect) {
+        self.place_node_at(node, rect, 0);
+    }
+
+    /// Add a node placement on an explicit active layer (multilayer 3-D
+    /// grid model).
+    pub fn place_node_at(&mut self, node: NodeId, rect: Rect, layer: i32) {
+        assert!(
+            layer >= 0 && (layer as usize) < self.layers,
+            "active layer out of budget"
+        );
+        self.nodes.push(NodePlacement { node, rect, layer });
+    }
+
+    /// Add a wire.
+    pub fn add_wire(&mut self, u: NodeId, v: NodeId, path: WirePath) {
+        self.wires.push(Wire { u, v, path });
+    }
+
+    /// The bounding rectangle of everything (nodes and wires) in the
+    /// x–y plane, or `None` for an empty layout.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut bb: Option<Rect> = None;
+        for n in &self.nodes {
+            bb = Some(match bb {
+                Some(r) => r.union(&n.rect),
+                None => n.rect,
+            });
+        }
+        for w in &self.wires {
+            for c in w.path.corners() {
+                match &mut bb {
+                    Some(r) => r.expand_to(c.x, c.y),
+                    None => bb = Some(Rect::new(c.x, c.y, c.x, c.y)),
+                }
+            }
+        }
+        bb
+    }
+
+    /// Highest layer index actually used by any wire (nodes sit at 0).
+    pub fn max_used_layer(&self) -> i32 {
+        self.wires
+            .iter()
+            .flat_map(|w| w.path.corners().iter().map(|c| c.z))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The multiset of wire endpoint pairs (canonical order), for
+    /// verification against `Graph::edge_multiset`.
+    pub fn wire_multiset(&self) -> std::collections::BTreeMap<(NodeId, NodeId), usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for w in &self.wires {
+            let key = if w.u <= w.v { (w.u, w.v) } else { (w.v, w.u) };
+            *m.entry(key).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Footprint of a given network node, if placed.
+    pub fn footprint(&self, node: NodeId) -> Option<Rect> {
+        self.nodes.iter().find(|n| n.node == node).map(|n| n.rect)
+    }
+}
+
+/// Convenience: a single-point terminal on the active layer.
+pub fn terminal(x: i64, y: i64) -> Point3 {
+    Point3::new(x, y, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_covers_nodes_and_wires() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(10, 0, 11, 1));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![
+                Point3::new(1, 1, 0),
+                Point3::new(1, 5, 0),
+                Point3::new(10, 5, 0),
+                Point3::new(10, 1, 0),
+            ]),
+        );
+        let bb = l.bounding_box().unwrap();
+        assert_eq!(bb, Rect::new(0, 0, 11, 5));
+        assert_eq!(l.max_used_layer(), 0);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = Layout::new("e", 4);
+        assert!(l.bounding_box().is_none());
+        assert_eq!(l.max_used_layer(), 0);
+        assert!(l.wire_multiset().is_empty());
+    }
+
+    #[test]
+    fn wire_multiset_canonicalizes() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(2, 0, 2, 0));
+        let p = WirePath::new(vec![Point3::new(2, 0, 0), Point3::new(0, 0, 0)]);
+        l.add_wire(1, 0, p);
+        assert_eq!(l.wire_multiset().get(&(0, 1)), Some(&1));
+    }
+
+    #[test]
+    fn footprint_lookup() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(7, Rect::new(3, 4, 5, 6));
+        assert_eq!(l.footprint(7), Some(Rect::new(3, 4, 5, 6)));
+        assert_eq!(l.footprint(8), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Layout metrics: the paper's four figures of merit.
+//!
+//! * **area** — grid points of the smallest upright bounding rectangle
+//!   (paper §2.1/§2.2);
+//! * **volume** — `L × area` (paper §2.2 defines volume exactly this
+//!   way);
+//! * **maximum wire length** — longest single wire; we report both the
+//!   planar length (x/y segments, the quantity the paper's closed forms
+//!   track) and the full length including vias;
+//! * **maximum routed-path length** — the maximum over all
+//!   source–destination pairs of the total wire length along a shortest
+//!   routing path (paper §1 claim 4), computed by plugging realized wire
+//!   lengths into BFS shortest paths of the reference graph.
+
+use crate::layout::Layout;
+use mlv_topology::routing::max_route_cost;
+use mlv_topology::Graph;
+use rayon::prelude::*;
+
+/// Aggregated metrics of one layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayoutMetrics {
+    /// Bounding-box width (grid columns).
+    pub width: u64,
+    /// Bounding-box height (grid rows).
+    pub height: u64,
+    /// `width × height`.
+    pub area: u64,
+    /// `layers × area`.
+    pub volume: u64,
+    /// Layer budget of the layout.
+    pub layers: usize,
+    /// Highest layer index actually used (0-based).
+    pub max_used_layer: i32,
+    /// Longest wire, planar (x/y) length.
+    pub max_wire_planar: u64,
+    /// Longest wire, full length including vias.
+    pub max_wire_full: u64,
+    /// Sum of all wire lengths (full).
+    pub total_wire: u64,
+    /// Number of wires.
+    pub wire_count: usize,
+    /// Number of vias (unit z-steps) across all wires.
+    pub via_count: u64,
+}
+
+impl LayoutMetrics {
+    /// Compute metrics for a layout. Empty layouts get all-zero metrics.
+    pub fn of(layout: &Layout) -> Self {
+        let (width, height) = match layout.bounding_box() {
+            Some(bb) => (bb.width(), bb.height()),
+            None => (0, 0),
+        };
+        let area = width * height;
+        let (max_wire_planar, max_wire_full, total_wire, via_count) = layout
+            .wires
+            .par_iter()
+            .map(|w| {
+                let full = w.path.length();
+                (w.path.planar_length(), full, full, w.path.via_count())
+            })
+            .reduce(
+                || (0, 0, 0, 0),
+                |a, b| (a.0.max(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3),
+            );
+        LayoutMetrics {
+            width,
+            height,
+            area,
+            volume: layout.layers as u64 * area,
+            layers: layout.layers,
+            max_used_layer: layout.max_used_layer(),
+            max_wire_planar,
+            max_wire_full,
+            total_wire,
+            wire_count: layout.wires.len(),
+            via_count,
+        }
+    }
+
+    /// Maximum total wire length along a shortest routing path between
+    /// any source–destination pair (paper §1 claim 4). Requires the
+    /// reference graph whose edge order matches `layout.wires` — i.e.
+    /// wire `i` realizes edge `i`. `None` if the graph is disconnected
+    /// (metric taken as undefined) or trivial.
+    pub fn max_routed_path(layout: &Layout, graph: &Graph) -> Option<u64> {
+        assert_eq!(
+            layout.wires.len(),
+            graph.edge_count(),
+            "wire i must realize edge i"
+        );
+        let lens: Vec<u64> = layout.wires.iter().map(|w| w.path.length()).collect();
+        max_route_cost(graph, |e| lens[e as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point3, Rect};
+    use crate::path::WirePath;
+    use mlv_topology::GraphBuilder;
+
+    fn p(x: i64, y: i64, z: i32) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn metrics_of_simple_layout() {
+        let mut l = Layout::new("t", 4);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(8, 0, 9, 1));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 1, 0), p(1, 1, 1), p(8, 1, 1), p(8, 1, 0)]),
+        );
+        let m = LayoutMetrics::of(&l);
+        assert_eq!(m.width, 10);
+        assert_eq!(m.height, 2);
+        assert_eq!(m.area, 20);
+        assert_eq!(m.volume, 80);
+        assert_eq!(m.max_wire_planar, 7);
+        assert_eq!(m.max_wire_full, 9);
+        assert_eq!(m.via_count, 2);
+        assert_eq!(m.max_used_layer, 1);
+    }
+
+    #[test]
+    fn empty_layout_metrics() {
+        let m = LayoutMetrics::of(&Layout::new("e", 2));
+        assert_eq!(m.area, 0);
+        assert_eq!(m.max_wire_full, 0);
+        assert_eq!(m.wire_count, 0);
+    }
+
+    #[test]
+    fn routed_path_metric() {
+        // path graph 0-1-2, wire lengths 5 and 7 -> max routed path 12
+        let mut b = GraphBuilder::new("p3", 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(5, 0, 5, 0));
+        l.place_node(2, Rect::new(12, 0, 12, 0));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(5, 0, 0)]));
+        l.add_wire(1, 2, WirePath::new(vec![p(5, 0, 0), p(12, 0, 0)]));
+        assert_eq!(LayoutMetrics::max_routed_path(&l, &g), Some(12));
+    }
+
+    #[test]
+    fn total_wire_sums() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(3, 0, 3, 0));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(3, 0, 0)]));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(0, 1, 0), p(3, 1, 0), p(3, 0, 0)]));
+        let m = LayoutMetrics::of(&l);
+        assert_eq!(m.total_wire, 3 + 5);
+        assert_eq!(m.wire_count, 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! ASCII rendering of small layouts — used to regenerate the paper's
+//! construction figures and for debugging.
+//!
+//! Two views are provided: a single-layer view (exactly the wires of one
+//! layer plus the nodes) and a top view (all layers overlaid). Symbols:
+//!
+//! * `#` node footprint point,
+//! * `-` / `|` x- / y-run of a wire,
+//! * `+` wire corner (bend within the plane),
+//! * `o` via (the wire changes layer at this planar position),
+//! * `X` two or more wires overlap in the projection (legal across
+//!   layers in the top view; never appears in a single-layer view of a
+//!   legal layout).
+
+use crate::layout::Layout;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Cell {
+    Empty,
+    Horizontal,
+    Vertical,
+    Corner,
+    Via,
+    Overlap,
+    Node,
+}
+
+impl Cell {
+    fn ch(self) -> char {
+        match self {
+            Cell::Empty => '.',
+            Cell::Horizontal => '-',
+            Cell::Vertical => '|',
+            Cell::Corner => '+',
+            Cell::Via => 'o',
+            Cell::Overlap => 'X',
+            Cell::Node => '#',
+        }
+    }
+
+    fn merge(self, other: Cell) -> Cell {
+        use Cell::*;
+        match (self, other) {
+            (Empty, c) | (c, Empty) => c,
+            (Node, _) | (_, Node) => Node,
+            (a, b) if a == b => a,
+            _ => Overlap,
+        }
+    }
+}
+
+fn paint(layout: &Layout, layer: Option<i32>) -> Option<(Vec<Vec<Cell>>, i64, i64)> {
+    let bb = layout.bounding_box()?;
+    let w = bb.width() as usize;
+    let h = bb.height() as usize;
+    assert!(
+        w * h <= 4_000_000,
+        "layout too large to render as ASCII ({w} x {h})"
+    );
+    let mut cells = vec![vec![Cell::Empty; w]; h];
+    let mut put = |x: i64, y: i64, c: Cell| {
+        let (cx, cy) = ((x - bb.x0) as usize, (y - bb.y0) as usize);
+        cells[cy][cx] = cells[cy][cx].merge(c);
+    };
+    for wire in &layout.wires {
+        let corners = wire.path.corners();
+        let on_layer = |z: i32| layer.is_none() || layer == Some(z);
+        // paint segment interiors (endpoints handled by the corner pass)
+        for seg in corners.windows(2) {
+            let (a, b) = (seg[0], seg[1]);
+            if a.z == b.z && !on_layer(a.z) {
+                continue;
+            }
+            if a.x != b.x {
+                let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+                for x in lo + 1..hi {
+                    put(x, a.y, Cell::Horizontal);
+                }
+            } else if a.y != b.y {
+                let (lo, hi) = (a.y.min(b.y), a.y.max(b.y));
+                for y in lo + 1..hi {
+                    put(a.x, y, Cell::Vertical);
+                }
+            }
+        }
+        // corner/endpoint markers
+        for i in 0..corners.len() {
+            let c = corners[i];
+            let prev = (i > 0).then(|| corners[i - 1]);
+            let next = (i + 1 < corners.len()).then(|| corners[i + 1]);
+            let via_here = prev.is_some_and(|p| p.z != c.z)
+                || next.is_some_and(|n| n.z != c.z);
+            let cell = if via_here {
+                Cell::Via
+            } else {
+                match (prev, next) {
+                    (Some(p), Some(n)) if p.x != c.x && n.x != c.x => Cell::Horizontal,
+                    (Some(p), Some(n)) if p.y != c.y && n.y != c.y => Cell::Vertical,
+                    (Some(_), Some(_)) => Cell::Corner,
+                    (Some(p), None) | (None, Some(p)) => {
+                        if p.x != c.x {
+                            Cell::Horizontal
+                        } else {
+                            Cell::Vertical
+                        }
+                    }
+                    (None, None) => Cell::Corner,
+                }
+            };
+            if on_layer(c.z) || via_here {
+                put(c.x, c.y, cell);
+            }
+        }
+    }
+    for n in &layout.nodes {
+        for x in n.rect.x0..=n.rect.x1 {
+            for y in n.rect.y0..=n.rect.y1 {
+                put(x, y, Cell::Node);
+            }
+        }
+    }
+    Some((cells, bb.x0, bb.y0))
+}
+
+/// Render all layers overlaid (top view). Returns an empty string for an
+/// empty layout. Row 0 of the output is the topmost grid row (largest y).
+pub fn render_top(layout: &Layout) -> String {
+    to_string(paint(layout, None))
+}
+
+/// Render the wires of a single layer (plus all node footprints for
+/// orientation).
+pub fn render_layer(layout: &Layout, layer: i32) -> String {
+    to_string(paint(layout, Some(layer)))
+}
+
+fn to_string(painted: Option<(Vec<Vec<Cell>>, i64, i64)>) -> String {
+    match painted {
+        None => String::new(),
+        Some((cells, _, _)) => {
+            let mut s = String::with_capacity(cells.len() * (cells[0].len() + 1));
+            for row in cells.iter().rev() {
+                for c in row {
+                    s.push(c.ch());
+                }
+                s.push('\n');
+            }
+            s
+        }
+    }
+}
+
+/// Render a schematic of labelled blocks arranged on a grid (used for
+/// Fig. 1, the recursive-grid block arrangement): each block is drawn as
+/// a bordered box with its label centred, with `gap` characters between
+/// boxes.
+pub fn render_block_grid(labels: &[Vec<String>], cell_w: usize, gap: usize) -> String {
+    let rows = labels.len();
+    if rows == 0 {
+        return String::new();
+    }
+    let cols = labels[0].len();
+    let mut lines: Vec<String> = Vec::new();
+    for r in (0..rows).rev() {
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        for (c, label) in labels[r].iter().enumerate() {
+            let inner = cell_w.max(label.len() + 2);
+            top.push('+');
+            top.push_str(&"-".repeat(inner));
+            top.push('+');
+            let pad = inner - label.len();
+            mid.push('|');
+            mid.push_str(&" ".repeat(pad / 2));
+            mid.push_str(label);
+            mid.push_str(&" ".repeat(pad - pad / 2));
+            mid.push('|');
+            bot.push('+');
+            bot.push_str(&"-".repeat(inner));
+            bot.push('+');
+            if c + 1 < cols {
+                let g = " ".repeat(gap);
+                top.push_str(&g);
+                mid.push_str(&g);
+                bot.push_str(&g);
+            }
+        }
+        lines.push(top);
+        lines.push(mid);
+        lines.push(bot);
+        if r > 0 {
+            for _ in 0..gap.min(2) {
+                lines.push(String::new());
+            }
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Histogram of wire lengths, as `(length, count)` sorted by length —
+/// handy for EXPERIMENTS.md tables.
+pub fn wire_length_histogram(layout: &Layout) -> Vec<(u64, usize)> {
+    let mut h: HashMap<u64, usize> = HashMap::new();
+    for w in &layout.wires {
+        *h.entry(w.path.length()).or_insert(0) += 1;
+    }
+    let mut v: Vec<(u64, usize)> = h.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point3, Rect};
+    use crate::path::WirePath;
+
+    fn p(x: i64, y: i64, z: i32) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn renders_simple_wire() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(4, 0, 4, 0));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(4, 0, 0)]));
+        let s = render_top(&l);
+        assert_eq!(s, "#---#\n");
+    }
+
+    #[test]
+    fn renders_bend_and_layers() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(2, 2, 2, 2));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 0, 0), p(0, 2, 0), p(2, 2, 0)]),
+        );
+        let s = render_top(&l);
+        assert_eq!(s, "+-#\n|..\n#..\n");
+        // layer 1 view has no wire
+        let s1 = render_layer(&l, 1);
+        assert!(s1.contains('#'));
+        assert!(!s1.contains('-'));
+    }
+
+    #[test]
+    fn via_marked() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(3, 0, 3, 0));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 0, 0), p(1, 0, 0), p(1, 0, 1), p(3, 0, 1), p(3, 0, 0)]),
+        );
+        let s = render_top(&l);
+        assert!(s.contains('o'), "{s}");
+    }
+
+    #[test]
+    fn empty_layout_renders_empty() {
+        assert_eq!(render_top(&Layout::new("e", 2)), "");
+    }
+
+    #[test]
+    fn block_grid_draws_boxes() {
+        let labels = vec![
+            vec!["B00".to_string(), "B01".to_string()],
+            vec!["B10".to_string(), "B11".to_string()],
+        ];
+        let s = render_block_grid(&labels, 5, 2);
+        assert!(s.contains("B00"));
+        assert!(s.contains("B11"));
+        assert!(s.contains("+-----+"));
+        // row 1 rendered above row 0
+        let pos10 = s.find("B10").unwrap();
+        let pos00 = s.find("B00").unwrap();
+        assert!(pos10 < pos00);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(3, 0, 3, 0));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(3, 0, 0)]));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(0, 1, 0), p(3, 1, 0), p(3, 0, 0)]));
+        let h = wire_length_histogram(&l);
+        assert_eq!(h, vec![(3, 1), (5, 1)]);
+    }
+}

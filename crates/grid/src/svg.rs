@@ -1,0 +1,174 @@
+//! SVG rendering of layouts — a visual artifact for any layout size the
+//! ASCII renderer can't handle. Layers are colour-coded; vias are drawn
+//! as dots; node footprints as grey boxes.
+
+use crate::layout::Layout;
+use std::fmt::Write as _;
+
+/// Per-layer stroke colours (cycled when L exceeds the palette).
+const LAYER_COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#e377c2",
+];
+
+/// Options for SVG rendering.
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Pixels per grid unit.
+    pub scale: f64,
+    /// Draw via markers.
+    pub show_vias: bool,
+    /// Cap on wires drawn (largest layouts stay viewable); `None` = all.
+    pub max_wires: Option<usize>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            scale: 8.0,
+            show_vias: true,
+            max_wires: None,
+        }
+    }
+}
+
+/// Render a layout to an SVG document string. The y axis is flipped so
+/// larger grid y appears higher, matching the ASCII renders.
+pub fn render_svg(layout: &Layout, opts: &SvgOptions) -> String {
+    let Some(bb) = layout.bounding_box() else {
+        return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>".to_string();
+    };
+    let s = opts.scale;
+    let pad = 2.0 * s;
+    let w = bb.width() as f64 * s + 2.0 * pad;
+    let h = bb.height() as f64 * s + 2.0 * pad;
+    let tx = |x: i64| (x - bb.x0) as f64 * s + pad;
+    let ty = |y: i64| h - ((y - bb.y0) as f64 * s + pad);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.0} {h:.0}\">"
+    );
+    let _ = writeln!(
+        out,
+        "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>"
+    );
+    // node footprints
+    for n in &layout.nodes {
+        let _ = writeln!(
+            out,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"#d0d0d0\" stroke=\"#808080\" stroke-width=\"1\"/>",
+            tx(n.rect.x0) - s * 0.4,
+            ty(n.rect.y1) - s * 0.4,
+            (n.rect.width() as f64 - 1.0) * s + s * 0.8,
+            (n.rect.height() as f64 - 1.0) * s + s * 0.8,
+        );
+    }
+    // wires, colour per starting layer of each segment
+    let limit = opts.max_wires.unwrap_or(usize::MAX);
+    for wire in layout.wires.iter().take(limit) {
+        for seg in wire.path.corners().windows(2) {
+            let (a, b) = (seg[0], seg[1]);
+            if a.z == b.z {
+                let color = LAYER_COLORS[(a.z as usize) % LAYER_COLORS.len()];
+                let _ = writeln!(
+                    out,
+                    "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+                     stroke=\"{color}\" stroke-width=\"1.5\" stroke-linecap=\"round\"/>",
+                    tx(a.x),
+                    ty(a.y),
+                    tx(b.x),
+                    ty(b.y),
+                );
+            } else if opts.show_vias {
+                let _ = writeln!(
+                    out,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"#404040\"/>",
+                    tx(a.x),
+                    ty(a.y),
+                    s * 0.25,
+                );
+            }
+        }
+    }
+    // legend
+    let used = (layout.max_used_layer() + 1).max(1) as usize;
+    for (z, color) in LAYER_COLORS.iter().enumerate().take(used) {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"{:.0}\" fill=\"{color}\">z={z}</text>",
+            4.0,
+            12.0 + 14.0 * z as f64,
+            12.0,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point3, Rect};
+    use crate::path::WirePath;
+
+    fn sample() -> Layout {
+        let mut l = Layout::new("svg", 4);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(8, 0, 9, 1));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![
+                Point3::new(1, 1, 0),
+                Point3::new(1, 1, 3),
+                Point3::new(8, 1, 3),
+                Point3::new(8, 1, 0),
+            ]),
+        );
+        l
+    }
+
+    #[test]
+    fn svg_has_structure() {
+        let svg = render_svg(&sample(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 nodes
+        assert!(svg.contains("stroke=\"#ff7f0e\"")); // layer 3 colour
+        assert!(svg.matches("<circle").count() >= 2); // two via stacks
+        assert!(svg.contains("z=3"));
+    }
+
+    #[test]
+    fn empty_layout_svg() {
+        let svg = render_svg(&Layout::new("e", 2), &SvgOptions::default());
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn wire_cap_respected() {
+        let mut l = sample();
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![
+                Point3::new(0, 0, 0),
+                Point3::new(0, 0, 1),
+                Point3::new(9, 0, 1),
+                Point3::new(9, 0, 0),
+            ]),
+        );
+        let full = render_svg(&l, &SvgOptions::default());
+        let capped = render_svg(
+            &l,
+            &SvgOptions {
+                max_wires: Some(1),
+                ..SvgOptions::default()
+            },
+        );
+        assert!(capped.matches("<line").count() < full.matches("<line").count());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) for the grid substrate: wire paths,
+//! the legality checker, and the folding estimates.
+
+use mlv_grid::checker::{check, CheckError};
+use mlv_grid::io::{read_layout, write_layout};
+use mlv_grid::fold::FoldedEstimate;
+use mlv_grid::geom::{Point3, Rect};
+use mlv_grid::layout::Layout;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::path::WirePath;
+use proptest::prelude::*;
+
+/// Build a rectilinear path from a list of axis-aligned steps.
+fn path_from_steps(start: (i64, i64, i32), steps: &[(u8, i64)]) -> WirePath {
+    let mut corners = vec![Point3::new(start.0, start.1, start.2)];
+    let mut cur = *corners.last().unwrap();
+    for &(axis, amount) in steps {
+        let mut next = cur;
+        match axis % 3 {
+            0 => next.x += amount,
+            1 => next.y += amount,
+            _ => next.z = (next.z + (amount.clamp(-2, 2)) as i32).max(0),
+        }
+        corners.push(next);
+        cur = next;
+    }
+    WirePath::new(corners)
+}
+
+proptest! {
+    /// For any valid path: point count = length + 1, endpoints'
+    /// Manhattan distance ≤ length, and planar + via lengths partition
+    /// the total.
+    #[test]
+    fn path_length_point_consistency(
+        sx in -20i64..20, sy in -20i64..20,
+        steps in prop::collection::vec((0u8..3, -6i64..7), 0..12)
+    ) {
+        let p = path_from_steps((sx, sy, 2), &steps);
+        prop_assert_eq!(p.planar_length() + p.via_count(), p.length());
+        if p.validate().is_ok() {
+            prop_assert_eq!(p.points().count() as u64, p.length() + 1);
+            prop_assert!(p.start().manhattan(&p.end()) <= p.length());
+        }
+    }
+
+    /// A path that validates never visits a point twice (cross-checked
+    /// with a set).
+    #[test]
+    fn valid_paths_are_self_disjoint(
+        steps in prop::collection::vec((0u8..3, -5i64..6), 1..10)
+    ) {
+        let p = path_from_steps((0, 0, 1), &steps);
+        if p.validate().is_ok() {
+            let pts: Vec<_> = p.points().collect();
+            let set: std::collections::HashSet<_> = pts.iter().copied().collect();
+            prop_assert_eq!(set.len(), pts.len());
+        }
+    }
+
+    /// Parallel horizontal wires on distinct tracks always check clean;
+    /// duplicating any wire makes the checker reject.
+    #[test]
+    fn checker_accepts_disjoint_rejects_duplicates(
+        n_wires in 1usize..8, dup in 0usize..8
+    ) {
+        let mut l = Layout::new("lanes", 2);
+        l.place_node(0, Rect::new(0, 0, 0, (n_wires as i64).max(1) - 1));
+        l.place_node(1, Rect::new(10, 0, 10, (n_wires as i64).max(1) - 1));
+        for t in 0..n_wires {
+            l.add_wire(
+                0,
+                1,
+                WirePath::new(vec![
+                    Point3::new(0, t as i64, 0),
+                    Point3::new(10, t as i64, 0),
+                ]),
+            );
+        }
+        prop_assert!(check(&l, None).is_legal());
+        // duplicate one wire -> conflict
+        let t = dup % n_wires;
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![
+                Point3::new(0, t as i64, 0),
+                Point3::new(10, t as i64, 0),
+            ]),
+        );
+        let r = check(&l, None);
+        let has_conflict = r
+            .errors
+            .iter()
+            .any(|e| matches!(e, CheckError::WireConflict { .. }));
+        prop_assert!(has_conflict);
+    }
+
+    /// Folding any 2-layer metrics: area falls by ≈ t, volume never
+    /// falls, max wire never falls.
+    #[test]
+    fn folding_estimate_monotonicity(
+        width in 10u64..5000, height in 10u64..5000, wire in 1u64..5000,
+        t in 1usize..9
+    ) {
+        let layers = 2 * t;
+        let m = LayoutMetrics {
+            width,
+            height,
+            area: width * height,
+            volume: 2 * width * height,
+            layers: 2,
+            max_used_layer: 1,
+            max_wire_planar: wire,
+            max_wire_full: wire,
+            total_wire: 0,
+            wire_count: 0,
+            via_count: 0,
+        };
+        let f = FoldedEstimate::from_two_layer(&m, layers);
+        // area shrinks by at most t, and at least t modulo crease rows
+        prop_assert!(f.area >= m.area / t as u64);
+        prop_assert!(f.area <= m.area / t as u64 + (t as u64 + 1) * width);
+        prop_assert!(f.volume >= m.volume);
+        prop_assert!(f.max_wire >= m.max_wire_full);
+    }
+
+    /// The text format round-trips arbitrary layouts byte-stably.
+    #[test]
+    fn io_round_trip(
+        nodes in prop::collection::vec((0i64..40, 0i64..40, 0u8..4), 1..6),
+        steps in prop::collection::vec((0u8..3, -5i64..6), 1..8),
+    ) {
+        let mut l = Layout::new("prop trip", 4);
+        for (i, &(x, y, z)) in nodes.iter().enumerate() {
+            l.place_node_at(i as u32, Rect::new(x, y, x + 1, y + 1), z as i32);
+        }
+        let path = path_from_steps((nodes[0].0, nodes[0].1, nodes[0].2 as i32), &steps);
+        l.add_wire(0, 0.min(nodes.len() as u32 - 1), path);
+        let text = write_layout(&l);
+        let back = read_layout(&text).unwrap();
+        prop_assert_eq!(write_layout(&back), text);
+        prop_assert_eq!(back.nodes.len(), l.nodes.len());
+        prop_assert_eq!(back.wires[0].path.corners(), l.wires[0].path.corners());
+    }
+
+    /// Bounding boxes contain every wire corner and every node.
+    #[test]
+    fn bounding_box_covers_everything(
+        nodes in prop::collection::vec((0i64..50, 0i64..50), 1..6),
+    ) {
+        let mut l = Layout::new("bb", 2);
+        for (i, &(x, y)) in nodes.iter().enumerate() {
+            // footprints may overlap here; we only test the bbox
+            l.place_node(i as u32, Rect::new(x, y, x + 1, y + 1));
+        }
+        let bb = l.bounding_box().unwrap();
+        for &(x, y) in &nodes {
+            prop_assert!(bb.contains_xy(x, y));
+            prop_assert!(bb.contains_xy(x + 1, y + 1));
+        }
+    }
+}

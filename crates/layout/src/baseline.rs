@@ -1,0 +1,118 @@
+//! The paper's model comparison (§1 claims 1–4, §2.2): direct
+//! multilayer redesign vs. the two ways of consuming `L` layers without
+//! redesign — folding a Thompson layout, and the multilayer collinear
+//! layout.
+
+use crate::realize::{realize, RealizeOptions};
+use crate::spec::OrthogonalSpec;
+use mlv_grid::fold::FoldedEstimate;
+use mlv_grid::metrics::LayoutMetrics;
+
+/// Side-by-side metrics of the three models for one network spec.
+#[derive(Clone, Debug)]
+pub struct ModelComparison {
+    /// Layer budget compared at.
+    pub layers: usize,
+    /// The 2-layer (Thompson) layout's metrics — the shared starting
+    /// point.
+    pub thompson: LayoutMetrics,
+    /// The direct L-layer redesign (the paper's scheme).
+    pub direct: LayoutMetrics,
+    /// The folded-Thompson baseline (analytic, §2.2).
+    pub folded: FoldedEstimate,
+}
+
+impl ModelComparison {
+    /// Area gain of the direct redesign over Thompson (paper: ≈ L²/4).
+    pub fn direct_area_gain(&self) -> f64 {
+        self.thompson.area as f64 / self.direct.area as f64
+    }
+
+    /// Area gain of folding over Thompson (paper: ≈ L/2).
+    pub fn folded_area_gain(&self) -> f64 {
+        self.thompson.area as f64 / self.folded.area as f64
+    }
+
+    /// Volume gain of the direct redesign (paper: ≈ L/2).
+    pub fn direct_volume_gain(&self) -> f64 {
+        self.thompson.volume as f64 / self.direct.volume as f64
+    }
+
+    /// Volume gain of folding (paper: ≈ 1, i.e. none).
+    pub fn folded_volume_gain(&self) -> f64 {
+        self.thompson.volume as f64 / self.folded.volume as f64
+    }
+
+    /// Max-wire gain of the direct redesign (paper: ≈ L/2).
+    pub fn direct_wire_gain(&self) -> f64 {
+        self.thompson.max_wire_planar as f64 / self.direct.max_wire_planar as f64
+    }
+
+    /// Max-wire gain of folding (paper: ≈ 1).
+    pub fn folded_wire_gain(&self) -> f64 {
+        self.thompson.max_wire_full as f64 / self.folded.max_wire as f64
+    }
+}
+
+/// Realize a spec at `L = 2` (Thompson) and at `layers`, and fold the
+/// 2-layer metrics analytically onto `layers` layers.
+pub fn compare_models(spec: &OrthogonalSpec, layers: usize) -> ModelComparison {
+    assert!(layers >= 2 && layers.is_multiple_of(2), "compare at even L");
+    let thompson = LayoutMetrics::of(&realize(spec, &RealizeOptions::with_layers(2)));
+    let direct = LayoutMetrics::of(&realize(spec, &RealizeOptions::with_layers(layers)));
+    let folded = FoldedEstimate::from_two_layer(&thompson, layers);
+    ModelComparison {
+        layers,
+        thompson,
+        direct,
+        folded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::{product_spec, standard_product_id};
+    use mlv_collinear::complete::complete_collinear;
+
+    /// K20 x K20 — a track-dominated spec (100 tracks per bundle vs
+    /// node side 21), where the multilayer gains are visible at small N.
+    fn ghc_spec(r: usize) -> OrthogonalSpec {
+        let f = complete_collinear(r);
+        product_spec(format!("K{r}xK{r}"), &f, &f, standard_product_id(r))
+    }
+
+    #[test]
+    fn direct_beats_folded_on_area() {
+        let cmp = compare_models(&ghc_spec(20), 8);
+        assert!(
+            cmp.direct_area_gain() > cmp.folded_area_gain(),
+            "direct {} vs folded {}",
+            cmp.direct_area_gain(),
+            cmp.folded_area_gain()
+        );
+    }
+
+    #[test]
+    fn folded_volume_unchanged_direct_improves() {
+        let cmp = compare_models(&ghc_spec(20), 8);
+        // folding: volume gain ~ 1 (slightly < 1 with crease overhead)
+        assert!(cmp.folded_volume_gain() <= 1.05);
+        // direct: volume strictly improves
+        assert!(cmp.direct_volume_gain() > 1.3, "{}", cmp.direct_volume_gain());
+    }
+
+    #[test]
+    fn direct_wire_gain_positive_folded_flat() {
+        let cmp = compare_models(&ghc_spec(16), 8);
+        assert!(cmp.direct_wire_gain() > 1.3, "{}", cmp.direct_wire_gain());
+        assert!(cmp.folded_wire_gain() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn l2_comparison_degenerates() {
+        let cmp = compare_models(&ghc_spec(8), 2);
+        assert!((cmp.direct_area_gain() - 1.0).abs() < 1e-9);
+        assert!((cmp.folded_area_gain() - 1.0).abs() < 1e-9);
+    }
+}

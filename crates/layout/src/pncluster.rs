@@ -1,0 +1,134 @@
+//! PN-cluster layouts (paper §3.2): lay out the quotient product
+//! network on a grid of *blocks* and the cluster inside each block.
+//!
+//! We flatten the hierarchy: a quotient node at grid cell `(r, q)` with
+//! a `c`-member cluster becomes `c` node columns `q·c … q·c + c − 1` of
+//! row `r`. Intra-cluster links are then ordinary row wires confined to
+//! the block's column range; inter-cluster links attach to their member
+//! nodes and are classified as row wires, column wires, or jogs by
+//! [`crate::scheme::grid_spec`]. The block abstraction of the paper's
+//! recursive grid scheme corresponds exactly to the column-range
+//! `[q·c, (q+1)·c)` of each cluster.
+
+use crate::scheme::grid_spec;
+use crate::spec::OrthogonalSpec;
+use mlv_topology::labels::MixedRadix;
+use mlv_topology::{Graph, NodeId};
+
+/// Build the flattened spec of a PN-cluster network.
+///
+/// * `graph` — the expanded network (ground truth);
+/// * `qrows × qcols` — the quotient block grid;
+/// * `members` — cluster size `c`;
+/// * `cluster_pos(k)` — grid cell of quotient node `k`;
+/// * `split(u)` — `(cluster index, member index)` of an expanded node.
+pub fn pn_cluster_spec(
+    name: impl Into<String>,
+    graph: &Graph,
+    qrows: usize,
+    qcols: usize,
+    members: usize,
+    cluster_pos: impl Fn(usize) -> (usize, usize),
+    split: impl Fn(NodeId) -> (usize, usize),
+) -> OrthogonalSpec {
+    grid_spec(name, graph, qrows, qcols * members, |u| {
+        let (k, m) = split(u);
+        assert!(m < members, "member index out of range");
+        let (r, q) = cluster_pos(k);
+        (r, q * members + m)
+    })
+}
+
+/// The paper's standard quotient arrangement: quotient nodes are
+/// mixed-radix values; the high digit half indexes the grid row and the
+/// low half the grid column (§3.1's `i`/`j` split). A **single-digit**
+/// quotient (a complete-graph quotient, e.g. a 2-level HSN) is arranged
+/// on a near-square 2-D grid instead — the 2-D complete-graph layout of
+/// Yeh & Parhami (IPL 1998) that §4.1 builds on — so that both axes
+/// keep shrinking with `L`. Returns `(qrows, qcols, position_fn)`.
+pub fn digit_split_arrangement(
+    addr: &MixedRadix,
+) -> (usize, usize, impl Fn(usize) -> (usize, usize) + '_) {
+    let single = addr.digit_count() == 1;
+    let (sq_r, sq_c) = crate::scheme::near_square(addr.cardinality());
+    let half = addr.digit_count() / 2;
+    let (lo, hi) = addr.split(half);
+    let (mut qcols, mut qrows) = (lo.cardinality(), hi.cardinality());
+    if single {
+        (qrows, qcols) = (sq_r, sq_c);
+    }
+    let pos = move |k: usize| {
+        if single {
+            (k / sq_c, k % sq_c)
+        } else {
+            let (c, r) = addr.split_index(k, half);
+            (r, c)
+        }
+    };
+    (qrows, qcols, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realize::{realize, RealizeOptions};
+    use mlv_grid::checker;
+    use mlv_grid::metrics::LayoutMetrics;
+    use mlv_topology::cluster::{kary_cluster_c, ClusterKind};
+
+    #[test]
+    fn kary_cluster_spec_realizes() {
+        let pc = kary_cluster_c(3, 2, 4, ClusterKind::Hypercube);
+        let addr = MixedRadix::fixed(3, 2);
+        let (qr, qc, pos) = digit_split_arrangement(&addr);
+        let spec = pn_cluster_spec(
+            "3-ary 2-cube cluster-4",
+            &pc.graph,
+            qr,
+            qc,
+            4,
+            pos,
+            |u| (pc.cluster_of(u), pc.member_of(u)),
+        );
+        spec.assert_valid();
+        assert_eq!(spec.edge_multiset(), pc.graph.edge_multiset());
+        for layers in [2usize, 4] {
+            let l = realize(&spec, &RealizeOptions::with_layers(layers));
+            checker::assert_legal(&l, Some(&pc.graph));
+        }
+    }
+
+    #[test]
+    fn cluster_overhead_is_modest() {
+        // a k-ary 2-cube with tiny clusters should cost little more than
+        // the flat torus (paper: area within 1 + o(1) while c is small)
+        use mlv_collinear::karyn::kary_collinear;
+        use crate::product::{product_spec, standard_product_id};
+        let k = 8;
+        let pc = kary_cluster_c(k, 2, 2, ClusterKind::Ring);
+        let addr = MixedRadix::fixed(k, 2);
+        let (qr, qc, pos) = digit_split_arrangement(&addr);
+        let spec = pn_cluster_spec("cluster", &pc.graph, qr, qc, 2, pos, |u| {
+            (pc.cluster_of(u), pc.member_of(u))
+        });
+        let lc = realize(&spec, &RealizeOptions::with_layers(2));
+        checker::assert_legal(&lc, Some(&pc.graph));
+        let row = kary_collinear(k, 1);
+        let flat = product_spec("flat", &row, &row, standard_product_id(k));
+        let lf = realize(&flat, &RealizeOptions::with_layers(2));
+        let (mc, mf) = (LayoutMetrics::of(&lc), LayoutMetrics::of(&lf));
+        // cluster layout pays for 2x nodes but stays within a small factor
+        let ratio = mc.area as f64 / mf.area as f64;
+        assert!(ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn digit_split_shapes() {
+        let addr = MixedRadix::fixed(4, 3); // 64 nodes
+        let (qr, qc, pos) = digit_split_arrangement(&addr);
+        assert_eq!(qr * qc, 64);
+        assert_eq!((qr, qc), (16, 4)); // low 1 digit = cols
+        // node 7 = digits (3, 1, 0) low-first: low part 3, high part 1
+        assert_eq!(pos(7), (1, 3));
+    }
+}

@@ -1,0 +1,124 @@
+//! Orthogonal specs for Cartesian product networks (paper §3.1/§3.2).
+//!
+//! For `G = A □ B`, place node `(a, b)` at grid position
+//! (row = B-slot of `b`, column = A-slot of `a`); then every A-edge
+//! joins two nodes of one row and every B-edge two nodes of one column,
+//! so the rows carry copies of A's collinear layout and the columns
+//! copies of B's. This single constructor covers k-ary n-cubes (paper
+//! §3.1), hypercubes (§5.1), and generalized hypercubes (§4.1) — each is
+//! the product of its "row half" and "column half".
+
+use crate::spec::{ColWire, OrthogonalSpec, RowWire};
+use mlv_collinear::CollinearLayout;
+use mlv_topology::NodeId;
+
+/// Build the orthogonal spec of a product network from the collinear
+/// layouts of its two factors.
+///
+/// * `row_factor` — collinear layout of factor A (its slots become grid
+///   columns; its wires become row wires in *every* row);
+/// * `col_factor` — collinear layout of factor B (slots become rows);
+/// * `node_id(a, b)` — the product network's id for (A-node a, B-node
+///   b). Use [`standard_product_id`] for the `b·|A| + a` convention of
+///   `mlv_topology::product`.
+pub fn product_spec(
+    name: impl Into<String>,
+    row_factor: &CollinearLayout,
+    col_factor: &CollinearLayout,
+    node_id: impl Fn(NodeId, NodeId) -> NodeId,
+) -> OrthogonalSpec {
+    let cols = row_factor.slot_count();
+    let rows = col_factor.slot_count();
+    let mut spec = OrthogonalSpec::new(name, rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            spec.node_at[r * cols + c] =
+                node_id(row_factor.node_at_slot[c], col_factor.node_at_slot[r]);
+        }
+    }
+    for r in 0..rows {
+        for w in &row_factor.wires {
+            spec.row_wires.push(RowWire {
+                row: r,
+                lo: w.lo,
+                hi: w.hi,
+                track: w.track,
+            });
+        }
+    }
+    for c in 0..cols {
+        for w in &col_factor.wires {
+            spec.col_wires.push(ColWire {
+                col: c,
+                lo: w.lo,
+                hi: w.hi,
+                track: w.track,
+            });
+        }
+    }
+    spec
+}
+
+/// The `b·|A| + a` node-id convention used by
+/// `mlv_topology::product::cartesian_product`.
+pub fn standard_product_id(a_count: usize) -> impl Fn(NodeId, NodeId) -> NodeId {
+    move |a, b| b * a_count as NodeId + a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realize::{realize, RealizeOptions};
+    use mlv_collinear::ring::ring_collinear;
+    use mlv_grid::checker;
+    use mlv_grid::metrics::LayoutMetrics;
+    use mlv_topology::product::cartesian_product;
+    use mlv_topology::ring::ring;
+
+    #[test]
+    fn torus_of_rings_realizes_exactly() {
+        let a = ring_collinear(4);
+        let b = ring_collinear(4);
+        let spec = product_spec("4x4 torus", &a, &b, standard_product_id(4));
+        spec.assert_valid();
+        let g = cartesian_product(&ring(4), &ring(4));
+        assert_eq!(spec.edge_multiset(), g.edge_multiset());
+        for layers in [2usize, 4] {
+            let l = realize(&spec, &RealizeOptions::with_layers(layers));
+            checker::assert_legal(&l, Some(&g));
+        }
+    }
+
+    #[test]
+    fn asymmetric_product() {
+        let a = ring_collinear(5);
+        let b = ring_collinear(3);
+        let spec = product_spec("5x3", &a, &b, standard_product_id(5));
+        let g = cartesian_product(&ring(5), &ring(3));
+        let l = realize(&spec, &RealizeOptions::with_layers(2));
+        checker::assert_legal(&l, Some(&g));
+        let m = LayoutMetrics::of(&l);
+        assert!(m.width > m.height);
+    }
+
+    #[test]
+    fn area_shrinks_quadratically_with_layers() {
+        use mlv_collinear::hypercube::hypercube_collinear;
+        let h = hypercube_collinear(4);
+        let spec = product_spec("8-cube", &h, &h, standard_product_id(16));
+        let l2 = realize(&spec, &RealizeOptions::with_layers(2));
+        let l8 = realize(&spec, &RealizeOptions::with_layers(8));
+        checker::assert_legal(&l2, None);
+        checker::assert_legal(&l8, None);
+        let (m2, m8) = (LayoutMetrics::of(&l2), LayoutMetrics::of(&l8));
+        // exact expected geometry: 16 rows/cols of pitch s + ceil(10/G)
+        // with node side s = 5 (8 terminals split 4+4, +1)
+        assert_eq!(m2.width, 16 * (5 + 10));
+        assert_eq!(m8.width, 16 * (5 + 10usize.div_ceil(4) as u64));
+        let gain = m2.area as f64 / m8.area as f64;
+        assert!((gain - (240.0f64 / 128.0).powi(2)).abs() < 1e-9);
+        // with tracks ≫ node side the gain tends to (L/2)² = 16; the
+        // track-only gain here is already the ideal ⌈10/1⌉/⌈10/4⌉:
+        assert_eq!(10usize.div_ceil(4), 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! The recursive grid layout scheme (paper §2.3), in its generic form:
+//! place nodes on a grid, classify every link as a row wire, a column
+//! wire, or a jog, and colour the tracks greedily (optimal per line for
+//! the chosen order).
+//!
+//! This is the workhorse behind every PN-cluster family (butterfly,
+//! CCC, reduced hypercubes, HSN/HHN/ISN, k-ary n-cube cluster-c) and
+//! the fallback for arbitrary graphs (star graphs and the other Cayley
+//! families the paper defers): the *product* families keep their exact
+//! constructive track counts via [`crate::product`], while cluster
+//! families get greedy counts that match the constructions
+//! asymptotically (greedy interval colouring is exactly optimal for the
+//! given node order).
+
+use crate::spec::{ColWire, JogWire, OrthogonalSpec, RowWire};
+use mlv_topology::{Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// Open-interval greedy colouring (touch at a shared slot allowed) —
+/// returns per-span tracks.
+fn color_open(spans: &[(usize, usize)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| spans[i]);
+    let mut track_end: Vec<usize> = Vec::new();
+    let mut colors = vec![0usize; spans.len()];
+    for &i in &order {
+        let (lo, hi) = spans[i];
+        let mut assigned = None;
+        for (t, end) in track_end.iter_mut().enumerate() {
+            if *end <= lo {
+                *end = hi;
+                assigned = Some(t);
+                break;
+            }
+        }
+        colors[i] = assigned.unwrap_or_else(|| {
+            track_end.push(hi);
+            track_end.len() - 1
+        });
+    }
+    colors
+}
+
+/// Build an orthogonal spec for an arbitrary graph from a grid
+/// placement. `position(node)` must be injective and fill the grid
+/// exactly (`rows·cols = node count`).
+///
+/// Every edge becomes: a **row wire** if its endpoints share a row, a
+/// **col wire** if they share a column, a **jog** otherwise. Row/col
+/// tracks are coloured greedily per line.
+pub fn grid_spec(
+    name: impl Into<String>,
+    graph: &Graph,
+    rows: usize,
+    cols: usize,
+    position: impl Fn(NodeId) -> (usize, usize),
+) -> OrthogonalSpec {
+    assert_eq!(rows * cols, graph.node_count(), "grid must be filled exactly");
+    let mut spec = OrthogonalSpec::new(name, rows, cols);
+    let mut filled = vec![false; rows * cols];
+    for u in graph.node_ids() {
+        let (r, c) = position(u);
+        assert!(r < rows && c < cols, "position out of range for node {u}");
+        let idx = r * cols + c;
+        assert!(!filled[idx], "two nodes at grid cell ({r},{c})");
+        filled[idx] = true;
+        spec.node_at[idx] = u;
+    }
+    // classify edges
+    let mut row_spans: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut col_spans: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut row_edges: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut col_edges: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for e in graph.edge_ids() {
+        let (u, v) = graph.endpoints(e);
+        let (ru, cu) = position(u);
+        let (rv, cv) = position(v);
+        if ru == rv {
+            row_spans
+                .entry(ru)
+                .or_default()
+                .push((cu.min(cv), cu.max(cv)));
+            row_edges.entry(ru).or_default().push(e as usize);
+        } else if cu == cv {
+            col_spans
+                .entry(cu)
+                .or_default()
+                .push((ru.min(rv), ru.max(rv)));
+            col_edges.entry(cu).or_default().push(e as usize);
+        } else {
+            // orient the jog deterministically: vertical run at the
+            // lower-row endpoint
+            let (a, b) = if ru < rv {
+                ((ru, cu), (rv, cv))
+            } else {
+                ((rv, cv), (ru, cu))
+            };
+            spec.jog_wires.push(JogWire { a, b });
+        }
+    }
+    for (r, spans) in &row_spans {
+        let colors = color_open(spans);
+        for (i, &(lo, hi)) in spans.iter().enumerate() {
+            spec.row_wires.push(RowWire {
+                row: *r,
+                lo,
+                hi,
+                track: colors[i],
+            });
+        }
+    }
+    for (c, spans) in &col_spans {
+        let colors = color_open(spans);
+        for (i, &(lo, hi)) in spans.iter().enumerate() {
+            spec.col_wires.push(ColWire {
+                col: *c,
+                lo,
+                hi,
+                track: colors[i],
+            });
+        }
+    }
+    spec
+}
+
+/// Append extra links (e.g. the folded hypercube's diameter links,
+/// §5.3) to an existing spec: same-row links get fresh tracks *above*
+/// that row's construction tracks, same-column links likewise, and
+/// cross links become jogs. Links are `(node_u, node_v)` pairs.
+pub fn append_extra_links(spec: &mut OrthogonalSpec, links: &[(NodeId, NodeId)]) {
+    // node -> (row, col)
+    let mut pos: BTreeMap<NodeId, (usize, usize)> = BTreeMap::new();
+    for r in 0..spec.rows {
+        for c in 0..spec.cols {
+            pos.insert(spec.node(r, c), (r, c));
+        }
+    }
+    let mut row_extra: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut col_extra: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for &(u, v) in links {
+        let (ru, cu) = pos[&u];
+        let (rv, cv) = pos[&v];
+        if ru == rv {
+            row_extra
+                .entry(ru)
+                .or_default()
+                .push((cu.min(cv), cu.max(cv)));
+        } else if cu == cv {
+            col_extra
+                .entry(cu)
+                .or_default()
+                .push((ru.min(rv), ru.max(rv)));
+        } else {
+            let (a, b) = if ru < rv {
+                ((ru, cu), (rv, cv))
+            } else {
+                ((rv, cv), (ru, cu))
+            };
+            spec.jog_wires.push(JogWire { a, b });
+        }
+    }
+    for (r, spans) in &row_extra {
+        let base = spec.row_tracks(*r);
+        let colors = color_open(spans);
+        for (i, &(lo, hi)) in spans.iter().enumerate() {
+            spec.row_wires.push(RowWire {
+                row: *r,
+                lo,
+                hi,
+                track: base + colors[i],
+            });
+        }
+    }
+    for (c, spans) in &col_extra {
+        let base = spec.col_tracks(*c);
+        let colors = color_open(spans);
+        for (i, &(lo, hi)) in spans.iter().enumerate() {
+            spec.col_wires.push(ColWire {
+                col: *c,
+                lo,
+                hi,
+                track: base + colors[i],
+            });
+        }
+    }
+}
+
+/// Near-square factorization `rows × cols = n` with `rows ≤ cols`,
+/// used to arrange arbitrary node counts on a grid.
+pub fn near_square(n: usize) -> (usize, usize) {
+    assert!(n >= 1);
+    let mut best = (1, n);
+    let mut r = 1;
+    while r * r <= n {
+        if n.is_multiple_of(r) {
+            best = (r, n / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+/// Labels for the Fig. 1 block-diagram render of the recursive grid
+/// scheme: an l-level hierarchy's level-`l` blocks arranged as a grid.
+pub fn figure1_labels(rows: usize, cols: usize) -> Vec<Vec<String>> {
+    (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| format!("B{}{}", r, c))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realize::{realize, RealizeOptions};
+    use mlv_grid::checker;
+    use mlv_topology::cayley::star;
+    use mlv_topology::karyn::KaryNCube;
+
+    #[test]
+    fn grid_spec_matches_graph() {
+        let t = KaryNCube::torus(4, 2);
+        let spec = grid_spec("t", &t.graph, 4, 4, |u| {
+            ((u as usize) / 4, (u as usize) % 4)
+        });
+        spec.assert_valid();
+        assert_eq!(spec.edge_multiset(), t.graph.edge_multiset());
+        // natural torus placement: every link is a row or col wire
+        assert!(spec.jog_wires.is_empty());
+        let l = realize(&spec, &RealizeOptions::with_layers(4));
+        checker::assert_legal(&l, Some(&t.graph));
+    }
+
+    #[test]
+    fn arbitrary_graph_with_jogs_realizes() {
+        let g = star(4); // 24 nodes
+        let (rows, cols) = near_square(24);
+        let spec = grid_spec("star4", &g, rows, cols, |u| {
+            ((u as usize) / cols, (u as usize) % cols)
+        });
+        spec.assert_valid();
+        assert_eq!(spec.edge_multiset(), g.edge_multiset());
+        for layers in [2usize, 4] {
+            let l = realize(&spec, &RealizeOptions::with_layers(layers));
+            checker::assert_legal(&l, Some(&g));
+        }
+    }
+
+    #[test]
+    fn extra_links_appended_legally() {
+        use mlv_topology::GraphBuilder;
+        let t = KaryNCube::torus(3, 2);
+        let spec0 = grid_spec("t", &t.graph, 3, 3, |u| {
+            ((u as usize) / 3, (u as usize) % 3)
+        });
+        let mut spec = spec0.clone();
+        // add diagonal links
+        let extra = vec![(0u32, 8u32), (2, 6), (0, 2)];
+        append_extra_links(&mut spec, &extra);
+        spec.assert_valid();
+        // reference graph with extras
+        let mut b = GraphBuilder::new("t+", 9);
+        for e in t.graph.edge_ids() {
+            let (u, v) = t.graph.endpoints(e);
+            b.add_edge(u, v);
+        }
+        for &(u, v) in &extra {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let l = realize(&spec, &RealizeOptions::with_layers(4));
+        checker::assert_legal(&l, Some(&g));
+    }
+
+    #[test]
+    fn near_square_factors() {
+        assert_eq!(near_square(24), (4, 6));
+        assert_eq!(near_square(16), (4, 4));
+        assert_eq!(near_square(7), (1, 7));
+        assert_eq!(near_square(1), (1, 1));
+    }
+
+    #[test]
+    fn figure1_labels_shape() {
+        let l = figure1_labels(2, 3);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].len(), 3);
+        assert_eq!(l[1][2], "B12");
+    }
+}

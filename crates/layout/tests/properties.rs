@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) for the layout engine: *any* graph
+//! placed on a grid realizes to a legal multilayer layout at any layer
+//! budget — the strongest invariant of the reproduction.
+
+use mlv_grid::checker::check;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::families;
+use mlv_layout::realize::{realize, RealizeOptions};
+use mlv_layout::scheme::grid_spec;
+use mlv_topology::GraphBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random graphs on random grids realize legally at every layer
+    /// budget, and the layout realizes exactly the graph.
+    #[test]
+    fn random_graphs_realize_legally(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        edges in prop::collection::vec((0u32..25, 0u32..25), 1..40),
+        layers in 2usize..9,
+    ) {
+        let n = rows * cols;
+        let mut b = GraphBuilder::new("random", n);
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        prop_assume!(g.edge_count() > 0);
+        let spec = grid_spec("random", &g, rows, cols, |u| {
+            ((u as usize) / cols, (u as usize) % cols)
+        });
+        spec.assert_valid();
+        let layout = realize(&spec, &RealizeOptions::with_layers(layers));
+        let report = check(&layout, Some(&g));
+        prop_assert!(report.is_legal(), "errors: {:?}", &report.errors[..report.errors.len().min(3)]);
+        prop_assert!(layout.max_used_layer() < layers as i32);
+    }
+
+    /// Multigraphs (parallel links) also realize legally.
+    #[test]
+    fn multigraphs_realize_legally(
+        multiplicity in 2usize..5,
+        layers in 2usize..7,
+    ) {
+        let mut b = GraphBuilder::new("multi", 9);
+        for m in 0..multiplicity {
+            for u in 0..9u32 {
+                let v = (u + 1 + m as u32) % 9;
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let spec = grid_spec("multi", &g, 3, 3, |u| ((u as usize) / 3, (u as usize) % 3));
+        let layout = realize(&spec, &RealizeOptions::with_layers(layers));
+        prop_assert!(check(&layout, Some(&g)).is_legal());
+    }
+
+    /// Growing the node side scales the area exactly by the pitch model
+    /// and never breaks legality.
+    #[test]
+    fn node_side_scaling_is_exact(extra in 0usize..12, layers in 2usize..6) {
+        let fam = families::hypercube(4);
+        let base = realize(&fam.spec, &RealizeOptions::with_layers(layers));
+        prop_assert!(check(&base, Some(&fam.graph)).is_legal());
+        let base_m = LayoutMetrics::of(&base);
+        // base pitch: side s and per-gap tracks derived from the width
+        let cols = 4u64;
+        let base_pitch = base_m.width / cols;
+        // per-gap tracks: the 2-track 2-cube bundle split over ⌊L/2⌋
+        // groups; the rest of the pitch is the minimal node side
+        let wpl = 2u64.div_ceil(layers as u64 / 2);
+        let min_side = base_pitch - wpl;
+        let grown = realize(
+            &fam.spec,
+            &RealizeOptions {
+                layers,
+                node_side: Some((min_side as usize) + extra),
+                jog_strategy: Default::default(),
+            },
+        );
+        prop_assert!(check(&grown, Some(&fam.graph)).is_legal());
+        let grown_m = LayoutMetrics::of(&grown);
+        prop_assert_eq!(grown_m.width, cols * (base_pitch + extra as u64));
+    }
+
+    /// Area and max wire never increase when the layer budget grows.
+    #[test]
+    fn monotone_in_layers(k in 3usize..6) {
+        let fam = families::karyn_cube(k, 2, false);
+        let mut prev_area = u64::MAX;
+        let mut prev_wire = u64::MAX;
+        for layers in [2usize, 4, 6, 8] {
+            let m = LayoutMetrics::of(&fam.realize(layers));
+            prop_assert!(m.area <= prev_area);
+            prop_assert!(m.max_wire_planar <= prev_wire);
+            prev_area = m.area;
+            prev_wire = m.max_wire_planar;
+        }
+    }
+
+    /// Odd layer budgets produce byte-identical metrics to the next
+    /// lower even budget (the paper's ⌊L/2⌋ grouping).
+    #[test]
+    fn odd_equals_even_minus_one(n in 2usize..6, odd in 1usize..4) {
+        let layers = 2 * odd + 1;
+        let fam = families::hypercube(n);
+        let mo = LayoutMetrics::of(&fam.realize(layers));
+        let me = LayoutMetrics::of(&fam.realize(layers - 1));
+        prop_assert_eq!(mo.area, me.area);
+        prop_assert_eq!(mo.max_wire_planar, me.max_wire_planar);
+    }
+
+    /// Random graphs realize legally in the 3-D model at every slab
+    /// count.
+    #[test]
+    fn random_graphs_realize_3d_legally(
+        rows in 2usize..6,
+        cols in 2usize..5,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 1..35),
+        slab_pow in 0u32..3,
+    ) {
+        use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
+        let la = 1usize << slab_pow;
+        let layers = 2 * la; // minimum budget: 2 layers per slab
+        let n = rows * cols;
+        let mut b = GraphBuilder::new("random3d", n);
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        prop_assume!(g.edge_count() > 0);
+        let spec = grid_spec("random3d", &g, rows, cols, |u| {
+            ((u as usize) / cols, (u as usize) % cols)
+        });
+        let layout = realize_3d(
+            &spec,
+            &Realize3dOptions {
+                layers,
+                active_layers: la,
+                node_side: None,
+            },
+        );
+        let report = check(&layout, Some(&g));
+        prop_assert!(
+            report.is_legal(),
+            "LA={la}: {:?}",
+            &report.errors[..report.errors.len().min(3)]
+        );
+    }
+
+    /// 3-D realization with grown node sides stays legal and keeps at
+    /// least the slot-pitch height.
+    #[test]
+    fn stacking_monotone_height(la_pow in 0u32..3) {
+        use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
+        let fam = families::karyn_cube(4, 2, false);
+        let la = 1usize << la_pow;
+        let layout = realize_3d(
+            &fam.spec,
+            &Realize3dOptions {
+                layers: 8,
+                active_layers: la,
+                node_side: Some(12),
+            },
+        );
+        prop_assert!(check(&layout, Some(&fam.graph)).is_legal());
+        let m = LayoutMetrics::of(&layout);
+        // 4 rows over la slabs -> ceil(4/la) slots of pitch >= 12
+        prop_assert!(m.height >= (4usize.div_ceil(la) * 12) as u64);
+    }
+
+    /// Every built-in family realizes legally for random parameters.
+    #[test]
+    fn family_sampler(which in 0usize..8, layers in 2usize..6) {
+        let fam = match which {
+            0 => families::hypercube(5),
+            1 => families::karyn_cube(4, 2, false),
+            2 => families::genhyper(&[5, 4]),
+            3 => families::ccc(3),
+            4 => families::butterfly(3),
+            5 => families::hsn(2, 5),
+            6 => families::folded_hypercube(4),
+            _ => families::isn(2, 3),
+        };
+        let layout = fam.realize(layers);
+        prop_assert!(check(&layout, Some(&fam.graph)).is_legal());
+    }
+}

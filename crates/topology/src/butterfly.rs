@@ -1,0 +1,154 @@
+//! Butterfly networks.
+//!
+//! The ordinary m-dimensional butterfly BF(m) has `(m+1)·2^m` nodes
+//! `(level l, row w)` with `0 ≤ l ≤ m`, `w` an m-bit string; node
+//! `(l, w)` is joined to `(l+1, w)` (straight link) and `(l+1, w ⊕ 2^l)`
+//! (cross link). The **wrapped** butterfly merges levels 0 and m, giving
+//! `m·2^m` nodes — this is the `R×R` butterfly of the paper's §4.2 with
+//! `R = 2^m` rows and `N = R·log₂R` nodes.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// A butterfly network with its (level, row) addressing.
+#[derive(Clone, Debug)]
+pub struct Butterfly {
+    /// Dimension m (rows are m-bit strings).
+    pub m: usize,
+    /// Number of levels actually present: `m+1` ordinary, `m` wrapped.
+    pub levels: usize,
+    /// `true` for the wrapped butterfly (levels 0 and m identified).
+    pub wrapped: bool,
+    /// The underlying graph.
+    pub graph: Graph,
+}
+
+impl Butterfly {
+    /// Ordinary butterfly BF(m), `(m+1)·2^m` nodes.
+    pub fn ordinary(m: usize) -> Self {
+        Self::build(m, false)
+    }
+
+    /// Wrapped butterfly, `m·2^m` nodes (requires `m ≥ 1`; for `m ≥ 3`
+    /// it is 4-regular).
+    pub fn wrapped(m: usize) -> Self {
+        assert!(m >= 1, "wrapped butterfly needs m >= 1");
+        Self::build(m, true)
+    }
+
+    fn build(m: usize, wrapped: bool) -> Self {
+        assert!(m < 26, "butterfly dimension too large");
+        let rows = 1usize << m;
+        let levels = if wrapped { m } else { m + 1 };
+        let kind = if wrapped { "wrapped " } else { "" };
+        let mut b = GraphBuilder::new(format!("{kind}BF({m})"), levels * rows);
+        for l in 0..m {
+            let next = if wrapped { (l + 1) % m } else { l + 1 };
+            for w in 0..rows {
+                let u = Self::id_at(l, w, rows);
+                let straight = Self::id_at(next, w, rows);
+                let cross = Self::id_at(next, w ^ (1 << l), rows);
+                // In the wrapped m=1 case straight and cross links may
+                // coincide with u itself (single row bit) — guard loops.
+                if u != straight {
+                    b.add_edge(u, straight);
+                }
+                if u != cross {
+                    b.add_edge(u, cross);
+                }
+            }
+        }
+        Butterfly {
+            m,
+            levels,
+            wrapped,
+            graph: b.build(),
+        }
+    }
+
+    fn id_at(level: usize, row: usize, rows: usize) -> NodeId {
+        (level * rows + row) as NodeId
+    }
+
+    /// Node id of `(level, row)`.
+    pub fn id(&self, level: usize, row: usize) -> NodeId {
+        assert!(level < self.levels && row < (1 << self.m));
+        Self::id_at(level, row, 1 << self.m)
+    }
+
+    /// `(level, row)` of a node id.
+    pub fn coords(&self, id: NodeId) -> (usize, usize) {
+        let rows = 1usize << self.m;
+        ((id as usize) / rows, (id as usize) % rows)
+    }
+
+    /// Number of rows, `R = 2^m`.
+    pub fn rows(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Total node count `N`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn ordinary_counts() {
+        let bf = Butterfly::ordinary(3);
+        assert_eq!(bf.node_count(), 4 * 8);
+        // 2 links per node per level transition: m * 2^m * 2
+        assert_eq!(bf.graph.edge_count(), 3 * 8 * 2);
+        assert!(bf.graph.is_connected());
+    }
+
+    #[test]
+    fn wrapped_counts_and_regularity() {
+        let bf = Butterfly::wrapped(3);
+        assert_eq!(bf.node_count(), 3 * 8);
+        assert_eq!(bf.graph.regular_degree(), Some(4));
+        assert!(bf.graph.is_connected());
+    }
+
+    #[test]
+    fn ordinary_boundary_degrees() {
+        let bf = Butterfly::ordinary(3);
+        // levels 0 and m have degree 2, middle levels degree 4
+        assert_eq!(bf.graph.degree(bf.id(0, 0)), 2);
+        assert_eq!(bf.graph.degree(bf.id(3, 5)), 2);
+        assert_eq!(bf.graph.degree(bf.id(1, 2)), 4);
+    }
+
+    #[test]
+    fn cross_links_flip_level_bit() {
+        let bf = Butterfly::ordinary(4);
+        for e in bf.graph.edge_ids() {
+            let (u, v) = bf.graph.endpoints(e);
+            let (lu, wu) = bf.coords(u);
+            let (lv, wv) = bf.coords(v);
+            assert_eq!(lv, lu + 1);
+            assert!(wu == wv || wu ^ wv == 1 << lu);
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let bf = Butterfly::wrapped(4);
+        for id in bf.graph.node_ids() {
+            let (l, w) = bf.coords(id);
+            assert_eq!(bf.id(l, w), id);
+        }
+    }
+
+    #[test]
+    fn wrapped_m2_valid() {
+        let bf = Butterfly::wrapped(2);
+        assert_eq!(bf.node_count(), 8);
+        assert!(bf.graph.is_connected());
+    }
+}

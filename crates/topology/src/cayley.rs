@@ -1,0 +1,293 @@
+//! Cayley-graph families: star, pancake, bubble-sort, and transposition
+//! graphs, and star-connected cycles (SCC).
+//!
+//! The paper (§1, §4.3) notes that its multilayer techniques also apply
+//! to these permutation networks and defers the constructions to future
+//! work; we provide the topologies (they are exercised by the generic
+//! orthogonal layout fallback in `mlv-layout`) with nodes indexed by the
+//! Lehmer rank of their permutation.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Rank a permutation of `0..n` (Lehmer code, factorial number system).
+pub fn perm_rank(perm: &[usize]) -> usize {
+    let n = perm.len();
+    let mut rank = 0usize;
+    for i in 0..n {
+        let smaller = perm[i + 1..].iter().filter(|&&x| x < perm[i]).count();
+        rank = rank * (n - i) + smaller;
+    }
+    rank
+}
+
+/// Inverse of [`perm_rank`]: the permutation of `0..n` with the given
+/// rank.
+pub fn perm_unrank(mut rank: usize, n: usize) -> Vec<usize> {
+    let mut fact = vec![1usize; n + 1];
+    for i in 1..=n {
+        fact[i] = fact[i - 1] * i;
+    }
+    assert!(rank < fact[n], "rank out of range");
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut perm = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = fact[n - 1 - i];
+        let idx = rank / f;
+        rank %= f;
+        perm.push(pool.remove(idx));
+    }
+    perm
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product::<usize>().max(1)
+}
+
+/// Build a Cayley graph over the symmetric group S_n whose generators are
+/// given as position permutations applied on the right (i.e. the
+/// neighbour of π under generator g is π∘g: position i receives the
+/// symbol from position `g[i]`).
+fn cayley(name: String, n: usize, generators: &[Vec<usize>]) -> Graph {
+    assert!(n <= 9, "factorial blow-up: keep n <= 9");
+    let nn = factorial(n);
+    let mut b = GraphBuilder::new(name, nn);
+    for id in 0..nn {
+        let perm = perm_unrank(id, n);
+        for g in generators {
+            let neighbor: Vec<usize> = g.iter().map(|&i| perm[i]).collect();
+            let nid = perm_rank(&neighbor);
+            assert_ne!(nid, id, "generator must be fixed-point-free");
+            if nid > id {
+                b.add_edge(id as NodeId, nid as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+fn transposition_gen(n: usize, i: usize, j: usize) -> Vec<usize> {
+    let mut g: Vec<usize> = (0..n).collect();
+    g.swap(i, j);
+    g
+}
+
+/// Star graph ST(n): generators swap position 0 with position i,
+/// `1 ≤ i < n`. `n!` nodes, degree `n−1`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let gens: Vec<_> = (1..n).map(|i| transposition_gen(n, 0, i)).collect();
+    cayley(format!("star({n})"), n, &gens)
+}
+
+/// Pancake graph P(n): generators reverse the prefix of length i,
+/// `2 ≤ i ≤ n`. `n!` nodes, degree `n−1`.
+pub fn pancake(n: usize) -> Graph {
+    assert!(n >= 2);
+    let gens: Vec<_> = (2..=n)
+        .map(|i| {
+            let mut g: Vec<usize> = (0..n).collect();
+            g[..i].reverse();
+            g
+        })
+        .collect();
+    cayley(format!("pancake({n})"), n, &gens)
+}
+
+/// Bubble-sort graph B(n): generators swap adjacent positions.
+/// `n!` nodes, degree `n−1`.
+pub fn bubble_sort(n: usize) -> Graph {
+    assert!(n >= 2);
+    let gens: Vec<_> = (0..n - 1).map(|i| transposition_gen(n, i, i + 1)).collect();
+    cayley(format!("bubble-sort({n})"), n, &gens)
+}
+
+/// Transposition network T(n): generators are all transpositions.
+/// `n!` nodes, degree `n(n−1)/2`.
+pub fn transposition(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut gens = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            gens.push(transposition_gen(n, i, j));
+        }
+    }
+    cayley(format!("transposition({n})"), n, &gens)
+}
+
+/// Macro-star network MS(ℓ, n) (Yeh & Varvarigos [29]): a low-degree
+/// alternative to the star graph on `(ℓn+1)!` permutations of
+/// `ℓn + 1` symbols. Generators (reconstructed from [29]'s abstract —
+/// the full construction is behind the reference): the star-graph
+/// transpositions `t_2 … t_{n+1}` within the first block, plus `ℓ − 1`
+/// *block swaps* exchanging the first block (positions `2…n+1`) with
+/// block `j` (positions `(j−1)n+2 … jn+1`). Degree `n + ℓ − 1`;
+/// connected because conjugating `t_i` by block swaps reaches every
+/// star-graph generator.
+pub fn macro_star(l: usize, n: usize) -> Graph {
+    assert!(l >= 1 && n >= 1, "need l, n >= 1");
+    let symbols = l * n + 1;
+    assert!(symbols <= 8, "factorial blow-up: keep ln+1 <= 8");
+    let mut gens: Vec<Vec<usize>> = (1..=n).map(|i| transposition_gen(symbols, 0, i)).collect();
+    for j in 2..=l {
+        // swap positions 1..n with positions (j-1)n+1..jn (0-based)
+        let mut g: Vec<usize> = (0..symbols).collect();
+        for t in 0..n {
+            g.swap(1 + t, (j - 1) * n + 1 + t);
+        }
+        gens.push(g);
+    }
+    cayley(format!("MS({l},{n})"), symbols, &gens)
+}
+
+/// Star-connected cycles SCC(n) (Latifi, de Azevedo & Bagherzadeh [15]):
+/// each star-graph node becomes an (n−1)-node cycle; node `(π, p)` with
+/// `1 ≤ p ≤ n−1` has cycle links to its ring neighbours and one star link
+/// to `(π∘(0 p), p)`. `(n−1)·n!` nodes, degree ≤ 3.
+pub fn scc(n: usize) -> Graph {
+    assert!(n >= 3, "SCC needs n >= 3");
+    assert!(n <= 8, "factorial blow-up: keep n <= 8");
+    let nf = factorial(n);
+    let ring = n - 1; // positions 1..n-1, stored as 0..n-2
+    let mut b = GraphBuilder::new(format!("SCC({n})"), nf * ring);
+    let id_at = |perm_id: usize, p: usize| (perm_id * ring + p) as NodeId;
+    for perm_id in 0..nf {
+        let perm = perm_unrank(perm_id, n);
+        // cycle links
+        if ring == 2 {
+            b.add_edge(id_at(perm_id, 0), id_at(perm_id, 1));
+        } else if ring >= 3 {
+            for p in 0..ring {
+                b.add_edge(id_at(perm_id, p), id_at(perm_id, (p + 1) % ring));
+            }
+        }
+        // star links: generator (0, p+1), generated once per pair
+        for p in 0..ring {
+            let g = transposition_gen(n, 0, p + 1);
+            let neighbor: Vec<usize> = g.iter().map(|&i| perm[i]).collect();
+            let nid = perm_rank(&neighbor);
+            if nid > perm_id {
+                b.add_edge(id_at(perm_id, p), id_at(nid, p));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for n in 1..6usize {
+            let nf: usize = (1..=n).product();
+            for r in 0..nf {
+                assert_eq!(perm_rank(&perm_unrank(r, n)), r);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_has_rank_zero() {
+        assert_eq!(perm_rank(&[0, 1, 2, 3]), 0);
+        assert_eq!(perm_unrank(0, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(4);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(g.is_connected());
+        // known: ST(4) diameter = 4
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn pancake_counts() {
+        let g = pancake(4);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(g.is_connected());
+        // known: P(4) diameter = 4
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn bubble_sort_counts() {
+        let g = bubble_sort(4);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(g.is_connected());
+        // known: B(n) diameter = n(n-1)/2
+        assert_eq!(g.diameter(), Some(6));
+    }
+
+    #[test]
+    fn transposition_counts() {
+        let g = transposition(4);
+        assert_eq!(g.regular_degree(), Some(6));
+        assert!(g.is_connected());
+        // known: T(n) diameter = n-1
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn macro_star_counts() {
+        // MS(2,2): 5 symbols, 120 nodes, degree 2 + 1 = 3
+        let g = macro_star(2, 2);
+        assert_eq!(g.node_count(), 120);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(g.is_connected());
+        // MS(1,n) degenerates to the star graph ST(n+1)
+        let ms = macro_star(1, 3);
+        let st = star(4);
+        assert_eq!(ms.edge_multiset(), st.edge_multiset());
+        // MS(3,2): 7 symbols, degree 2 + 2 = 4
+        let g = macro_star(3, 2);
+        assert_eq!(g.node_count(), 5040);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn macro_star_degree_below_star() {
+        // same node count as ST(5) but lower degree
+        let ms = macro_star(2, 2);
+        let st = star(5);
+        assert_eq!(ms.node_count(), st.node_count());
+        assert!(ms.regular_degree().unwrap() < st.regular_degree().unwrap());
+    }
+
+    #[test]
+    fn scc_counts() {
+        let g = scc(4);
+        assert_eq!(g.node_count(), 3 * 24);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_is_bipartite_sanity() {
+        // star graphs are bipartite (generators are odd permutations):
+        // every edge joins permutations of opposite parity.
+        let g = star(4);
+        let parity = |id: u32| -> bool {
+            let p = perm_unrank(id as usize, 4);
+            let mut inv = 0;
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    if p[i] > p[j] {
+                        inv += 1;
+                    }
+                }
+            }
+            inv % 2 == 1
+        };
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            assert_ne!(parity(u), parity(v));
+        }
+    }
+}

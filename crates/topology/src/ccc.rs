@@ -1,0 +1,119 @@
+//! Cube-connected cycles (Preparata & Vuillemin 1981).
+//!
+//! CCC(n) replaces each node of the n-cube with an n-node cycle; node
+//! `(x, p)` (cube address `x`, cycle position `p`) has cycle links to
+//! `(x, p±1 mod n)` and one cube link to `(x ⊕ 2^p, p)`. `N = n·2ⁿ`
+//! nodes, degree 3 (for `n ≥ 3`). The paper lays it out as a hypercube
+//! PN-cluster (§5.2): the quotient over cycles is the n-cube.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// A cube-connected cycles network with its (cube address, position)
+/// addressing.
+#[derive(Clone, Debug)]
+pub struct Ccc {
+    /// Cube dimension n (cycle length is also n).
+    pub n: usize,
+    /// The underlying graph.
+    pub graph: Graph,
+}
+
+impl Ccc {
+    /// Build CCC(n). `n ≥ 1`; for `n ∈ {1, 2}` the "cycles" degenerate to
+    /// a point / an edge, matching the usual convention.
+    pub fn new(n: usize) -> Self {
+        assert!((1..26).contains(&n), "CCC dimension out of range");
+        let cube = 1usize << n;
+        let mut b = GraphBuilder::new(format!("CCC({n})"), n * cube);
+        for x in 0..cube {
+            // cycle links within the cluster
+            if n == 2 {
+                b.add_edge(Self::id_at(x, 0, n), Self::id_at(x, 1, n));
+            } else if n >= 3 {
+                for p in 0..n {
+                    b.add_edge(Self::id_at(x, p, n), Self::id_at(x, (p + 1) % n, n));
+                }
+            }
+            // cube links, generated once from the 0-bit side
+            for p in 0..n {
+                if x & (1 << p) == 0 {
+                    b.add_edge(Self::id_at(x, p, n), Self::id_at(x ^ (1 << p), p, n));
+                }
+            }
+        }
+        Ccc { n, graph: b.build() }
+    }
+
+    fn id_at(x: usize, p: usize, n: usize) -> NodeId {
+        (x * n + p) as NodeId
+    }
+
+    /// Node id of `(cube address, cycle position)`.
+    pub fn id(&self, x: usize, p: usize) -> NodeId {
+        assert!(x < (1 << self.n) && p < self.n);
+        Self::id_at(x, p, self.n)
+    }
+
+    /// `(cube address, cycle position)` of a node id.
+    pub fn coords(&self, id: NodeId) -> (usize, usize) {
+        ((id as usize) / self.n, (id as usize) % self.n)
+    }
+
+    /// Total node count `N = n·2ⁿ`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn counts() {
+        let c = Ccc::new(3);
+        assert_eq!(c.node_count(), 24);
+        // 3 cycle links per cluster * 8 clusters + cube links 3*8/2 ... cube
+        // links: one per (x,p) pair with bit p of x == 0 => n*2^n/2 = 12.
+        assert_eq!(c.graph.edge_count(), 8 * 3 + 12);
+        assert_eq!(c.graph.regular_degree(), Some(3));
+        assert!(c.graph.is_connected());
+    }
+
+    #[test]
+    fn cube_links_flip_position_bit() {
+        let c = Ccc::new(4);
+        for e in c.graph.edge_ids() {
+            let (u, v) = c.graph.endpoints(e);
+            let (xu, pu) = c.coords(u);
+            let (xv, pv) = c.coords(v);
+            if xu == xv {
+                // cycle link
+                let d = (pu as i64 - pv as i64).rem_euclid(c.n as i64);
+                assert!(d == 1 || d == c.n as i64 - 1);
+            } else {
+                assert_eq!(pu, pv);
+                assert_eq!(xu ^ xv, 1 << pu);
+            }
+        }
+    }
+
+    #[test]
+    fn small_n() {
+        let c = Ccc::new(1);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.graph.edge_count(), 1);
+        let c = Ccc::new(2);
+        assert_eq!(c.node_count(), 8);
+        assert!(c.graph.is_connected());
+    }
+
+    #[test]
+    fn diameter_matches_known_value() {
+        // Known: diameter of CCC(3) is 6.
+        let c = Ccc::new(3);
+        assert_eq!(c.graph.diameter(), Some(6));
+    }
+}

@@ -1,0 +1,194 @@
+//! Product-network clusters (PN clusters), including k-ary n-cube
+//! cluster-c (Basak & Panda [4]).
+//!
+//! A PN cluster replaces every node of a *quotient* product network with a
+//! c-node *cluster* graph; each inter-cluster link of the quotient is
+//! attached to a specific member node at both ends. The paper (§3.2) lays
+//! these out by expanding each quotient-layout node into a block and
+//! laying the cluster inside it. We attach the quotient links to cluster
+//! members round-robin, which spreads terminal load evenly (any fixed
+//! attachment rule yields the same layout asymptotics).
+
+use crate::builder::GraphBuilder;
+use crate::complete::complete;
+use crate::graph::{Graph, NodeId};
+use crate::hypercube::hypercube;
+use crate::karyn::KaryNCube;
+use crate::ring::ring;
+
+/// The cluster (basic-module) family used inside each supernode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// c-node ring.
+    Ring,
+    /// c-node hypercube (`c` must be a power of two).
+    Hypercube,
+    /// c-node complete graph — the paper's densest case (§3.2 shows the
+    /// area overhead stays negligible while `c = o(k^{n/4−1})`).
+    Complete,
+}
+
+impl ClusterKind {
+    /// Instantiate the cluster graph on `c` nodes.
+    pub fn instantiate(self, c: usize) -> Graph {
+        match self {
+            ClusterKind::Ring => ring(c),
+            ClusterKind::Hypercube => {
+                assert!(c.is_power_of_two(), "hypercube cluster needs c = 2^s");
+                hypercube(c.trailing_zeros() as usize)
+            }
+            ClusterKind::Complete => complete(c),
+        }
+    }
+}
+
+/// A PN cluster: quotient product network with every node expanded into a
+/// cluster graph.
+#[derive(Clone, Debug)]
+pub struct PnCluster {
+    /// The quotient graph (one node per cluster).
+    pub quotient: Graph,
+    /// The cluster graph replicated inside every supernode.
+    pub cluster: Graph,
+    /// For quotient edge `e`, the member nodes its endpoints attach to:
+    /// `(member at endpoint u, member at endpoint v)` in the edge's
+    /// insertion orientation.
+    pub attachments: Vec<(usize, usize)>,
+    /// The expanded graph (`|quotient| · |cluster|` nodes).
+    pub graph: Graph,
+}
+
+impl PnCluster {
+    /// Expand `quotient` by replacing each node with a copy of `cluster`,
+    /// attaching inter-cluster links round-robin over cluster members.
+    pub fn new(quotient: &Graph, cluster: &Graph) -> Self {
+        let c = cluster.node_count();
+        assert!(c >= 1, "cluster must be non-empty");
+        let nq = quotient.node_count();
+        let mut b = GraphBuilder::new(
+            format!("{}[{}]", quotient.name(), cluster.name()),
+            nq * c,
+        );
+        // intra-cluster links
+        for q in 0..nq {
+            for e in cluster.edge_ids() {
+                let (u, v) = cluster.endpoints(e);
+                b.add_edge(
+                    (q * c + u as usize) as NodeId,
+                    (q * c + v as usize) as NodeId,
+                );
+            }
+        }
+        // inter-cluster links, round-robin attachment
+        let mut counter = vec![0usize; nq];
+        let mut attachments = Vec::with_capacity(quotient.edge_count());
+        for e in quotient.edge_ids() {
+            let (qu, qv) = quotient.endpoints(e);
+            let mu = counter[qu as usize] % c;
+            counter[qu as usize] += 1;
+            let mv = counter[qv as usize] % c;
+            counter[qv as usize] += 1;
+            attachments.push((mu, mv));
+            b.add_edge(
+                (qu as usize * c + mu) as NodeId,
+                (qv as usize * c + mv) as NodeId,
+            );
+        }
+        PnCluster {
+            quotient: quotient.clone(),
+            cluster: cluster.clone(),
+            attachments,
+            graph: b.build(),
+        }
+    }
+
+    /// Cluster (quotient node) index of an expanded node.
+    pub fn cluster_of(&self, id: NodeId) -> usize {
+        (id as usize) / self.cluster.node_count()
+    }
+
+    /// Member index within its cluster of an expanded node.
+    pub fn member_of(&self, id: NodeId) -> usize {
+        (id as usize) % self.cluster.node_count()
+    }
+
+    /// Expanded node id of `(cluster, member)`.
+    pub fn id(&self, cluster: usize, member: usize) -> NodeId {
+        (cluster * self.cluster.node_count() + member) as NodeId
+    }
+}
+
+/// k-ary n-cube cluster-c: the k-ary n-cube quotient with c-node clusters
+/// of the given kind (paper §3.2's running PN-cluster example).
+pub fn kary_cluster_c(k: usize, n: usize, c: usize, kind: ClusterKind) -> PnCluster {
+    let quotient = KaryNCube::torus(k, n);
+    let cluster = kind.instantiate(c);
+    PnCluster::new(&quotient.graph, &cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccc::Ccc;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn expanded_counts() {
+        let pc = kary_cluster_c(3, 2, 4, ClusterKind::Hypercube);
+        assert_eq!(pc.graph.node_count(), 9 * 4);
+        // intra: 9 clusters * 4 edges (2-cube) ; inter: 18 torus links
+        assert_eq!(pc.graph.edge_count(), 9 * 4 + 18);
+        assert!(pc.graph.is_connected());
+    }
+
+    #[test]
+    fn round_robin_attachment_balances_terminals() {
+        let pc = kary_cluster_c(4, 2, 4, ClusterKind::Ring);
+        // every cluster has 2n = 4 incident quotient links and c = 4
+        // members, so each member takes exactly one inter-cluster link.
+        let c = pc.cluster.node_count();
+        let mut load = vec![0usize; pc.graph.node_count()];
+        for e in pc.graph.edge_ids() {
+            let (u, v) = pc.graph.endpoints(e);
+            if pc.cluster_of(u) != pc.cluster_of(v) {
+                load[u as usize] += 1;
+                load[v as usize] += 1;
+            }
+        }
+        for (id, l) in load.iter().enumerate() {
+            assert!(*l <= 1 + 4 / c, "node {id} overloaded: {l}");
+        }
+    }
+
+    #[test]
+    fn cluster_of_member_of_roundtrip() {
+        let pc = kary_cluster_c(3, 2, 5, ClusterKind::Complete);
+        for id in pc.graph.node_ids() {
+            assert_eq!(pc.id(pc.cluster_of(id), pc.member_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn ccc_is_a_hypercube_pn_cluster_in_spirit() {
+        // CCC(3) and hypercube-quotient ring-cluster PN have the same
+        // node count and degree profile (attachment differs but the
+        // quotient structure matches).
+        let ccc = Ccc::new(3);
+        let pc = PnCluster::new(&hypercube(3), &ring(3));
+        assert_eq!(ccc.graph.node_count(), pc.graph.node_count());
+        assert_eq!(ccc.graph.edge_count(), pc.graph.edge_count());
+    }
+
+    #[test]
+    fn singleton_cluster_is_identity() {
+        let q = KaryNCube::torus(3, 2).graph;
+        let pc = PnCluster::new(&q, &ring(1));
+        assert_eq!(pc.graph.edge_multiset(), q.edge_multiset());
+    }
+
+    #[test]
+    #[should_panic]
+    fn hypercube_cluster_requires_power_of_two() {
+        let _ = kary_cluster_c(3, 2, 6, ClusterKind::Hypercube);
+    }
+}

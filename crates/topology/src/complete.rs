@@ -1,0 +1,53 @@
+//! Complete graphs.
+//!
+//! K_N is the 1-dimensional radix-N generalized hypercube and the
+//! per-dimension connector of every generalized-hypercube construction.
+//! The paper (Fig. 3, §4.1) uses the strictly optimal `⌊N²/4⌋`-track
+//! collinear layout of K_N from Yeh & Parhami, IPL 1998.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Build the complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(format!("K{n}"), n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as u32, j as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn edge_count_is_binomial() {
+        for n in 0..12 {
+            assert_eq!(complete(n).edge_count(), n * n.saturating_sub(1) / 2);
+        }
+    }
+
+    #[test]
+    fn regular_and_diameter_one() {
+        let g = complete(7);
+        assert_eq!(g.regular_degree(), Some(6));
+        assert_eq!(g.diameter(), Some(1));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn all_pairs_adjacent() {
+        let g = complete(6);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                if u != v {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+    }
+}

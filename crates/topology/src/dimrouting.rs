@@ -1,0 +1,177 @@
+//! Dimension-order (e-cube) routing for digit-addressed networks.
+//!
+//! BFS gives *some* shortest path; real k-ary n-cube and hypercube
+//! routers use dimension-order routing — correct digits one dimension
+//! at a time, taking the shorter ring direction. These paths are
+//! shortest too, but deterministic and structured, so the
+//! wire-budget-along-route metric can be evaluated against the routes
+//! hardware would take.
+
+use crate::graph::{EdgeId, NodeId};
+use crate::karyn::KaryNCube;
+use crate::routing::RoutePath;
+use std::collections::HashMap;
+
+/// A dimension-order router over a k-ary n-cube (binary case = e-cube
+/// routing on the hypercube). Precomputes an edge index for O(1) hop
+/// lookups.
+pub struct DimensionOrderRouter<'a> {
+    cube: &'a KaryNCube,
+    edge_of: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+impl<'a> DimensionOrderRouter<'a> {
+    /// Build the router (O(E) setup).
+    pub fn new(cube: &'a KaryNCube) -> Self {
+        let mut edge_of = HashMap::with_capacity(cube.graph.edge_count() * 2);
+        for e in cube.graph.edge_ids() {
+            let (u, v) = cube.graph.endpoints(e);
+            edge_of.insert((u, v), e);
+            edge_of.insert((v, u), e);
+        }
+        DimensionOrderRouter { cube, edge_of }
+    }
+
+    /// Route `src → dst`, correcting digit 0 first, then digit 1, ….
+    /// Within a dimension the shorter ring direction is taken (ties go
+    /// to the +1 direction). The result is a shortest path.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> RoutePath {
+        let k = self.cube.k as i64;
+        let addr = &self.cube.addr;
+        let mut nodes = vec![src];
+        let mut edges = Vec::new();
+        let mut cur = src as usize;
+        for dim in 0..self.cube.n {
+            let want = addr.digit(dst as usize, dim) as i64;
+            loop {
+                let have = addr.digit(cur, dim) as i64;
+                if have == want {
+                    break;
+                }
+                let fwd = (want - have).rem_euclid(k);
+                let bwd = (have - want).rem_euclid(k);
+                let step = if self.cube.wraparound {
+                    if fwd <= bwd {
+                        1
+                    } else {
+                        -1
+                    }
+                } else if want > have {
+                    1
+                } else {
+                    -1
+                };
+                let next_digit = (have + step).rem_euclid(k) as usize;
+                let next = addr.with_digit(cur, dim, next_digit);
+                let e = *self
+                    .edge_of
+                    .get(&(cur as NodeId, next as NodeId))
+                    .expect("dimension-order step is not an edge");
+                edges.push(e);
+                nodes.push(next as NodeId);
+                cur = next;
+            }
+        }
+        RoutePath { nodes, edges }
+    }
+
+    /// Maximum total `cost(edge)` over all ordered pairs routed
+    /// dimension-order — the deterministic-router counterpart of
+    /// `routing::max_route_cost`.
+    pub fn max_route_cost(&self, cost: impl Fn(EdgeId) -> u64) -> Option<u64> {
+        let n = self.cube.node_count();
+        if n < 2 {
+            return None;
+        }
+        let mut best = 0u64;
+        for s in 0..n as NodeId {
+            for d in 0..n as NodeId {
+                if s == d {
+                    continue;
+                }
+                let p = self.route(s, d);
+                let total: u64 = p.edges.iter().map(|&e| cost(e)).sum();
+                best = best.max(total);
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::properties::GraphProperties;
+    use crate::routing::shortest_path;
+
+    fn check_path_valid(g: &Graph, p: &RoutePath) {
+        for i in 0..p.edges.len() {
+            let (u, v) = g.endpoints(p.edges[i]);
+            let (a, b) = (p.nodes[i], p.nodes[i + 1]);
+            assert!((u, v) == (a, b) || (u, v) == (b, a));
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_on_torus() {
+        let cube = KaryNCube::torus(5, 2);
+        let router = DimensionOrderRouter::new(&cube);
+        for s in 0..25u32 {
+            let dist = cube.graph.bfs_distances(s);
+            for d in 0..25u32 {
+                let p = router.route(s, d);
+                check_path_valid(&cube.graph, &p);
+                assert_eq!(p.len() as u32, dist[d as usize], "{s}->{d}");
+                assert_eq!(*p.nodes.last().unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_on_hypercube_as_2ary() {
+        let cube = KaryNCube::torus(2, 5);
+        let router = DimensionOrderRouter::new(&cube);
+        for s in [0u32, 7, 31] {
+            for d in 0..32u32 {
+                let p = router.route(s, d);
+                assert_eq!(p.len(), (s ^ d).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_routing_never_wraps() {
+        let cube = KaryNCube::mesh(4, 2);
+        let router = DimensionOrderRouter::new(&cube);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let p = router.route(s, d);
+                check_path_valid(&cube.graph, &p);
+                let bfs = shortest_path(&cube.graph, s, d).unwrap();
+                assert_eq!(p.len(), bfs.len(), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_route_cost_matches_bfs_bound() {
+        // with unit costs dimension-order equals the diameter
+        let cube = KaryNCube::torus(4, 2);
+        let router = DimensionOrderRouter::new(&cube);
+        let m = router.max_route_cost(|_| 1).unwrap();
+        assert_eq!(m as usize, cube.graph.diameter().unwrap());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // k even: opposite node reachable both ways; router must be
+        // deterministic (+1 direction on ties)
+        let cube = KaryNCube::torus(4, 1);
+        let router = DimensionOrderRouter::new(&cube);
+        let p1 = router.route(0, 2);
+        let p2 = router.route(0, 2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.nodes, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Generalized hypercubes (Bhuyan & Agrawal 1984).
+//!
+//! An n-dimensional radix-`(r_{n−1}, …, r_0)` generalized hypercube has
+//! node labels that are mixed-radix digit vectors; two nodes are adjacent
+//! iff their labels differ in **exactly one digit** (by any amount), i.e.
+//! each dimension connects the `r_j` nodes of a digit-line as a complete
+//! graph. It is the Cartesian product of complete graphs
+//! `K_{r_{n−1}} × ⋯ × K_{r_0}` (paper §4.1).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::labels::MixedRadix;
+
+/// A generalized hypercube with its mixed-radix addressing.
+#[derive(Clone, Debug)]
+pub struct GeneralizedHypercube {
+    /// Addressing system; digit 0 least significant, radix of digit j is
+    /// `r_j`.
+    pub addr: MixedRadix,
+    /// The underlying graph.
+    pub graph: Graph,
+}
+
+impl GeneralizedHypercube {
+    /// Build the generalized hypercube with the given per-dimension
+    /// radices (least significant first). Radix-1 dimensions are legal and
+    /// contribute no links.
+    pub fn new(radices: Vec<usize>) -> Self {
+        let addr = MixedRadix::new(radices.clone());
+        let nn = addr.cardinality();
+        let mut b = GraphBuilder::new(
+            format!(
+                "GHC({})",
+                radices
+                    .iter()
+                    .rev()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            nn,
+        );
+        for i in 0..nn {
+            for j in 0..addr.digit_count() {
+                let d = addr.digit(i, j);
+                // each dimension is a complete graph on the digit line;
+                // generate each edge once from the lower digit value.
+                for d2 in (d + 1)..addr.radix(j) {
+                    b.add_edge(i as u32, addr.with_digit(i, j, d2) as u32);
+                }
+            }
+        }
+        GeneralizedHypercube {
+            addr,
+            graph: b.build(),
+        }
+    }
+
+    /// Fixed-radix convenience constructor: n dimensions of radix r.
+    pub fn fixed(r: usize, n: usize) -> Self {
+        Self::new(vec![r; n])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Node degree: `Σ (r_j − 1)`.
+    pub fn expected_degree(&self) -> usize {
+        self.addr.radices().iter().map(|&r| r - 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::complete;
+    use crate::hypercube::hypercube;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn radix2_is_hypercube() {
+        let g = GeneralizedHypercube::fixed(2, 4);
+        assert_eq!(g.graph.edge_multiset(), hypercube(4).edge_multiset());
+    }
+
+    #[test]
+    fn one_dimension_is_complete() {
+        let g = GeneralizedHypercube::new(vec![7]);
+        assert_eq!(g.graph.edge_multiset(), complete(7).edge_multiset());
+    }
+
+    #[test]
+    fn degree_and_counts() {
+        let g = GeneralizedHypercube::fixed(4, 3);
+        assert_eq!(g.node_count(), 64);
+        assert_eq!(g.graph.regular_degree(), Some(9));
+        assert_eq!(g.expected_degree(), 9);
+        // edges = N * degree / 2
+        assert_eq!(g.graph.edge_count(), 64 * 9 / 2);
+    }
+
+    #[test]
+    fn mixed_radix_counts() {
+        let g = GeneralizedHypercube::new(vec![2, 3, 4]);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.graph.regular_degree(), Some(1 + 2 + 3));
+        assert!(g.graph.is_connected());
+    }
+
+    #[test]
+    fn diameter_is_dimension_count() {
+        // one hop fixes one digit
+        let g = GeneralizedHypercube::fixed(3, 3);
+        assert_eq!(g.graph.diameter(), Some(3));
+    }
+
+    #[test]
+    fn radix_one_dimensions_are_inert() {
+        let g = GeneralizedHypercube::new(vec![3, 1, 3]);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.graph.regular_degree(), Some(4));
+    }
+}

@@ -1,0 +1,255 @@
+//! Compact undirected multigraph used as the ground truth for layouts.
+//!
+//! Interconnection networks are modelled exactly as in the Thompson /
+//! multilayer grid models: nodes are processing elements, edges are wires.
+//! Several constructions in the paper produce **multigraphs** (e.g. the
+//! butterfly quotient is a generalized hypercube with four parallel links
+//! between neighbouring clusters), so parallel edges are first-class here.
+//! Self-loops are rejected: a wire from a node to itself never occurs in
+//! any of the paper's networks.
+
+use std::collections::BTreeMap;
+
+/// Index of a node. Dense in `0..Graph::node_count()`.
+pub type NodeId = u32;
+
+/// Index of an edge. Dense in `0..Graph::edge_count()`, in insertion order.
+pub type EdgeId = u32;
+
+/// An immutable undirected multigraph in CSR (compressed sparse row) form.
+///
+/// Built once via [`crate::builder::GraphBuilder`] and then queried;
+/// neighbour lists are sorted so that lookups and comparisons are
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    name: String,
+    node_count: usize,
+    /// CSR offsets into `adj`, length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// Flattened neighbour lists: `(neighbor, edge_id)` pairs.
+    adj: Vec<(NodeId, EdgeId)>,
+    /// Edge endpoints, canonicalized `u <= v` is NOT enforced (we keep the
+    /// insertion orientation) but `endpoints_sorted` gives the canonical
+    /// pair.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        name: String,
+        node_count: usize,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        let mut deg = vec![0u32; node_count];
+        for &(u, v) in &edges {
+            debug_assert!((u as usize) < node_count && (v as usize) < node_count);
+            debug_assert_ne!(u, v, "self-loops are not allowed");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        let mut adj = vec![(0 as NodeId, 0 as EdgeId); edges.len() * 2];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            adj[cursor[u as usize] as usize] = (v, e as EdgeId);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = (u, e as EdgeId);
+            cursor[v as usize] += 1;
+        }
+        // Sort each neighbour list for determinism.
+        for u in 0..node_count {
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
+            adj[lo..hi].sort_unstable();
+        }
+        Graph {
+            name,
+            node_count,
+            offsets,
+            adj,
+            edges,
+        }
+    }
+
+    /// Human-readable family name, e.g. `"3-ary 2-cube"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of (undirected, possibly parallel) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `u`, counting parallel edges.
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Neighbours of `u` as `(neighbor, edge_id)` pairs, sorted by
+    /// neighbour id. Parallel edges appear once per edge.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, EdgeId)] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Endpoints of edge `e`, in insertion orientation.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e as usize]
+    }
+
+    /// Endpoints of edge `e` with the smaller id first.
+    pub fn endpoints_sorted(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let (u, v) = self.edges[e as usize];
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(|e| e as EdgeId)
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(|u| u as NodeId)
+    }
+
+    /// `true` if at least one edge joins `u` and `v`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).iter().any(|&(w, _)| w == v)
+    }
+
+    /// Number of parallel edges joining `u` and `v`.
+    pub fn multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        self.neighbors(u).iter().filter(|&&(w, _)| w == v).count()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count)
+            .map(|u| self.degree(u as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The multiset of canonical endpoint pairs, as a sorted map
+    /// `pair -> multiplicity`. This is what realized layouts are verified
+    /// against: a layout reproduces the network iff its wire multiset
+    /// equals this map.
+    pub fn edge_multiset(&self) -> BTreeMap<(NodeId, NodeId), usize> {
+        let mut m = BTreeMap::new();
+        for e in 0..self.edges.len() {
+            *m.entry(self.endpoints_sorted(e as EdgeId)).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// `true` if every node has the same degree; returns that degree.
+    pub fn regular_degree(&self) -> Option<usize> {
+        if self.node_count == 0 {
+            return Some(0);
+        }
+        let d = self.degree(0);
+        for u in 1..self.node_count {
+            if self.degree(u as NodeId) != d {
+                return None;
+            }
+        }
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new("triangle", 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let g = triangle();
+        let ns: Vec<NodeId> = g.neighbors(1).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ns, vec![0, 2]);
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let mut b = GraphBuilder::new("dumbbell", 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.multiplicity(0, 1), 2);
+        assert_eq!(g.degree(0), 2);
+        let ms = g.edge_multiset();
+        assert_eq!(ms.get(&(0, 1)), Some(&2));
+    }
+
+    #[test]
+    fn endpoints_canonicalization() {
+        let mut b = GraphBuilder::new("rev", 2);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.endpoints(0), (1, 0));
+        assert_eq!(g.endpoints_sorted(0), (0, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new("empty", 0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.regular_degree(), Some(0));
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn irregular_graph_detected() {
+        let mut b = GraphBuilder::new("path", 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.regular_degree(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new("loop", 1);
+        b.add_edge(0, 0);
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,81 @@
+//! Hierarchical hypercube networks (Yun & Park [36]).
+//!
+//! The paper treats HHNs as "a special case of HSNs where the basic
+//! modules are hypercubes" (§4.3) and lays them out identically, so we
+//! construct them exactly that way: an l-level HSN whose nucleus is the
+//! s-dimensional hypercube (`r = 2^s` nodes).
+
+use crate::graph::NodeId;
+use crate::hsn::Hsn;
+use crate::hypercube::hypercube;
+
+/// A hierarchical hypercube network: an HSN over a hypercube nucleus.
+#[derive(Clone, Debug)]
+pub struct Hhn {
+    /// The underlying HSN (its nucleus is the `s`-cube).
+    pub hsn: Hsn,
+    /// Nucleus dimension `s` (nucleus size `r = 2^s`).
+    pub s: usize,
+}
+
+impl Hhn {
+    /// Build an l-level HHN with an s-dimensional hypercube nucleus.
+    pub fn new(levels: usize, s: usize) -> Self {
+        assert!(s >= 1, "nucleus dimension must be >= 1");
+        let nucleus = hypercube(s);
+        Hhn {
+            hsn: Hsn::new(levels, &nucleus),
+            s,
+        }
+    }
+
+    /// Number of nodes `N = 2^(s·l)`.
+    pub fn node_count(&self) -> usize {
+        self.hsn.node_count()
+    }
+
+    /// Cluster index of a node.
+    pub fn cluster_of(&self, id: NodeId) -> usize {
+        self.hsn.cluster_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn counts() {
+        let h = Hhn::new(2, 2); // r = 4, N = 16
+        assert_eq!(h.node_count(), 16);
+        assert!(h.hsn.graph.is_connected());
+    }
+
+    #[test]
+    fn nucleus_is_hypercube() {
+        let h = Hhn::new(2, 3);
+        // cluster 0 nodes are 0..8 and must form a 3-cube
+        for p in 0..8u32 {
+            for t in 0..3 {
+                let q = p ^ (1 << t);
+                assert!(h.hsn.graph.has_edge(p, q));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_bound() {
+        let h = Hhn::new(3, 2);
+        // nucleus degree s plus at most l-1 swap links
+        assert!(h.hsn.graph.max_degree() <= 2 + 2);
+        assert!(h.hsn.graph.is_connected());
+    }
+
+    #[test]
+    fn three_level_counts() {
+        let h = Hhn::new(3, 1); // r = 2, N = 8
+        assert_eq!(h.node_count(), 8);
+        assert!(h.hsn.graph.is_connected());
+    }
+}

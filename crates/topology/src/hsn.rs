@@ -1,0 +1,170 @@
+//! Hierarchical swap networks (Yeh & Parhami [33, 34]).
+//!
+//! An l-level HSN over an r-node *nucleus* graph has node labels
+//! `(c_{l−1}, …, c_1 | p)` with all digits in `0..r`: the `c` digits name
+//! the cluster, `p` the position inside its nucleus. Links:
+//!
+//! * **nucleus links**: the nucleus graph's edges on `p` inside every
+//!   cluster;
+//! * **level-i swap links** (`1 ≤ i ≤ l−1`): `(c | p)` is joined to the
+//!   label obtained by *swapping* `p` and `c_i` — present only when
+//!   `p ≠ c_i` (otherwise the swap is the identity).
+//!
+//! Shrinking every cluster to a supernode yields an (l−1)-dimensional
+//! radix-r generalized hypercube with **exactly one link between each
+//! pair of adjacent clusters** — the property §4.3's layout exploits.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::labels::MixedRadix;
+
+/// A hierarchical swap network.
+#[derive(Clone, Debug)]
+pub struct Hsn {
+    /// Number of levels `l` (≥ 1). Level 1 is the nucleus itself.
+    pub levels: usize,
+    /// Nucleus size `r`.
+    pub r: usize,
+    /// Addressing: digit 0 is the nucleus position `p`, digits `1..l`
+    /// are `c_1 … c_{l−1}`.
+    pub addr: MixedRadix,
+    /// The underlying graph (`r^l` nodes).
+    pub graph: Graph,
+}
+
+impl Hsn {
+    /// Build an l-level HSN whose nucleus is the given r-node graph.
+    pub fn new(levels: usize, nucleus: &Graph) -> Self {
+        assert!(levels >= 1, "need at least one level");
+        let r = nucleus.node_count();
+        assert!(r >= 2, "nucleus must have at least 2 nodes");
+        let addr = MixedRadix::fixed(r, levels);
+        let nn = addr.cardinality();
+        let mut b = GraphBuilder::new(
+            format!("HSN({levels},{})", nucleus.name()),
+            nn,
+        );
+        for i in 0..nn {
+            let digits = addr.digits_of(i);
+            let p = digits[0];
+            // nucleus links (generate once from the smaller endpoint)
+            for &(q, _) in nucleus.neighbors(p as NodeId) {
+                if (q as usize) > p {
+                    b.add_edge(i as u32, addr.with_digit(i, 0, q as usize) as u32);
+                }
+            }
+            // swap links, generated once from the side with p < c_i
+            for lvl in 1..levels {
+                let ci = digits[lvl];
+                if p < ci {
+                    let mut d2 = digits.clone();
+                    d2[0] = ci;
+                    d2[lvl] = p;
+                    b.add_edge(i as u32, addr.index_of(&d2) as u32);
+                }
+            }
+        }
+        Hsn {
+            levels,
+            r,
+            addr,
+            graph: b.build(),
+        }
+    }
+
+    /// Number of nodes `N = r^l`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Cluster index (the `c` digits as a radix-r number) of a node.
+    pub fn cluster_of(&self, id: NodeId) -> usize {
+        (id as usize) / self.r
+    }
+
+    /// Nucleus position `p` of a node.
+    pub fn position_of(&self, id: NodeId) -> usize {
+        (id as usize) % self.r
+    }
+
+    /// The quotient graph over clusters: an (l−1)-dimensional radix-r
+    /// generalized hypercube (each adjacent pair joined once).
+    pub fn quotient(&self) -> Graph {
+        crate::genhyper::GeneralizedHypercube::fixed(self.r, self.levels - 1).graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::complete;
+    use crate::properties::GraphProperties;
+    use crate::ring::ring;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn level_one_is_nucleus() {
+        let nucleus = ring(5);
+        let h = Hsn::new(1, &nucleus);
+        assert_eq!(h.graph.edge_multiset(), nucleus.edge_multiset());
+    }
+
+    #[test]
+    fn node_and_swap_link_counts() {
+        let nucleus = complete(4);
+        let h = Hsn::new(3, &nucleus);
+        assert_eq!(h.node_count(), 64);
+        // nucleus edges: 6 per cluster * 16 clusters = 96
+        // swap links per level: for each cluster pair differing in that
+        // digit exactly 1 link; per level: C(r,2)*r^(l-2) pairs = 6*4 = 24;
+        // 2 levels -> 48
+        assert_eq!(h.graph.edge_count(), 96 + 48);
+        assert!(h.graph.is_connected());
+    }
+
+    #[test]
+    fn quotient_has_one_link_per_adjacent_pair() {
+        let nucleus = ring(3);
+        let h = Hsn::new(3, &nucleus);
+        // count inter-cluster links per cluster pair
+        let mut count: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for e in h.graph.edge_ids() {
+            let (u, v) = h.graph.endpoints(e);
+            let (cu, cv) = (h.cluster_of(u), h.cluster_of(v));
+            if cu != cv {
+                let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+                *count.entry(key).or_insert(0) += 1;
+            }
+        }
+        let q = h.quotient();
+        assert_eq!(count.len(), q.edge_count());
+        for (&(a, b), &m) in &count {
+            assert_eq!(m, 1, "cluster pair ({a},{b}) has {m} links");
+            assert!(q.has_edge(a as u32, b as u32));
+        }
+    }
+
+    #[test]
+    fn swap_links_swap_digits() {
+        let nucleus = ring(4);
+        let h = Hsn::new(2, &nucleus);
+        for e in h.graph.edge_ids() {
+            let (u, v) = h.graph.endpoints(e);
+            if h.cluster_of(u) != h.cluster_of(v) {
+                let du = h.addr.digits_of(u as usize);
+                let dv = h.addr.digits_of(v as usize);
+                assert_eq!(du[0], dv[1]);
+                assert_eq!(du[1], dv[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_bound() {
+        // degree = nucleus degree + (l-1) swap links at most
+        let nucleus = complete(3);
+        let h = Hsn::new(4, &nucleus);
+        assert!(h.graph.max_degree() <= 2 + 3);
+        assert!(h.graph.is_connected());
+    }
+}

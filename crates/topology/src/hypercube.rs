@@ -1,0 +1,92 @@
+//! Binary hypercubes.
+//!
+//! The n-dimensional hypercube has `N = 2ⁿ` nodes labelled by n-bit
+//! strings, with a link between every pair of labels at Hamming distance
+//! one. It is the Cartesian product of a `⌈n/2⌉`-cube and a `⌊n/2⌋`-cube,
+//! which is exactly how the paper lays it out (§5.1) with the
+//! `⌊2N/3⌋`-track collinear layout as the row/column connector.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Build the `n`-dimensional hypercube (`2ⁿ` nodes, `n·2ⁿ⁻¹` links).
+///
+/// ```
+/// let g = mlv_topology::hypercube::hypercube(4);
+/// assert_eq!(g.node_count(), 16);
+/// assert_eq!(g.regular_degree(), Some(4));
+/// assert!(g.has_edge(0b0000, 0b0100));
+/// ```
+pub fn hypercube(n: usize) -> Graph {
+    assert!(n < 31, "hypercube dimension too large for u32 node ids");
+    let nn = 1usize << n;
+    let mut b = GraphBuilder::new(format!("{n}-cube"), nn);
+    for i in 0..nn {
+        for j in 0..n {
+            let v = i ^ (1 << j);
+            if v > i {
+                b.add_edge(i as u32, v as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The dimension (bit index) in which two adjacent hypercube labels
+/// differ. Panics if the labels are not at Hamming distance 1.
+pub fn cube_edge_dimension(u: u32, v: u32) -> usize {
+    let x = u ^ v;
+    assert!(x != 0 && x & (x - 1) == 0, "not a hypercube edge");
+    x.trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn sizes() {
+        for n in 0..8 {
+            let g = hypercube(n);
+            assert_eq!(g.node_count(), 1 << n);
+            assert_eq!(g.edge_count(), n << n >> 1);
+        }
+    }
+
+    #[test]
+    fn regular_connected_diameter() {
+        let g = hypercube(5);
+        assert_eq!(g.regular_degree(), Some(5));
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn adjacency_is_hamming_one() {
+        let g = hypercube(4);
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            assert_eq!((u ^ v).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn edge_dimension() {
+        assert_eq!(cube_edge_dimension(0b0110, 0b0111), 0);
+        assert_eq!(cube_edge_dimension(0b0110, 0b1110), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_dimension_rejects_non_edges() {
+        cube_edge_dimension(0b00, 0b11);
+    }
+
+    #[test]
+    fn zero_cube() {
+        let g = hypercube(0);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Indirect swap networks (Yeh, Parhami, Varvarigos & Lee [35]).
+//!
+//! Reference [35] ("VLSI layout and packaging of butterfly networks",
+//! SPAA 2000) was *to appear* when the paper was published and is not
+//! available; we reconstruct the ISN from the structural facts §4.3
+//! states and uses:
+//!
+//! * it is a multistage (indirect) counterpart of the swap network, as
+//!   the butterfly is of the hypercube;
+//! * it partitions into `r·(#stages)`-node clusters whose quotient is a
+//!   generalized hypercube with **two** links between each pair of
+//!   neighbouring clusters (vs. four for the butterfly).
+//!
+//! Our ISN(l, r) has nodes `(stage s, c_{l−1} … c_1, p)` with
+//! `0 ≤ s < l` and all digits in `0..r`. Between stages `s` and `s+1`
+//! every node has a **straight** link (same label) and a **swap** link
+//! that swaps `p` with digit `c_{s+1}` (omitted when the swap is the
+//! identity — swaps alone preserve the digit multiset, so they cannot
+//! connect the network). Each cluster (fixed `c` digits) additionally
+//! carries a **nucleus stage**: its stage-0 nodes are connected as a
+//! complete graph K_r, the indirect analog of the HSN's nucleus, which
+//! breaks the multiset invariant and makes the network connected.
+//! Fixing the `c` digits gives an `l·r`-node cluster ("several copies of
+//! small networks", as the paper describes butterfly clusters); the
+//! quotient over clusters is the (l−1)-dimensional radix-r generalized
+//! hypercube with exactly two links per adjacent cluster pair — the
+//! property §4.3's layout uses.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::labels::MixedRadix;
+
+/// An indirect swap network.
+#[derive(Clone, Debug)]
+pub struct Isn {
+    /// Number of digit levels `l` (stages = `l`, link rails = `l−1`).
+    pub levels: usize,
+    /// Radix `r`.
+    pub r: usize,
+    /// Addressing for the digit part (digit 0 = `p`).
+    pub addr: MixedRadix,
+    /// The underlying graph (`l · r^l` nodes).
+    pub graph: Graph,
+}
+
+impl Isn {
+    /// Build ISN(l, r). Requires `l ≥ 2`, `r ≥ 2`.
+    pub fn new(levels: usize, r: usize) -> Self {
+        assert!(levels >= 2 && r >= 2, "ISN needs l >= 2, r >= 2");
+        let addr = MixedRadix::fixed(r, levels);
+        let labels = addr.cardinality();
+        let nn = levels * labels;
+        let mut b = GraphBuilder::new(format!("ISN({levels},{r})"), nn);
+        // nucleus stage: K_r on the stage-0 nodes of every cluster
+        for cluster in 0..labels / r {
+            for p in 0..r {
+                for p2 in (p + 1)..r {
+                    b.add_edge(
+                        Self::id_at(0, cluster * r + p, labels),
+                        Self::id_at(0, cluster * r + p2, labels),
+                    );
+                }
+            }
+        }
+        for s in 0..levels - 1 {
+            for a in 0..labels {
+                let u = Self::id_at(s, a, labels);
+                // straight link
+                b.add_edge(u, Self::id_at(s + 1, a, labels));
+                // swap link: swap p (digit 0) with digit s+1
+                let digits = addr.digits_of(a);
+                let (p, ci) = (digits[0], digits[s + 1]);
+                if p != ci {
+                    let mut d2 = digits.clone();
+                    d2[0] = ci;
+                    d2[s + 1] = p;
+                    b.add_edge(u, Self::id_at(s + 1, addr.index_of(&d2), labels));
+                }
+            }
+        }
+        Isn {
+            levels,
+            r,
+            addr,
+            graph: b.build(),
+        }
+    }
+
+    fn id_at(stage: usize, label: usize, labels: usize) -> NodeId {
+        (stage * labels + label) as NodeId
+    }
+
+    /// Node id of `(stage, digit-label)`.
+    pub fn id(&self, stage: usize, label: usize) -> NodeId {
+        Self::id_at(stage, label, self.addr.cardinality())
+    }
+
+    /// `(stage, digit-label)` of a node id.
+    pub fn coords(&self, id: NodeId) -> (usize, usize) {
+        let labels = self.addr.cardinality();
+        ((id as usize) / labels, (id as usize) % labels)
+    }
+
+    /// Cluster index (the `c` digits) of a node.
+    pub fn cluster_of(&self, id: NodeId) -> usize {
+        let (_, label) = self.coords(id);
+        label / self.r
+    }
+
+    /// Number of nodes `N = l·r^l`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The quotient over clusters: the (l−1)-dimensional radix-r
+    /// generalized hypercube.
+    pub fn quotient(&self) -> Graph {
+        crate::genhyper::GeneralizedHypercube::fixed(self.r, self.levels - 1).graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn counts_and_connectivity() {
+        let isn = Isn::new(3, 3);
+        assert_eq!(isn.node_count(), 3 * 27);
+        assert!(isn.graph.is_connected());
+        assert_eq!(isn.graph.component_count(), 1);
+    }
+
+    #[test]
+    fn nucleus_stage_is_complete() {
+        let isn = Isn::new(2, 4);
+        // cluster 0: labels 0..4, stage-0 nodes pairwise adjacent
+        for p in 0..4usize {
+            for q in (p + 1)..4 {
+                assert!(isn.graph.has_edge(isn.id(0, p), isn.id(0, q)));
+            }
+        }
+        // but stage-1 nodes are not
+        assert!(!isn.graph.has_edge(isn.id(1, 0), isn.id(1, 3)));
+    }
+
+    #[test]
+    fn two_links_per_adjacent_cluster_pair() {
+        let isn = Isn::new(3, 3);
+        let mut count: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for e in isn.graph.edge_ids() {
+            let (u, v) = isn.graph.endpoints(e);
+            let (cu, cv) = (isn.cluster_of(u), isn.cluster_of(v));
+            if cu != cv {
+                let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+                *count.entry(key).or_insert(0) += 1;
+            }
+        }
+        let q = isn.quotient();
+        assert_eq!(count.len(), q.edge_count());
+        for (&(a, b), &m) in &count {
+            assert_eq!(m, 2, "cluster pair ({a},{b}) has {m} links");
+            assert!(q.has_edge(a as u32, b as u32));
+        }
+    }
+
+    #[test]
+    fn straight_links_preserve_label() {
+        let isn = Isn::new(2, 4);
+        for a in 0..16usize {
+            assert!(isn.graph.has_edge(isn.id(0, a), isn.id(1, a)));
+        }
+    }
+
+    #[test]
+    fn cluster_size_is_levels_times_r() {
+        let isn = Isn::new(3, 2);
+        let mut sizes: BTreeMap<usize, usize> = BTreeMap::new();
+        for id in isn.graph.node_ids() {
+            *sizes.entry(isn.cluster_of(id)).or_insert(0) += 1;
+        }
+        for (_, s) in sizes {
+            assert_eq!(s, 3 * 2);
+        }
+    }
+
+    #[test]
+    fn max_degree_bound() {
+        // interior stages: <= 4 (2 rails * 2 links); stage 0: nucleus
+        // K_r adds r-1, plus straight + swap
+        let isn = Isn::new(4, 3);
+        assert!(isn.graph.max_degree() <= 3 - 1 + 2);
+        for id in isn.graph.node_ids() {
+            let (s, _) = isn.coords(id);
+            if s > 0 && s < 3 {
+                assert!(isn.graph.degree(id) <= 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # mlv-topology
+//!
+//! Interconnection-network topologies for the multilayer VLSI layout
+//! reproduction of Yeh, Varvarigos & Parhami, *"Multilayer VLSI Layout for
+//! Interconnection Networks"*, ICPP 2000.
+//!
+//! This crate provides the **graph substrate** (a compact undirected
+//! multigraph, mixed-radix node addressing, routing, structural property
+//! computation) and constructors for **every network family the paper lays
+//! out**:
+//!
+//! * rings, complete graphs, k-ary n-cubes (tori) and meshes, hypercubes,
+//! * generalized hypercubes (mixed radix) and arbitrary Cartesian products,
+//! * butterfly networks (ordinary and wrapped), cube-connected cycles,
+//! * folded hypercubes, enhanced cubes, reduced hypercubes,
+//! * hierarchical swap networks (HSN), hierarchical hypercube networks
+//!   (HHN), indirect swap networks (ISN),
+//! * product-network clusters (PN clusters), including k-ary n-cube
+//!   cluster-c,
+//! * the Cayley-graph families the paper defers to future work (star,
+//!   pancake, bubble-sort, transposition, star-connected cycles).
+//!
+//! The layout crates build wire sets from the family *parameters*; the
+//! graphs constructed here are the ground truth those wire sets are
+//! verified against (`Graph::edge_multiset`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod butterfly;
+pub mod cayley;
+pub mod ccc;
+pub mod cluster;
+pub mod complete;
+pub mod dimrouting;
+pub mod genhyper;
+pub mod graph;
+pub mod hhn;
+pub mod hsn;
+pub mod hypercube;
+pub mod isn;
+pub mod karyn;
+pub mod labels;
+pub mod product;
+pub mod properties;
+pub mod ring;
+pub mod routing;
+pub mod variants;
+
+pub use builder::GraphBuilder;
+pub use graph::{EdgeId, Graph, NodeId};
+pub use labels::MixedRadix;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::graph::{EdgeId, Graph, NodeId};
+    pub use crate::labels::MixedRadix;
+    pub use crate::properties::GraphProperties;
+}

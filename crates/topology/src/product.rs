@@ -1,0 +1,121 @@
+//! Cartesian products of graphs.
+//!
+//! `G = A □ B` has node set `V(A) × V(B)`; `(a, b)` is adjacent to
+//! `(a′, b)` when `a ∼ a′` in A, and to `(a, b′)` when `b ∼ b′` in B.
+//! Every network in §3–§5 of the paper is either a product network or a
+//! *PN cluster* (a product network whose nodes are blown up into
+//! clusters), which is why the orthogonal layout scheme applies so widely:
+//! rows realize the A-factor, columns the B-factor.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Cartesian product `A □ B`. The node `(a, b)` gets id `b * |A| + a`
+/// (the A-coordinate is the low/"column" coordinate, matching the paper's
+/// row/column split).
+pub fn cartesian_product(a: &Graph, b: &Graph) -> Graph {
+    let na = a.node_count();
+    let nb = b.node_count();
+    let mut builder = GraphBuilder::new(format!("{} x {}", a.name(), b.name()), na * nb);
+    // A-edges replicated in every B-row.
+    for e in a.edge_ids() {
+        let (u, v) = a.endpoints(e);
+        for row in 0..nb {
+            builder.add_edge(
+                (row * na + u as usize) as NodeId,
+                (row * na + v as usize) as NodeId,
+            );
+        }
+    }
+    // B-edges replicated in every A-column.
+    for e in b.edge_ids() {
+        let (u, v) = b.endpoints(e);
+        for col in 0..na {
+            builder.add_edge(
+                (u as usize * na + col) as NodeId,
+                (v as usize * na + col) as NodeId,
+            );
+        }
+    }
+    builder.build()
+}
+
+/// Iterated Cartesian product of a list of factors (left-assoc). Returns
+/// a single node graph for an empty list.
+pub fn product_all(factors: &[&Graph]) -> Graph {
+    match factors {
+        [] => GraphBuilder::new("unit", 1).build(),
+        [g] => (*g).clone(),
+        [first, rest @ ..] => {
+            let mut acc = (*first).clone();
+            for g in rest {
+                acc = cartesian_product(&acc, g);
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::complete;
+    use crate::hypercube::hypercube;
+    use crate::karyn::KaryNCube;
+    use crate::properties::GraphProperties;
+    use crate::ring::ring;
+
+    #[test]
+    fn product_edge_count() {
+        let a = ring(4);
+        let b = ring(5);
+        let p = cartesian_product(&a, &b);
+        assert_eq!(p.node_count(), 20);
+        assert_eq!(p.edge_count(), 4 * 5 + 5 * 4);
+    }
+
+    #[test]
+    fn hypercube_is_product_of_halves() {
+        let h = hypercube(5);
+        let p = cartesian_product(&hypercube(3), &hypercube(2));
+        // ids: (a,b) -> b*8 + a which is exactly the 5-bit label with a as
+        // low bits — so the graphs must be identical, not just isomorphic.
+        assert_eq!(p.edge_multiset(), h.edge_multiset());
+    }
+
+    #[test]
+    fn torus_is_product_of_rings() {
+        let t = KaryNCube::torus(4, 2);
+        let p = cartesian_product(&ring(4), &ring(4));
+        assert_eq!(p.edge_multiset(), t.graph.edge_multiset());
+    }
+
+    #[test]
+    fn ghc_is_product_of_completes() {
+        use crate::genhyper::GeneralizedHypercube;
+        let g = GeneralizedHypercube::new(vec![3, 4]);
+        let p = cartesian_product(&complete(3), &complete(4));
+        assert_eq!(p.edge_multiset(), g.graph.edge_multiset());
+    }
+
+    #[test]
+    fn product_preserves_connectivity_and_regularity() {
+        let p = cartesian_product(&ring(5), &complete(4));
+        assert!(p.is_connected());
+        assert_eq!(p.regular_degree(), Some(2 + 3));
+    }
+
+    #[test]
+    fn product_all_folds() {
+        let r3 = ring(3);
+        let g = product_all(&[&r3, &r3, &r3]);
+        let t = KaryNCube::torus(3, 3);
+        assert_eq!(g.edge_multiset(), t.graph.edge_multiset());
+    }
+
+    #[test]
+    fn product_with_unit() {
+        let g = product_all(&[]);
+        assert_eq!(g.node_count(), 1);
+    }
+}

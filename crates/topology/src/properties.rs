@@ -1,0 +1,244 @@
+//! Structural properties: connectivity, eccentricity, diameter, average
+//! distance, and bisection-width estimates.
+//!
+//! The bisection width drives the paper's lower bounds ("optimal within a
+//! small constant factor"): a layout under the Thompson model needs area
+//! `Ω(B²)` and under the L-layer grid model `Ω((B/L)²)`. Exact minimum
+//! bisection is NP-hard, so we provide (a) exact brute force for tiny
+//! graphs, (b) the standard *left/right half* cut along the node
+//! numbering, which is the optimum for the families here with their
+//! natural labelings, and (c) known closed forms in `mlv-formulas`.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Extension trait with structural queries on [`Graph`].
+pub trait GraphProperties {
+    /// `true` if the graph is connected (vacuously true when empty).
+    fn is_connected(&self) -> bool;
+    /// BFS distances from `src` (`u32::MAX` for unreachable nodes).
+    fn bfs_distances(&self, src: NodeId) -> Vec<u32>;
+    /// Longest shortest-path distance, or `None` if disconnected/empty.
+    fn diameter(&self) -> Option<usize>;
+    /// Average pairwise distance (ordered pairs), `None` if disconnected
+    /// or fewer than 2 nodes.
+    fn average_distance(&self) -> Option<f64>;
+    /// Number of edges crossing the cut `{0..n/2} | {n/2..n}` along the
+    /// node numbering. For all the paper's families with their natural
+    /// labelings this equals (or tightly upper-bounds) the bisection
+    /// width.
+    fn numbering_cut_width(&self) -> usize;
+    /// Exact minimum bisection width by exhaustive search; only feasible
+    /// for `n <= ~20`. Returns `None` if `n` is odd-sized infeasible
+    /// (> `limit` nodes).
+    fn exact_bisection(&self, limit: usize) -> Option<usize>;
+    /// Number of connected components (0 for the empty graph).
+    fn component_count(&self) -> usize;
+}
+
+impl GraphProperties for Graph {
+    fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let d = self.bfs_distances(0);
+        d.iter().all(|&x| x != u32::MAX)
+    }
+
+    fn bfs_distances(&self, src: NodeId) -> Vec<u32> {
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        let mut q = VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u as usize];
+            for &(v, _) in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    fn diameter(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let mut best = 0usize;
+        for u in 0..n {
+            let d = self.bfs_distances(u as NodeId);
+            for &x in &d {
+                if x == u32::MAX {
+                    return None;
+                }
+                best = best.max(x as usize);
+            }
+        }
+        Some(best)
+    }
+
+    fn average_distance(&self) -> Option<f64> {
+        let n = self.node_count();
+        if n < 2 {
+            return None;
+        }
+        let mut total = 0u64;
+        for u in 0..n {
+            let d = self.bfs_distances(u as NodeId);
+            for &x in &d {
+                if x == u32::MAX {
+                    return None;
+                }
+                total += x as u64;
+            }
+        }
+        Some(total as f64 / (n as f64 * (n as f64 - 1.0)))
+    }
+
+    fn numbering_cut_width(&self) -> usize {
+        let half = self.node_count() / 2;
+        self.edge_ids()
+            .filter(|&e| {
+                let (u, v) = self.endpoints(e);
+                ((u as usize) < half) != ((v as usize) < half)
+            })
+            .count()
+    }
+
+    fn exact_bisection(&self, limit: usize) -> Option<usize> {
+        let n = self.node_count();
+        if n > limit || n == 0 {
+            return None;
+        }
+        let half = n / 2;
+        let mut best = usize::MAX;
+        // enumerate subsets of size `half` containing node 0 (WLOG) when
+        // n is even; for odd n allow floor/ceil halves with node 0 fixed.
+        let full: u64 = if n >= 64 { return None } else { (1u64 << n) - 1 };
+        for mask in 0..=full {
+            if mask & 1 == 0 {
+                continue; // fix node 0 on the left to halve the work
+            }
+            let c = mask.count_ones() as usize;
+            if c != half && c != n - half {
+                continue;
+            }
+            let mut cut = 0usize;
+            for e in self.edge_ids() {
+                let (u, v) = self.endpoints(e);
+                if ((mask >> u) & 1) != ((mask >> v) & 1) {
+                    cut += 1;
+                }
+            }
+            best = best.min(cut);
+        }
+        Some(best)
+    }
+
+    fn component_count(&self) -> usize {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut count = 0usize;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            count += 1;
+            seen[s] = true;
+            stack.push(s as NodeId);
+            while let Some(u) = stack.pop() {
+                for &(v, _) in self.neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::complete;
+    use crate::hypercube::hypercube;
+    use crate::karyn::KaryNCube;
+    use crate::ring::{path, ring};
+
+    #[test]
+    fn ring_cut_and_bisection() {
+        let g = ring(8);
+        // numbering cut: edges 3-4 and 7-0
+        assert_eq!(g.numbering_cut_width(), 2);
+        assert_eq!(g.exact_bisection(16), Some(2));
+    }
+
+    #[test]
+    fn hypercube_bisection_is_half_n() {
+        let g = hypercube(3);
+        assert_eq!(g.exact_bisection(16), Some(4));
+        // the numbering cut (top bit) achieves it
+        assert_eq!(g.numbering_cut_width(), 4);
+        let g = hypercube(4);
+        assert_eq!(g.exact_bisection(16), Some(8));
+    }
+
+    #[test]
+    fn complete_graph_bisection() {
+        let g = complete(6);
+        // K6 bisection = 3*3 = 9
+        assert_eq!(g.exact_bisection(16), Some(9));
+        assert_eq!(g.numbering_cut_width(), 9);
+    }
+
+    #[test]
+    fn torus_numbering_cut() {
+        // 4-ary 2-cube: the halving cut crosses 2 rows of 4 links twice
+        // (torus wrap) -> 2 * k = 2*4... verify against exact.
+        let t = KaryNCube::torus(4, 2);
+        assert_eq!(
+            t.graph.exact_bisection(16),
+            Some(t.graph.numbering_cut_width())
+        );
+    }
+
+    #[test]
+    fn path_average_distance() {
+        let g = path(3); // distances: 0-1:1, 0-2:2, 1-2:1 => avg = 8/6
+        let avg = g.average_distance().unwrap();
+        assert!((avg - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        use crate::builder::GraphBuilder;
+        let mut b = GraphBuilder::new("two islands", 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.average_distance(), None);
+    }
+
+    #[test]
+    fn bfs_distances_on_ring() {
+        let g = ring(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn exact_bisection_respects_limit() {
+        let g = hypercube(5);
+        assert_eq!(g.exact_bisection(16), None);
+    }
+}

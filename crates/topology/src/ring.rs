@@ -1,0 +1,78 @@
+//! Rings (k-node cycles, i.e. k-ary 1-cubes).
+//!
+//! The ring is the base case of the paper's collinear layout recursion
+//! (§3.1): k nodes along a row, adjacent links in the first track, the
+//! wraparound link in the second.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Build a `k`-node ring.
+///
+/// * `k == 1` gives a single node with no edges,
+/// * `k == 2` gives a single edge (the "+1" and "−1" neighbours coincide),
+/// * `k >= 3` gives a cycle.
+pub fn ring(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(format!("{k}-ring"), k);
+    if k == 2 {
+        b.add_edge(0, 1);
+    } else if k >= 3 {
+        for i in 0..k {
+            b.add_edge(i as u32, ((i + 1) % k) as u32);
+        }
+    }
+    b.build()
+}
+
+/// Build a `k`-node path (linear array) — the mesh counterpart of the
+/// ring, used by mesh variants of k-ary n-cubes.
+pub fn path(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(format!("{k}-path"), k);
+    for i in 1..k {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn ring_sizes() {
+        assert_eq!(ring(1).edge_count(), 0);
+        assert_eq!(ring(2).edge_count(), 1);
+        assert_eq!(ring(3).edge_count(), 3);
+        assert_eq!(ring(8).edge_count(), 8);
+    }
+
+    #[test]
+    fn ring_regular() {
+        for k in 3..10 {
+            let g = ring(k);
+            assert_eq!(g.regular_degree(), Some(2), "k={k}");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(ring(8).diameter(), Some(4));
+        assert_eq!(ring(9).diameter(), Some(4));
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.regular_degree(), None);
+    }
+
+    #[test]
+    fn path_of_one_and_two() {
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(path(2).edge_count(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Routing: shortest paths in the network graph.
+//!
+//! The paper's fourth figure of merit is "the maximum total length of
+//! wires along the routing path between any source–destination pair"
+//! (§1, claim 4). Evaluating it needs *graph* routing paths (sequences of
+//! edges) whose per-hop wire lengths are then summed in the layout. We
+//! provide BFS shortest-path extraction and an all-pairs max/total
+//! aggregator that works edge-by-edge so the layout crate can plug in the
+//! realized wire lengths.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A routing path: the node sequence and the edges hopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutePath {
+    /// Visited nodes, `nodes[0] = src`, `nodes.last() = dst`.
+    pub nodes: Vec<NodeId>,
+    /// Edges used, `edges[i]` joins `nodes[i]` and `nodes[i+1]`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl RoutePath {
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` for the trivial src == dst path.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// BFS shortest path from `src` to `dst`; `None` if unreachable.
+/// Ties are broken toward smaller node ids (deterministic).
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<RoutePath> {
+    let n = g.node_count();
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[src as usize] = true;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            break;
+        }
+        for &(v, e) in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                prev[v as usize] = Some((u, e));
+                q.push_back(v);
+            }
+        }
+    }
+    if !seen[dst as usize] {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, e) = prev[cur as usize].expect("path chain broken");
+        edges.push(e);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some(RoutePath { nodes, edges })
+}
+
+/// Shortest-path trees from `src`: for every reachable node, the edge on
+/// which BFS first discovered it. Used for all-pairs aggregation without
+/// re-running per-destination searches.
+pub fn bfs_tree(g: &Graph, src: NodeId) -> Vec<Option<(NodeId, EdgeId)>> {
+    let n = g.node_count();
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[src as usize] = true;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for &(v, e) in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                prev[v as usize] = Some((u, e));
+                q.push_back(v);
+            }
+        }
+    }
+    prev
+}
+
+/// For every ordered pair `(src, dst)` with a shortest path, compute
+/// `Σ cost(edge)` along one BFS shortest path and return the maximum.
+///
+/// `cost(e)` is supplied by the caller — the layout crate passes realized
+/// wire lengths, reproducing the paper's "maximum total length of wires
+/// along the routing path" metric. Returns `None` for graphs with < 2
+/// nodes or disconnected graphs.
+pub fn max_route_cost(g: &Graph, cost: impl Fn(EdgeId) -> u64) -> Option<u64> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let mut best: Option<u64> = None;
+    for src in 0..n {
+        let prev = bfs_tree(g, src as NodeId);
+        // accumulate cost-to-src along the tree with memoization
+        let mut acc: Vec<Option<u64>> = vec![None; n];
+        acc[src] = Some(0);
+        for dst in 0..n {
+            let mut chain = Vec::new();
+            let mut cur = dst;
+            while acc[cur].is_none() {
+                match prev[cur] {
+                    Some((p, e)) => {
+                        chain.push((cur, e));
+                        cur = p as usize;
+                    }
+                    None => return None, // disconnected
+                }
+            }
+            let mut c = acc[cur].unwrap();
+            for &(node, e) in chain.iter().rev() {
+                c += cost(e);
+                acc[node] = Some(c);
+            }
+            let total = acc[dst].unwrap();
+            best = Some(best.map_or(total, |b| b.max(total)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::hypercube;
+    use crate::ring::ring;
+
+    #[test]
+    fn shortest_path_on_ring() {
+        let g = ring(8);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.nodes.first(), Some(&0));
+        assert_eq!(p.nodes.last(), Some(&3));
+        // wraparound is shorter for 0 -> 6
+        let p = shortest_path(&g, 0, 6).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn path_edges_join_consecutive_nodes() {
+        let g = hypercube(4);
+        let p = shortest_path(&g, 0b0000, 0b1111).unwrap();
+        assert_eq!(p.len(), 4);
+        for i in 0..p.edges.len() {
+            let (u, v) = g.endpoints(p.edges[i]);
+            let (a, b) = (p.nodes[i], p.nodes[i + 1]);
+            assert!((u, v) == (a, b) || (u, v) == (b, a));
+        }
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = ring(5);
+        let p = shortest_path(&g, 2, 2).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.nodes, vec![2]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        use crate::builder::GraphBuilder;
+        let g = {
+            let mut b = GraphBuilder::new("islands", 3);
+            b.add_edge(0, 1);
+            b.build()
+        };
+        assert!(shortest_path(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn max_route_cost_unit_costs_is_diameter() {
+        use crate::properties::GraphProperties;
+        let g = hypercube(4);
+        let m = max_route_cost(&g, |_| 1).unwrap();
+        assert_eq!(m as usize, g.diameter().unwrap());
+    }
+
+    #[test]
+    fn max_route_cost_weighted() {
+        // path 0-1-2 with edge costs 10 and 1 -> max route cost 11
+        use crate::ring::path;
+        let g = path(3);
+        let m = max_route_cost(&g, |e| if e == 0 { 10 } else { 1 }).unwrap();
+        assert_eq!(m, 11);
+    }
+
+    #[test]
+    fn max_route_cost_disconnected_is_none() {
+        use crate::builder::GraphBuilder;
+        let mut b = GraphBuilder::new("islands", 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        assert_eq!(max_route_cost(&b.build(), |_| 1), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Hypercube variants: folded hypercubes, enhanced cubes, and reduced
+//! hypercubes (paper §5.2–§5.3).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Folded hypercube (El-Amawy & Latifi / Adams & Siegel [1]): the n-cube
+/// plus one *diameter link* per node joining each label to its bitwise
+/// complement — `N/2` extra links in total.
+pub fn folded_hypercube(n: usize) -> Graph {
+    assert!((1..31).contains(&n));
+    let nn = 1usize << n;
+    let mask = nn - 1;
+    let mut b = GraphBuilder::new(format!("folded {n}-cube"), nn);
+    for i in 0..nn {
+        for j in 0..n {
+            let v = i ^ (1 << j);
+            if v > i {
+                b.add_edge(i as u32, v as u32);
+            }
+        }
+        let comp = i ^ mask;
+        if comp > i {
+            b.add_edge(i as u32, comp as u32);
+        }
+    }
+    b.build()
+}
+
+/// Enhanced cube (Varvarigos [26]): the n-cube plus one additional
+/// outgoing link per node leading to a pseudo-random *other* node — `N`
+/// extra (possibly parallel) links. The paper treats the destinations as
+/// arbitrary; we draw them from a seeded RNG so layouts are reproducible.
+pub fn enhanced_cube(n: usize, seed: u64) -> Graph {
+    assert!((1..31).contains(&n));
+    let nn = 1usize << n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(format!("enhanced {n}-cube"), nn);
+    for i in 0..nn {
+        for j in 0..n {
+            let v = i ^ (1 << j);
+            if v > i {
+                b.add_edge(i as u32, v as u32);
+            }
+        }
+    }
+    for i in 0..nn {
+        // random destination different from the source
+        let mut dst = rng.gen_range(0..nn - 1);
+        if dst >= i {
+            dst += 1;
+        }
+        b.add_edge(i as u32, dst as u32);
+    }
+    b.build()
+}
+
+/// Reduced hypercube RH (Ziavras [37]), the `RH(log₂n, log₂n)` family the
+/// paper cites: take CCC(n) and replace each n-node cycle by a
+/// `log₂n`-dimensional hypercube (requires `n = 2^s`). Node `(x, p)` has
+/// intra-cluster links to `(x, p ⊕ 2^t)` for all `t < log₂n` and one cube
+/// link to `(x ⊕ 2^p, p)`.
+#[derive(Clone, Debug)]
+pub struct ReducedHypercube {
+    /// Outer cube dimension n (must be a power of two).
+    pub n: usize,
+    /// The underlying graph (`n·2ⁿ` nodes).
+    pub graph: Graph,
+}
+
+impl ReducedHypercube {
+    /// Build RH for outer dimension `n` (a power of two, `n ≥ 2`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "RH needs n = 2^s, n >= 2");
+        assert!(n < 26);
+        let s = n.trailing_zeros() as usize;
+        let cube = 1usize << n;
+        let mut b = GraphBuilder::new(format!("RH({s},{s})"), n * cube);
+        for x in 0..cube {
+            for p in 0..n {
+                // intra-cluster hypercube links among positions
+                for t in 0..s {
+                    let q = p ^ (1 << t);
+                    if q > p {
+                        b.add_edge(Self::id_at(x, p, n), Self::id_at(x, q, n));
+                    }
+                }
+                // cube link
+                if x & (1 << p) == 0 {
+                    b.add_edge(Self::id_at(x, p, n), Self::id_at(x ^ (1 << p), p, n));
+                }
+            }
+        }
+        ReducedHypercube { n, graph: b.build() }
+    }
+
+    fn id_at(x: usize, p: usize, n: usize) -> NodeId {
+        (x * n + p) as NodeId
+    }
+
+    /// Node id of `(cube address, position)`.
+    pub fn id(&self, x: usize, p: usize) -> NodeId {
+        Self::id_at(x, p, self.n)
+    }
+
+    /// `(cube address, position)` of a node id.
+    pub fn coords(&self, id: NodeId) -> (usize, usize) {
+        ((id as usize) / self.n, (id as usize) % self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::hypercube;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn folded_counts() {
+        let g = folded_hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 4 * 16 / 2 + 16 / 2);
+        assert_eq!(g.regular_degree(), Some(5));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn folded_diameter_halves() {
+        // folded n-cube diameter is ceil(n/2)
+        let g = folded_hypercube(4);
+        assert_eq!(g.diameter(), Some(2));
+        let g = folded_hypercube(5);
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn folded_contains_hypercube() {
+        let f = folded_hypercube(3);
+        let h = hypercube(3);
+        for e in h.edge_ids() {
+            let (u, v) = h.endpoints(e);
+            assert!(f.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn enhanced_counts_and_determinism() {
+        let g1 = enhanced_cube(4, 42);
+        let g2 = enhanced_cube(4, 42);
+        assert_eq!(g1.edge_multiset(), g2.edge_multiset());
+        assert_eq!(g1.edge_count(), 4 * 16 / 2 + 16);
+        let g3 = enhanced_cube(4, 7);
+        // overwhelmingly likely to differ
+        assert_ne!(g1.edge_multiset(), g3.edge_multiset());
+    }
+
+    #[test]
+    fn enhanced_has_no_self_loops() {
+        let g = enhanced_cube(5, 1);
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn reduced_counts() {
+        let r = ReducedHypercube::new(4);
+        assert_eq!(r.graph.node_count(), 4 * 16);
+        // per cluster: K(log n = 2)-cube on 4 nodes = 4 edges; 16 clusters
+        // plus cube links 4*16/2 = 32
+        assert_eq!(r.graph.edge_count(), 16 * 4 + 32);
+        assert_eq!(r.graph.regular_degree(), Some(3));
+        assert!(r.graph.is_connected());
+    }
+
+    #[test]
+    fn reduced_cluster_is_hypercube() {
+        let r = ReducedHypercube::new(4);
+        // positions of cluster x=0 form a 2-cube
+        for p in 0..4usize {
+            for t in 0..2 {
+                assert!(r.graph.has_edge(r.id(0, p), r.id(0, p ^ (1 << t))));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reduced_rejects_non_power_of_two() {
+        let _ = ReducedHypercube::new(6);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) for the topology substrate.
+
+use mlv_topology::cayley::{perm_rank, perm_unrank};
+use mlv_topology::genhyper::GeneralizedHypercube;
+use mlv_topology::karyn::KaryNCube;
+use mlv_topology::labels::MixedRadix;
+use mlv_topology::product::cartesian_product;
+use mlv_topology::properties::GraphProperties;
+use mlv_topology::ring::ring;
+use mlv_topology::GraphBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    /// Mixed-radix digit/index conversion round-trips for arbitrary
+    /// radix vectors.
+    #[test]
+    fn mixed_radix_roundtrip(radices in prop::collection::vec(1usize..6, 1..6)) {
+        let mr = MixedRadix::new(radices);
+        let card = mr.cardinality();
+        prop_assume!(card <= 4096);
+        for i in 0..card {
+            let d = mr.digits_of(i);
+            prop_assert_eq!(mr.index_of(&d), i);
+            for (j, &dj) in d.iter().enumerate() {
+                prop_assert_eq!(mr.digit(i, j), dj);
+            }
+        }
+    }
+
+    /// split_index is consistent with split cardinalities for every
+    /// split point.
+    #[test]
+    fn mixed_radix_split(radices in prop::collection::vec(1usize..5, 1..5)) {
+        let mr = MixedRadix::new(radices.clone());
+        prop_assume!(mr.cardinality() <= 2048);
+        for at in 0..=radices.len() {
+            let (lo, hi) = mr.split(at);
+            prop_assert_eq!(lo.cardinality() * hi.cardinality(), mr.cardinality());
+            for i in 0..mr.cardinality() {
+                let (l, h) = mr.split_index(i, at);
+                prop_assert!(l < lo.cardinality());
+                prop_assert!(h < hi.cardinality());
+                prop_assert_eq!(h * lo.cardinality() + l, i);
+            }
+        }
+    }
+
+    /// Permutation ranking round-trips.
+    #[test]
+    fn perm_rank_roundtrip(n in 1usize..7, seed in 0usize..5040) {
+        let nf: usize = (1..=n).product();
+        let r = seed % nf;
+        prop_assert_eq!(perm_rank(&perm_unrank(r, n)), r);
+    }
+
+    /// Cartesian product edge count: |E| = |E_A|·|B| + |E_B|·|A|, and
+    /// regular factors give a regular product.
+    #[test]
+    fn product_edge_count(a in 2usize..8, b in 2usize..8) {
+        let ga = ring(a);
+        let gb = ring(b);
+        let p = cartesian_product(&ga, &gb);
+        prop_assert_eq!(
+            p.edge_count(),
+            ga.edge_count() * b + gb.edge_count() * a
+        );
+        let da = ga.regular_degree().unwrap();
+        let db = gb.regular_degree().unwrap();
+        prop_assert_eq!(p.regular_degree(), Some(da + db));
+        prop_assert!(p.is_connected());
+    }
+
+    /// k-ary n-cubes are vertex-regular, connected, with n·kⁿ links for
+    /// k ≥ 3.
+    #[test]
+    fn karyn_invariants(k in 3usize..6, n in 1usize..4) {
+        let t = KaryNCube::torus(k, n);
+        prop_assert_eq!(t.graph.node_count(), k.pow(n as u32));
+        prop_assert_eq!(t.graph.edge_count(), n * k.pow(n as u32));
+        prop_assert_eq!(t.graph.regular_degree(), Some(2 * n));
+        prop_assert!(t.graph.is_connected());
+    }
+
+    /// Generalized hypercube degree: Σ(r_j − 1); diameter = number of
+    /// non-trivial dimensions.
+    #[test]
+    fn ghc_invariants(radices in prop::collection::vec(2usize..5, 1..4)) {
+        let g = GeneralizedHypercube::new(radices.clone());
+        prop_assume!(g.node_count() <= 512);
+        let deg: usize = radices.iter().map(|&r| r - 1).sum();
+        prop_assert_eq!(g.graph.regular_degree(), Some(deg));
+        prop_assert_eq!(g.graph.diameter(), Some(radices.len()));
+    }
+
+    /// BFS distance is symmetric on arbitrary graphs.
+    #[test]
+    fn bfs_symmetry(edges in prop::collection::vec((0u32..12, 0u32..12), 0..30)) {
+        let mut b = GraphBuilder::new("random", 12);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        for u in 0..12u32 {
+            let du = g.bfs_distances(u);
+            for v in 0..12u32 {
+                let dv = g.bfs_distances(v);
+                prop_assert_eq!(du[v as usize], dv[u as usize]);
+            }
+        }
+    }
+
+    /// The numbering cut upper-bounds the exact bisection on small
+    /// random graphs.
+    #[test]
+    fn numbering_cut_bounds_bisection(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 1..25)
+    ) {
+        let mut b = GraphBuilder::new("random", 10);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        if let Some(exact) = g.exact_bisection(12) {
+            prop_assert!(exact <= g.numbering_cut_width());
+        }
+    }
+
+    /// Edge multisets are stable under re-insertion order of the same
+    /// edge set.
+    #[test]
+    fn edge_multiset_order_invariant(
+        mut edges in prop::collection::vec((0u32..8, 0u32..8), 1..20)
+    ) {
+        edges.retain(|(u, v)| u != v);
+        let mut b1 = GraphBuilder::new("a", 8);
+        for &(u, v) in &edges {
+            b1.add_edge(u, v);
+        }
+        edges.reverse();
+        let mut b2 = GraphBuilder::new("b", 8);
+        for &(u, v) in &edges {
+            b2.add_edge(v, u);
+        }
+        prop_assert_eq!(b1.build().edge_multiset(), b2.build().edge_multiset());
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerate the paper's figures (1–4) from the implemented
+//! constructions, plus a realized multilayer layout rendered per layer.
+//!
+//! ```text
+//! cargo run --example figure_gallery          # everything
+//! cargo run --example figure_gallery -- f3    # one figure
+//! ```
+
+use mlv_collinear::complete::complete_collinear;
+use mlv_collinear::folded::fold_outer_groups;
+use mlv_collinear::hypercube::hypercube_collinear;
+use mlv_collinear::karyn::kary_collinear;
+use mlv_collinear::render::render_tracks;
+use mlv_grid::render::{render_block_grid, render_layer, render_top};
+use mlv_layout::families;
+use mlv_layout::scheme::figure1_labels;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let all = arg.is_empty();
+
+    if all || arg == "f1" {
+        println!("=== Figure 1: recursive grid layout scheme (level-l blocks) ===\n");
+        println!("{}", render_block_grid(&figure1_labels(3, 4), 7, 3));
+    }
+    if all || arg == "f2" {
+        let l = kary_collinear(3, 2);
+        println!("=== Figure 2: collinear 3-ary 2-cube — {} tracks ===\n", l.tracks());
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || arg == "f3" {
+        let l = complete_collinear(9);
+        println!("=== Figure 3: collinear K9 — {} tracks (strictly optimal) ===\n", l.tracks());
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || arg == "f4" {
+        let l = hypercube_collinear(4);
+        println!("=== Figure 4: collinear 4-cube — {} tracks ===\n", l.tracks());
+        println!("{}", render_tracks(&l, None));
+    }
+    if all || arg == "folded" {
+        let base = kary_collinear(8, 1);
+        let folded = fold_outer_groups(&base, 8);
+        println!("=== Bonus: folding an 8-ring (§3.1) — wrap link shrinks ===\n");
+        println!("plain order (max span {}):\n{}", base.max_span(), render_tracks(&base, None));
+        println!("folded order (max span {}):\n{}", folded.max_span(), render_tracks(&folded, None));
+    }
+    if all || arg == "layout" {
+        let fam = families::hypercube(3);
+        let layout = fam.realize(4);
+        println!("=== Bonus: realized 3-cube at L=4 ===\n");
+        println!("top view:\n{}", render_top(&layout));
+        for z in 0..4 {
+            println!("layer z={z}:\n{}", render_layer(&layout, z));
+        }
+    }
+}

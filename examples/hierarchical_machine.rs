@@ -1,0 +1,90 @@
+//! Scenario: choosing the interconnect for a hierarchical parallel
+//! machine — clusters of processors on a board, boards wired as a
+//! second-level network (the architecture §4.3's swap networks and
+//! §3.2's PN clusters were proposed for).
+//!
+//! We lay out four candidate 512-node-class interconnects on the same
+//! 8-layer process and compare silicon cost (area), packaging cost
+//! (volume) and critical-path wire length, then show how the cluster
+//! size knob moves the numbers for the k-ary n-cube cluster-c.
+//!
+//! ```text
+//! cargo run --example hierarchical_machine
+//! ```
+
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::families::{self, Family};
+use mlv_topology::cluster::ClusterKind;
+use mlv_topology::properties::GraphProperties;
+
+fn profile(label: &str, fam: &Family, layers: usize) {
+    let layout = fam.realize(layers);
+    // spot-verify the smaller instances end-to-end
+    if fam.graph.node_count() <= 600 {
+        mlv_grid::checker::assert_legal(&layout, Some(&fam.graph));
+    }
+    let m = LayoutMetrics::of(&layout);
+    let degree = fam.graph.max_degree();
+    let diameter = fam
+        .graph
+        .diameter()
+        .map(|d| d.to_string())
+        .unwrap_or_else(|| "-".into());
+    println!(
+        " {label:<22} | {:>5} | {:>3} | {:>8} | {:>9} | {:>8} | {:>8}",
+        fam.graph.node_count(),
+        degree,
+        diameter,
+        m.area,
+        m.volume,
+        m.max_wire_planar
+    );
+}
+
+fn main() {
+    let layers = 8;
+    println!("candidate interconnects on an {layers}-layer process:\n");
+    println!(
+        " {:<22} | {:>5} | {:>3} | {:>8} | {:>9} | {:>8} | {:>8}",
+        "network", "nodes", "deg", "diameter", "area", "volume", "max wire"
+    );
+    println!(" {}", "-".repeat(84));
+    profile("9-cube", &families::hypercube(9), layers);
+    profile("8-ary 3-cube", &families::karyn_cube(8, 3, false), layers);
+    profile("CCC(6)", &families::ccc(6), layers);
+    profile("HSN(3, K8)", &families::hsn(3, 8), layers);
+    profile("HHN(3, 3)", &families::hhn(3, 3), layers);
+    profile("GHC 8x8x8", &families::genhyper(&[8, 8, 8]), layers);
+
+    println!(
+        "\nthe constant-degree CCC buys cheap routers at ~the hypercube's area;\n\
+         the swap networks sit between the torus and the dense GHC.\n"
+    );
+
+    // cluster-size knob on a 8-ary 2-cube backbone
+    println!("cluster-size knob: 8-ary 2-cube backbone with c-processor boards (L = {layers}):\n");
+    println!(
+        " {:<22} | {:>5} | {:>8} | {:>9} | {:>8}",
+        "configuration", "nodes", "area", "volume", "max wire"
+    );
+    println!(" {}", "-".repeat(64));
+    for (c, kind, label) in [
+        (2usize, ClusterKind::Ring, "c=2 ring boards"),
+        (4, ClusterKind::Ring, "c=4 ring boards"),
+        (4, ClusterKind::Hypercube, "c=4 cube boards"),
+        (8, ClusterKind::Hypercube, "c=8 cube boards"),
+        (8, ClusterKind::Complete, "c=8 crossbar boards"),
+    ] {
+        let fam = families::kary_cluster(8, 2, c, kind);
+        let layout = fam.realize(layers);
+        let m = LayoutMetrics::of(&layout);
+        println!(
+            " {label:<22} | {:>5} | {:>8} | {:>9} | {:>8}",
+            fam.graph.node_count(),
+            m.area,
+            m.volume,
+            m.max_wire_planar
+        );
+    }
+    println!("\ndenser boards cost area superlinearly — exactly §3.2's c = o(k^(n/2-1)) warning.");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: lay out a hypercube on a multilayer grid, verify it, and
+//! inspect the numbers.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mlv_grid::checker;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::render::render_top;
+use mlv_layout::families;
+
+fn main() {
+    // 1. Pick a network family: the 6-dimensional hypercube (64 nodes).
+    let family = families::hypercube(6);
+    println!(
+        "network: {} ({} nodes, {} links)",
+        family.graph.name(),
+        family.graph.node_count(),
+        family.graph.edge_count()
+    );
+
+    // 2. Realize it on a multilayer grid. L = 2 is the classical
+    //    Thompson layout; more layers shrink the layout quadratically.
+    for layers in [2usize, 4, 8] {
+        let layout = family.realize(layers);
+
+        // 3. Verify legality: node-disjoint wires, terminals on
+        //    footprints, layer budget respected, and the wire multiset
+        //    equal to the network's edge multiset.
+        let report = checker::check(&layout, Some(&family.graph));
+        assert!(report.is_legal(), "illegal layout: {:?}", report.errors);
+
+        // 4. Read off the paper's figures of merit.
+        let m = LayoutMetrics::of(&layout);
+        println!(
+            "L={layers}: area {:>6} ({:>3} x {:>3}), volume {:>7}, max wire {:>3}, vias {:>5}",
+            m.area, m.width, m.height, m.volume, m.max_wire_planar, m.via_count
+        );
+    }
+
+    // 5. Small layouts render as ASCII for inspection.
+    let tiny = families::hypercube(3).realize(4);
+    println!("\n3-cube at L=4, top view ('#' nodes, 'o' vias):\n");
+    println!("{}", render_top(&tiny));
+}

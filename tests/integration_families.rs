@@ -1,0 +1,115 @@
+//! Integration: every family the paper lays out builds a legal,
+//! checker-verified multilayer layout at several layer counts, and the
+//! layout realizes exactly the reference topology.
+
+use mlv_grid::checker;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::families::{self, Family};
+use mlv_topology::cluster::ClusterKind;
+
+fn full_check(name: &str, fam: &Family, layer_sweep: &[usize]) {
+    assert_eq!(
+        fam.spec.edge_multiset(),
+        fam.graph.edge_multiset(),
+        "{name}: spec does not realize the reference graph"
+    );
+    let mut prev_area = u64::MAX;
+    for &layers in layer_sweep {
+        let layout = fam.realize(layers);
+        checker::assert_legal(&layout, Some(&fam.graph));
+        let m = LayoutMetrics::of(&layout);
+        assert!(m.area > 0, "{name}: empty layout");
+        assert!(
+            m.max_used_layer < layers as i32,
+            "{name}: layer budget exceeded"
+        );
+        assert_eq!(m.volume, layers as u64 * m.area, "{name}: volume != L*area");
+        assert!(
+            m.area <= prev_area,
+            "{name}: area must not grow with more layers ({} -> {})",
+            prev_area,
+            m.area
+        );
+        prev_area = m.area;
+        assert_eq!(m.wire_count, fam.graph.edge_count());
+    }
+}
+
+#[test]
+fn karyn_cubes() {
+    full_check("3-ary 2-cube", &families::karyn_cube(3, 2, false), &[2, 4, 8]);
+    full_check("4-ary 3-cube", &families::karyn_cube(4, 3, false), &[2, 4, 8]);
+    full_check("8-ary 2-cube", &families::karyn_cube(8, 2, false), &[2, 4]);
+    full_check("5-ary 1-cube", &families::karyn_cube(5, 1, false), &[2, 4]);
+    full_check(
+        "6-ary 2-cube folded",
+        &families::karyn_cube(6, 2, true),
+        &[2, 4],
+    );
+}
+
+#[test]
+fn hypercubes() {
+    for n in 1..=8usize {
+        full_check(
+            &format!("{n}-cube"),
+            &families::hypercube(n),
+            &[2, 4, 6, 8],
+        );
+    }
+}
+
+#[test]
+fn generalized_hypercubes() {
+    full_check("GHC 8x8", &families::genhyper(&[8, 8]), &[2, 4, 8]);
+    full_check("GHC 4x4x4", &families::genhyper(&[4, 4, 4]), &[2, 4]);
+    full_check("GHC mixed", &families::genhyper(&[3, 5, 2]), &[2, 4]);
+    full_check("K9 (1-dim)", &families::genhyper(&[9]), &[2, 4]);
+}
+
+#[test]
+fn hypercube_variants() {
+    full_check("folded 5-cube", &families::folded_hypercube(5), &[2, 4, 8]);
+    full_check("folded 7-cube", &families::folded_hypercube(7), &[2, 4]);
+    full_check("enhanced 5-cube", &families::enhanced_cube(5, 7), &[2, 4]);
+    full_check("enhanced 6-cube", &families::enhanced_cube(6, 99), &[2, 4]);
+}
+
+#[test]
+fn pn_cluster_families() {
+    full_check("CCC(3)", &families::ccc(3), &[2, 4, 8]);
+    full_check("CCC(5)", &families::ccc(5), &[2, 4]);
+    full_check("RH(4)", &families::reduced_hypercube(4), &[2, 4]);
+    full_check("BF(4)", &families::butterfly(4), &[2, 4, 8]);
+    full_check("BF(5) r=2", &families::butterfly_clustered(5, 1), &[2, 4]);
+    full_check(
+        "4-ary 2-cube cluster-4",
+        &families::kary_cluster(4, 2, 4, ClusterKind::Hypercube),
+        &[2, 4],
+    );
+    full_check(
+        "3-ary 2-cube cluster-5 complete",
+        &families::kary_cluster(3, 2, 5, ClusterKind::Complete),
+        &[2, 4],
+    );
+}
+
+#[test]
+fn swap_networks() {
+    full_check("HSN(2,K6)", &families::hsn(2, 6), &[2, 4, 8]);
+    full_check("HSN(3,K4)", &families::hsn(3, 4), &[2, 4]);
+    full_check("HHN(2,2)", &families::hhn(2, 2), &[2, 4]);
+    full_check("HHN(3,2)", &families::hhn(3, 2), &[2, 4]);
+    full_check("ISN(2,5)", &families::isn(2, 5), &[2, 4]);
+    full_check("ISN(3,3)", &families::isn(3, 3), &[2, 4]);
+}
+
+#[test]
+fn cayley_families() {
+    full_check("star(4)", &families::star(4), &[2, 4]);
+    full_check("pancake(4)", &families::pancake(4), &[2, 4]);
+    full_check("bubble-sort(4)", &families::bubble_sort(4), &[2]);
+    full_check("transposition(4)", &families::transposition(4), &[2]);
+    full_check("SCC(4)", &families::scc(4), &[2, 4]);
+    full_check("star(5)", &families::star(5), &[2]);
+}

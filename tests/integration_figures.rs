@@ -1,0 +1,98 @@
+//! Integration: the paper's four figures regenerate from the actual
+//! constructions with the exact advertised shapes.
+
+use mlv_collinear::complete::complete_collinear;
+use mlv_collinear::hypercube::hypercube_collinear;
+use mlv_collinear::karyn::kary_collinear;
+use mlv_collinear::render::render_tracks;
+use mlv_grid::render::{render_block_grid, render_layer, render_top};
+use mlv_layout::families;
+use mlv_layout::scheme::figure1_labels;
+
+/// Figure 1: the recursive-grid block arrangement renders as a grid of
+/// labelled boxes.
+#[test]
+fn figure1_block_grid() {
+    let s = render_block_grid(&figure1_labels(3, 4), 7, 3);
+    for r in 0..3 {
+        for c in 0..4 {
+            assert!(s.contains(&format!("B{r}{c}")), "missing block B{r}{c}");
+        }
+    }
+    // row 2 is drawn above row 0 (top view)
+    assert!(s.find("B20").unwrap() < s.find("B00").unwrap());
+}
+
+/// Figure 2: the collinear 3-ary 2-cube uses exactly 8 tracks
+/// (f₃(2) = 2(9−1)/2) and realizes the torus.
+#[test]
+fn figure2_three_ary_two_cube() {
+    let l = kary_collinear(3, 2);
+    l.assert_valid();
+    assert_eq!(l.tracks(), 8);
+    assert_eq!(l.slot_count(), 9);
+    let s = render_tracks(&l, None);
+    assert_eq!(s.lines().count(), 9); // 8 track rows + node row
+    assert_eq!(
+        l.edge_multiset(),
+        mlv_topology::karyn::KaryNCube::torus(3, 2).graph.edge_multiset()
+    );
+}
+
+/// Figure 3: the collinear K₉ uses exactly ⌊81/4⌋ = 20 tracks, which
+/// equals the interval-load lower bound (strict optimality).
+#[test]
+fn figure3_nine_node_complete() {
+    let l = complete_collinear(9);
+    l.assert_valid();
+    assert_eq!(l.tracks(), 20);
+    assert_eq!(l.max_load(), 20);
+    let s = render_tracks(&l, None);
+    assert_eq!(s.lines().count(), 21);
+}
+
+/// Figure 4: the collinear 4-cube uses exactly ⌊2·16/3⌋ = 10 tracks
+/// with the low bits in Gray order.
+#[test]
+fn figure4_four_cube() {
+    let l = hypercube_collinear(4);
+    l.assert_valid();
+    assert_eq!(l.tracks(), 10);
+    // each group of four slots is a 2-cube over the two high dimensions
+    // in Gray order (0,1,3,2 scaled by 4)...
+    assert_eq!(&l.node_at_slot[0..4], &[0, 4, 12, 8]);
+    // ...and across groups the low dimensions are Gray ordered too
+    assert_eq!(l.node_at_slot[0], 0);
+    assert_eq!(l.node_at_slot[4], 1);
+    assert_eq!(l.node_at_slot[8], 3);
+    assert_eq!(l.node_at_slot[12], 2);
+    let s = render_tracks(&l, None);
+    assert_eq!(s.lines().count(), 11);
+}
+
+/// The grid renderer round-trips a realized layout: nodes appear, wires
+/// appear, and per-layer views decompose the top view.
+#[test]
+fn realized_layout_renders() {
+    let fam = families::hypercube(3);
+    let layout = fam.realize(4);
+    let top = render_top(&layout);
+    assert_eq!(top.matches('#').count(), 8 * 9); // 8 nodes of side 3
+    let mut any_wire = false;
+    for z in 0..4 {
+        let s = render_layer(&layout, z);
+        any_wire |= s.contains('-') || s.contains('|');
+    }
+    assert!(any_wire);
+}
+
+/// Figure renders are deterministic (byte-identical across runs).
+#[test]
+fn figures_are_deterministic() {
+    let a = render_tracks(&kary_collinear(3, 2), None);
+    let b = render_tracks(&kary_collinear(3, 2), None);
+    assert_eq!(a, b);
+    let c = render_top(&families::hypercube(3).realize(2));
+    let d = render_top(&families::hypercube(3).realize(2));
+    assert_eq!(c, d);
+}
