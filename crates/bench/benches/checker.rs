@@ -1,14 +1,13 @@
-//! Criterion bench: legality-checker throughput (the rayon-parallel
-//! point-disjointness sweep is the reproduction's hot loop).
+//! Bench: legality-checker throughput (the parallel point-disjointness
+//! sweep is the reproduction's hot loop) and metrics aggregation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlv_core::bench::{black_box, BenchGroup};
 use mlv_grid::checker::check;
 use mlv_grid::metrics::LayoutMetrics;
 use mlv_layout::families;
-use std::hint::black_box;
 
-fn bench_checker(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checker");
+fn bench_checker() {
+    let mut g = BenchGroup::new("checker");
     g.sample_size(10);
     let cases = [
         ("hypercube n=8 L=2", families::hypercube(8), 2usize),
@@ -18,29 +17,27 @@ fn bench_checker(c: &mut Criterion) {
     ];
     for (name, fam, layers) in &cases {
         let layout = fam.realize(*layers);
-        let m = LayoutMetrics::of(&layout);
-        g.throughput(Throughput::Elements(m.total_wire + m.wire_count as u64));
-        g.bench_with_input(BenchmarkId::new("check", *name), &layout, |b, layout| {
-            b.iter(|| {
-                let r = check(black_box(layout), Some(&fam.graph));
-                assert!(r.is_legal());
-                black_box(r.wire_points)
-            })
+        g.bench(&format!("check {name}"), || {
+            let r = check(black_box(&layout), Some(&fam.graph));
+            assert!(r.is_legal());
+            black_box(r.wire_points)
         });
     }
     g.finish();
 }
 
-fn bench_metrics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("metrics");
+fn bench_metrics() {
+    let mut g = BenchGroup::new("metrics");
     g.sample_size(20);
     let fam = families::hypercube(10);
     let layout = fam.realize(4);
-    g.bench_function("metrics hypercube n=10", |b| {
-        b.iter(|| black_box(LayoutMetrics::of(&layout).area))
+    g.bench("metrics hypercube n=10", || {
+        black_box(LayoutMetrics::of(&layout).area)
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_checker, bench_metrics);
-criterion_main!(benches);
+fn main() {
+    bench_checker();
+    bench_metrics();
+}

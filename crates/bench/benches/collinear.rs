@@ -1,43 +1,40 @@
-//! Criterion bench: collinear construction throughput (the inner loop
-//! of every layout in the paper) and greedy interval colouring.
+//! Bench: collinear construction throughput (the inner loop of every
+//! layout in the paper) and greedy interval colouring.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlv_collinear::complete::complete_collinear;
 use mlv_collinear::folded::fold_outer_groups;
 use mlv_collinear::genhyper::genhyper_collinear;
 use mlv_collinear::hypercube::hypercube_collinear;
 use mlv_collinear::interval::color_intervals;
 use mlv_collinear::karyn::kary_collinear;
-use std::hint::black_box;
+use mlv_core::bench::{black_box, BenchGroup};
 
-fn bench_constructions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collinear_construction");
+fn bench_constructions() {
+    let mut g = BenchGroup::new("collinear_construction");
     g.sample_size(20);
     for n in [8usize, 12, 16] {
-        g.bench_with_input(BenchmarkId::new("hypercube", n), &n, |b, &n| {
-            b.iter(|| black_box(hypercube_collinear(n).tracks()))
+        g.bench(&format!("hypercube {n}"), || {
+            black_box(hypercube_collinear(n).tracks())
         });
     }
     for (k, n) in [(4usize, 4usize), (8, 4), (4, 6)] {
-        g.bench_with_input(
-            BenchmarkId::new("kary", format!("{k}-ary {n}")),
-            &(k, n),
-            |b, &(k, n)| b.iter(|| black_box(kary_collinear(k, n).tracks())),
-        );
-    }
-    for r in [16usize, 32, 64] {
-        g.bench_with_input(BenchmarkId::new("complete", r), &r, |b, &r| {
-            b.iter(|| black_box(complete_collinear(r).tracks()))
+        g.bench(&format!("kary {k}-ary {n}"), || {
+            black_box(kary_collinear(k, n).tracks())
         });
     }
-    g.bench_function("genhyper 8^3", |b| {
-        b.iter(|| black_box(genhyper_collinear(&[8, 8, 8]).tracks()))
+    for r in [16usize, 32, 64] {
+        g.bench(&format!("complete {r}"), || {
+            black_box(complete_collinear(r).tracks())
+        });
+    }
+    g.bench("genhyper 8^3", || {
+        black_box(genhyper_collinear(&[8, 8, 8]).tracks())
     });
     g.finish();
 }
 
-fn bench_coloring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interval_coloring");
+fn bench_coloring() {
+    let mut g = BenchGroup::new("interval_coloring");
     g.sample_size(20);
     for n in [1_000usize, 10_000, 100_000] {
         // deterministic pseudo-random spans
@@ -59,22 +56,25 @@ fn bench_coloring(c: &mut Criterion) {
                 }
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("random_spans", n), &spans, |b, spans| {
-            b.iter(|| black_box(color_intervals(spans).len()))
+        g.bench(&format!("random_spans {n}"), || {
+            black_box(color_intervals(&spans).len())
         });
     }
     g.finish();
 }
 
-fn bench_folding(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fold_reorder");
+fn bench_folding() {
+    let mut g = BenchGroup::new("fold_reorder");
     g.sample_size(20);
     let base = kary_collinear(8, 4);
-    g.bench_function("fold 8-ary 4-cube", |b| {
-        b.iter(|| black_box(fold_outer_groups(&base, 8).tracks()))
+    g.bench("fold 8-ary 4-cube", || {
+        black_box(fold_outer_groups(&base, 8).tracks())
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_constructions, bench_coloring, bench_folding);
-criterion_main!(benches);
+fn main() {
+    bench_constructions();
+    bench_coloring();
+    bench_folding();
+}

@@ -1,36 +1,33 @@
-//! Criterion bench: end-to-end layout construction (spec building +
-//! grid realization) per family and per layer count.
+//! Bench: end-to-end layout construction (spec building + grid
+//! realization) per family and per layer count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlv_core::bench::{black_box, BenchGroup};
 use mlv_layout::families;
-use std::hint::black_box;
 
-fn bench_spec_building(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spec_building");
+fn bench_spec_building() {
+    let mut g = BenchGroup::new("spec_building");
     g.sample_size(10);
-    g.bench_function("hypercube n=10", |b| {
-        b.iter(|| black_box(families::hypercube(10).spec.wire_count()))
+    g.bench("hypercube n=10", || {
+        black_box(families::hypercube(10).spec.wire_count())
     });
-    g.bench_function("6-ary 4-cube", |b| {
-        b.iter(|| black_box(families::karyn_cube(6, 4, false).spec.wire_count()))
+    g.bench("6-ary 4-cube", || {
+        black_box(families::karyn_cube(6, 4, false).spec.wire_count())
     });
-    g.bench_function("GHC 16x16", |b| {
-        b.iter(|| black_box(families::genhyper(&[16, 16]).spec.wire_count()))
+    g.bench("GHC 16x16", || {
+        black_box(families::genhyper(&[16, 16]).spec.wire_count())
     });
-    g.bench_function("butterfly m=8", |b| {
-        b.iter(|| black_box(families::butterfly(8).spec.wire_count()))
+    g.bench("butterfly m=8", || {
+        black_box(families::butterfly(8).spec.wire_count())
     });
-    g.bench_function("CCC n=6", |b| {
-        b.iter(|| black_box(families::ccc(6).spec.wire_count()))
-    });
-    g.bench_function("HSN(3,K8)", |b| {
-        b.iter(|| black_box(families::hsn(3, 8).spec.wire_count()))
+    g.bench("CCC n=6", || black_box(families::ccc(6).spec.wire_count()));
+    g.bench("HSN(3,K8)", || {
+        black_box(families::hsn(3, 8).spec.wire_count())
     });
     g.finish();
 }
 
-fn bench_realization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("realization");
+fn bench_realization() {
+    let mut g = BenchGroup::new("realization");
     g.sample_size(10);
     let cases = [
         ("hypercube n=8", families::hypercube(8)),
@@ -40,62 +37,56 @@ fn bench_realization(c: &mut Criterion) {
     ];
     for (name, fam) in &cases {
         for layers in [2usize, 8] {
-            g.bench_with_input(
-                BenchmarkId::new(*name, format!("L={layers}")),
-                &layers,
-                |b, &layers| b.iter(|| black_box(fam.realize(layers).wires.len())),
-            );
+            g.bench(&format!("{name} L={layers}"), || {
+                black_box(fam.realize(layers).wires.len())
+            });
         }
     }
     g.finish();
 }
 
-fn bench_realization_3d(c: &mut Criterion) {
+fn bench_realization_3d() {
     use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
-    let mut g = c.benchmark_group("realization_3d");
+    let mut g = BenchGroup::new("realization_3d");
     g.sample_size(10);
     let fam = families::karyn_cube(8, 2, false);
     for la in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("8-ary 2-cube L=8", format!("LA={la}")), &la, |b, &la| {
-            b.iter(|| {
-                black_box(
-                    realize_3d(
-                        &fam.spec,
-                        &Realize3dOptions {
-                            layers: 8,
-                            active_layers: la,
-                            node_side: Some(16),
-                        },
-                    )
-                    .wires
-                    .len(),
+        g.bench(&format!("8-ary 2-cube L=8 LA={la}"), || {
+            black_box(
+                realize_3d(
+                    &fam.spec,
+                    &Realize3dOptions {
+                        layers: 8,
+                        active_layers: la,
+                        node_side: Some(16),
+                    },
                 )
-            })
+                .wires
+                .len(),
+            )
         });
     }
     g.finish();
 }
 
-fn bench_io(c: &mut Criterion) {
+fn bench_io() {
     use mlv_grid::io::{read_layout, write_layout};
-    let mut g = c.benchmark_group("layout_io");
+    let mut g = BenchGroup::new("layout_io");
     g.sample_size(20);
     let layout = families::hypercube(8).realize(4);
-    g.bench_function("write hypercube n=8", |b| {
-        b.iter(|| black_box(write_layout(&layout).len()))
+    g.bench("write hypercube n=8", || {
+        black_box(write_layout(&layout).len())
     });
     let text = write_layout(&layout);
-    g.bench_function("read hypercube n=8", |b| {
-        b.iter(|| black_box(read_layout(&text).unwrap().wires.len()))
+    g.bench("read hypercube n=8", || {
+        black_box(read_layout(&text).unwrap().wires.len())
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_spec_building,
-    bench_realization,
-    bench_realization_3d,
-    bench_io
-);
-criterion_main!(benches);
+fn main() {
+    bench_spec_building();
+    bench_realization();
+    bench_realization_3d();
+    bench_io();
+}

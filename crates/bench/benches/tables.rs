@@ -1,45 +1,41 @@
-//! Criterion bench: one timed pipeline per experiment table — the cost
-//! of regenerating each table row (build + realize + check + metrics),
-//! so table-regeneration time is itself tracked.
+//! Bench: one timed pipeline per experiment table — the cost of
+//! regenerating each table row (build + realize + check + metrics), so
+//! table-regeneration time is itself tracked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mlv_bench::measure;
+use mlv_core::bench::{black_box, BenchGroup};
 use mlv_layout::families;
-use std::hint::black_box;
 
-fn bench_table_rows(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_rows");
+fn main() {
+    let mut g = BenchGroup::new("table_rows");
     g.sample_size(10);
-    g.bench_function("T-kary row (4-ary 4-cube, L=4)", |b| {
+    g.bench("T-kary row (4-ary 4-cube, L=4)", || {
         let fam = families::karyn_cube(4, 4, false);
-        b.iter(|| black_box(measure(&fam, 4, false).metrics.area))
+        black_box(measure(&fam, 4, false).metrics.area)
     });
-    g.bench_function("T-hcube row (n=8, L=4)", |b| {
+    g.bench("T-hcube row (n=8, L=4)", || {
         let fam = families::hypercube(8);
-        b.iter(|| black_box(measure(&fam, 4, false).metrics.area))
+        black_box(measure(&fam, 4, false).metrics.area)
     });
-    g.bench_function("T-ghc row (12^2, L=4, routed)", |b| {
+    g.bench("T-ghc row (12^2, L=4, routed)", || {
         let fam = families::genhyper(&[12, 12]);
-        b.iter(|| black_box(measure(&fam, 4, true).routed))
+        black_box(measure(&fam, 4, true).routed)
     });
-    g.bench_function("T-bfly row (m=6, L=4)", |b| {
+    g.bench("T-bfly row (m=6, L=4)", || {
         let fam = families::butterfly(6);
-        b.iter(|| black_box(measure(&fam, 4, false).metrics.area))
+        black_box(measure(&fam, 4, false).metrics.area)
     });
-    g.bench_function("T-ccc row (n=5, L=4)", |b| {
+    g.bench("T-ccc row (n=5, L=4)", || {
         let fam = families::ccc(5);
-        b.iter(|| black_box(measure(&fam, 4, false).metrics.area))
+        black_box(measure(&fam, 4, false).metrics.area)
     });
-    g.bench_function("T-hsn row (HSN(3,K5), L=4)", |b| {
+    g.bench("T-hsn row (HSN(3,K5), L=4)", || {
         let fam = families::hsn(3, 5);
-        b.iter(|| black_box(measure(&fam, 4, false).metrics.area))
+        black_box(measure(&fam, 4, false).metrics.area)
     });
-    g.bench_function("T-fold row (folded 6-cube, L=4)", |b| {
+    g.bench("T-fold row (folded 6-cube, L=4)", || {
         let fam = families::folded_hypercube(6);
-        b.iter(|| black_box(measure(&fam, 4, false).metrics.area))
+        black_box(measure(&fam, 4, false).metrics.area)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_table_rows);
-criterion_main!(benches);

@@ -23,10 +23,7 @@ fn main() {
 
     if all || arg == "f1" {
         println!("--- Figure 1: recursive grid scheme, level-l blocks as a 2-D grid ---");
-        println!(
-            "{}",
-            render_block_grid(&figure1_labels(3, 4), 7, 3)
-        );
+        println!("{}", render_block_grid(&figure1_labels(3, 4), 7, 3));
     }
     if all || arg == "f2" {
         let l = kary_collinear(3, 2);

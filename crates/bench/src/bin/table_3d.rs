@@ -34,7 +34,13 @@ fn main() {
     let mut t = Table::new(
         "T-3d: 2-D vs 3-D grid model at L = 8 (area; gain over L_A = 1)",
         &[
-            "network", "node side", "LA=1", "LA=2", "gain", "LA=4", "gain",
+            "network",
+            "node side",
+            "LA=1",
+            "LA=2",
+            "gain",
+            "LA=4",
+            "gain",
         ],
     );
     let cases: Vec<(String, Family)> = vec![
@@ -65,7 +71,13 @@ fn main() {
     // the max wire shrinks with the shorter column spans
     let mut t = Table::new(
         "T-3d: wire length and risers at node side 16, L = 8",
-        &["network", "LA", "height", "max wire", "width (risers included)"],
+        &[
+            "network",
+            "LA",
+            "height",
+            "max wire",
+            "width (risers included)",
+        ],
     );
     for (label, fam) in &cases {
         for la in [1usize, 2, 4] {

@@ -14,8 +14,16 @@ fn main() {
     let mut t = Table::new(
         "T-bfly: wrapped butterfly layouts vs paper leading terms",
         &[
-            "m", "N", "L", "area", "paper area", "a-ratio", "max wire", "paper wire",
-            "w-ratio", "checked",
+            "m",
+            "N",
+            "L",
+            "area",
+            "paper area",
+            "a-ratio",
+            "max wire",
+            "paper wire",
+            "w-ratio",
+            "checked",
         ],
     );
     for m in [3usize, 4, 5, 6, 8, 10] {

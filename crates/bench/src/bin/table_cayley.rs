@@ -24,9 +24,7 @@ fn main() {
 
     let mut t = Table::new(
         "Cayley families: multilayer layouts via the generic scheme",
-        &[
-            "family", "N", "deg", "L", "area", "max wire", "L2/L gain",
-        ],
+        &["family", "N", "deg", "L", "area", "max wire", "L2/L gain"],
     );
     for (label, fam) in &cases {
         let a2 = measure(fam, 2, false).metrics.area;
@@ -49,7 +47,10 @@ fn main() {
     let mut t = Table::new(
         "Collinear order search (tracks; lower is better)",
         &[
-            "family", "natural", "BFS order", "best of 16 random",
+            "family",
+            "natural",
+            "BFS order",
+            "best of 16 random",
             "BFS + local search",
         ],
     );

@@ -12,8 +12,15 @@ fn main() {
     let mut t = Table::new(
         "T-ccc: CCC and reduced hypercube layouts vs paper leading terms",
         &[
-            "family", "N", "L", "area", "paper area", "a-ratio", "max wire",
-            "volume", "v-ratio",
+            "family",
+            "N",
+            "L",
+            "area",
+            "paper area",
+            "a-ratio",
+            "max wire",
+            "volume",
+            "v-ratio",
         ],
     );
     let cases: Vec<(String, mlv_layout::families::Family)> = vec![
@@ -48,7 +55,15 @@ fn main() {
     // only a polylog more area than its quotient hypercube
     let mut t = Table::new(
         "T-ccc: CCC vs its quotient hypercube (area overhead of the cycles)",
-        &["n", "CCC N", "cube N", "L", "CCC area", "cube area", "overhead"],
+        &[
+            "n",
+            "CCC N",
+            "cube N",
+            "L",
+            "CCC area",
+            "cube area",
+            "overhead",
+        ],
     );
     for n in [4usize, 5, 6] {
         let c = families::ccc(n);

@@ -19,7 +19,14 @@ fn main() {
     let mut t = Table::new(
         "T-cluster (a): k-ary n-cube cluster-c area vs the flat quotient torus",
         &[
-            "k", "n", "c", "kind", "L", "cluster area", "flat area", "overhead",
+            "k",
+            "n",
+            "c",
+            "kind",
+            "L",
+            "cluster area",
+            "flat area",
+            "overhead",
         ],
     );
     for (k, n, c, kind, kind_name) in [
@@ -35,7 +42,10 @@ fn main() {
         let big = fam.graph.node_count() > 1024;
         for layers in [2usize, 4] {
             let (mc, mf) = if big {
-                (measure_unchecked(&fam, layers), measure_unchecked(&flat, layers))
+                (
+                    measure_unchecked(&fam, layers),
+                    measure_unchecked(&flat, layers),
+                )
             } else {
                 (measure(&fam, layers, false), measure(&flat, layers, false))
             };
@@ -81,7 +91,13 @@ fn main() {
         // width = 16 * (side + tracks); tracks = 64
         (base.metrics.width / 16 - 64) as usize
     };
-    for side in [min_side, min_side + 8, min_side + 16, min_side + 32, min_side + 64] {
+    for side in [
+        min_side,
+        min_side + 8,
+        min_side + 16,
+        min_side + 32,
+        min_side + 64,
+    ] {
         let m = measure_with(
             &fam,
             &RealizeOptions {

@@ -13,8 +13,14 @@ fn main() {
     let mut t = Table::new(
         "Congestion & density per family",
         &[
-            "family", "L", "area", "footprint %", "lane util mean", "lane util max",
-            "peak cut flux", "layer balance",
+            "family",
+            "L",
+            "area",
+            "footprint %",
+            "lane util mean",
+            "lane util max",
+            "peak cut flux",
+            "layer balance",
         ],
     );
     let cases: Vec<(String, mlv_layout::families::Family)> = vec![

@@ -17,7 +17,13 @@ fn main() {
     let mut t = Table::new(
         "T-fold: folded hypercube / enhanced cube vs paper leading terms",
         &[
-            "family", "N", "L", "area", "paper area", "a-ratio", "vs plain cube",
+            "family",
+            "N",
+            "L",
+            "area",
+            "paper area",
+            "a-ratio",
+            "vs plain cube",
             "paper vs plain",
         ],
     );

@@ -14,7 +14,15 @@ fn main() {
         "T-ghc (a): collinear track counts f_r(n) = (N-1) floor(r^2/4)/(r-1)",
         &["r", "n", "constructed", "paper", "load lower bound"],
     );
-    for (r, n) in [(3usize, 2usize), (3, 3), (4, 2), (5, 2), (6, 2), (9, 1), (8, 2)] {
+    for (r, n) in [
+        (3usize, 2usize),
+        (3, 3),
+        (4, 2),
+        (5, 2),
+        (6, 2),
+        (9, 1),
+        (8, 2),
+    ] {
         let l = genhyper_collinear(&vec![r; n]);
         l.assert_valid();
         t.row(vec![
@@ -30,8 +38,7 @@ fn main() {
     let mut t = Table::new(
         "T-ghc (b): L-layer layouts vs paper leading terms",
         &[
-            "r", "n", "N", "L", "area", "a-ratio", "max wire", "w-ratio", "routed",
-            "r-ratio",
+            "r", "n", "N", "L", "area", "a-ratio", "max wire", "w-ratio", "routed", "r-ratio",
         ],
     );
     for (r, n) in [(8usize, 2usize), (12, 2), (16, 2), (4, 3)] {
@@ -68,10 +75,7 @@ fn main() {
         let m = measure(&fam, 4, false);
         let lo = genhyper_collinear(&radices);
         t.row(vec![
-            format!(
-                "{:?}",
-                radices.iter().rev().collect::<Vec<_>>()
-            ),
+            format!("{:?}", radices.iter().rev().collect::<Vec<_>>()),
             radices.iter().product::<usize>().to_string(),
             lo.tracks().to_string(),
             m.metrics.area.to_string(),

@@ -13,8 +13,16 @@ fn main() {
     let mut t = Table::new(
         "T-hsn (a): HSN / HHN layouts vs paper leading terms",
         &[
-            "family", "N", "L", "area", "paper area", "a-ratio", "max wire", "w-ratio",
-            "routed", "r-ratio",
+            "family",
+            "N",
+            "L",
+            "area",
+            "paper area",
+            "a-ratio",
+            "max wire",
+            "w-ratio",
+            "routed",
+            "r-ratio",
         ],
     );
     let cases: Vec<(String, mlv_layout::families::Family)> = vec![
@@ -58,8 +66,16 @@ fn main() {
     let mut t = Table::new(
         "T-hsn (b): ISN vs similar-size butterfly (paper: area/4, wire/2)",
         &[
-            "pair", "ISN N", "BF N", "L", "ISN area", "BF area", "area ratio",
-            "ISN wire", "BF wire", "wire ratio",
+            "pair",
+            "ISN N",
+            "BF N",
+            "L",
+            "ISN area",
+            "BF area",
+            "area ratio",
+            "ISN wire",
+            "BF wire",
+            "wire ratio",
         ],
     );
     // similar sizes: ISN(2,4)=32 vs BF(3)=24; ISN(2,6)=72 vs BF(4)=64;
@@ -72,7 +88,10 @@ fn main() {
             let (mi, mb) = if small {
                 (measure(&isn, layers, false), measure(&bf, layers, false))
             } else {
-                (measure_unchecked(&isn, layers), measure_unchecked(&bf, layers))
+                (
+                    measure_unchecked(&isn, layers),
+                    measure_unchecked(&bf, layers),
+                )
             };
             t.row(vec![
                 format!("ISN({lv},{r}) / BF({m})"),

@@ -31,8 +31,16 @@ fn main() {
     let mut t = Table::new(
         "T-hcube (b): L-layer layouts vs paper leading terms",
         &[
-            "n", "N", "L", "area", "paper area", "a-ratio", "max wire", "paper wire",
-            "w-ratio", "used layers",
+            "n",
+            "N",
+            "L",
+            "area",
+            "paper area",
+            "a-ratio",
+            "max wire",
+            "paper wire",
+            "w-ratio",
+            "used layers",
         ],
     );
     for n in [6usize, 8, 10] {

@@ -16,7 +16,15 @@ fn main() {
         "T-kary (a): collinear track counts f_k(n) = 2(k^n - 1)/(k - 1)",
         &["k", "n", "constructed", "paper formula", "load lower bound"],
     );
-    for (k, n) in [(3usize, 2usize), (3, 3), (4, 2), (4, 3), (5, 2), (8, 2), (16, 1)] {
+    for (k, n) in [
+        (3usize, 2usize),
+        (3, 3),
+        (4, 2),
+        (4, 3),
+        (5, 2),
+        (8, 2),
+        (16, 1),
+    ] {
         let l = kary_collinear(k, n);
         l.assert_valid();
         t.row(vec![
@@ -33,7 +41,15 @@ fn main() {
     let mut t = Table::new(
         "T-kary (b): L-layer layouts vs paper leading terms (ratio -> 1 as tracks dominate)",
         &[
-            "k", "n", "N", "L", "area", "paper area", "a-ratio", "volume", "v-ratio",
+            "k",
+            "n",
+            "N",
+            "L",
+            "area",
+            "paper area",
+            "a-ratio",
+            "volume",
+            "v-ratio",
             "max wire",
         ],
     );
@@ -63,8 +79,13 @@ fn main() {
     let mut t = Table::new(
         "T-kary (c): folded rows/columns cut the max wire (paper: O(N/(Lk^2)))",
         &[
-            "k", "n", "L", "max wire (plain)", "max wire (folded)",
-            "scale N/(Lk^2)", "folded/scale",
+            "k",
+            "n",
+            "L",
+            "max wire (plain)",
+            "max wire (folded)",
+            "scale N/(Lk^2)",
+            "folded/scale",
         ],
     );
     for (k, n) in [(4usize, 4usize), (6, 4), (3, 6)] {

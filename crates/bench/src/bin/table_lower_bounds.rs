@@ -41,11 +41,7 @@ fn main() {
             families::hsn(2, 12),
             bisection::hsn(12, 2),
         ),
-        (
-            "CCC(5)".into(),
-            families::ccc(5),
-            bisection::ccc(5),
-        ),
+        ("CCC(5)".into(), families::ccc(5), bisection::ccc(5)),
         (
             "folded 8-cube".into(),
             families::folded_hypercube(8),

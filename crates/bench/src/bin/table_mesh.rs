@@ -29,7 +29,13 @@ fn main() {
     let mut t = Table::new(
         "Mesh vs torus layouts (paper: mesh area -> torus/4)",
         &[
-            "k", "n", "L", "mesh area", "torus area", "mesh/torus", "paper ratio",
+            "k",
+            "n",
+            "L",
+            "mesh area",
+            "torus area",
+            "mesh/torus",
+            "paper ratio",
             "a-ratio vs 4N^2/(L^2 k^2)",
         ],
     );

@@ -16,8 +16,14 @@ fn main() {
     let mut t = Table::new(
         "Worst-case routed wire length: BFS shortest paths vs dimension-order",
         &[
-            "network", "N", "L", "max wire", "routed (BFS)", "routed (dim-order)",
-            "dim/BFS", "routed/maxwire",
+            "network",
+            "N",
+            "L",
+            "max wire",
+            "routed (BFS)",
+            "routed (dim-order)",
+            "dim/BFS",
+            "routed/maxwire",
         ],
     );
     for (k, n) in [(6usize, 2usize), (4, 3), (8, 2), (3, 4)] {

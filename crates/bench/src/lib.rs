@@ -5,8 +5,8 @@
 //!
 //! Each `src/bin/table_*.rs` binary reproduces one experiment of the
 //! index in `DESIGN.md` (and `EXPERIMENTS.md` records the outcomes);
-//! the criterion benches in `benches/` measure construction and
-//! checking throughput. This library holds the shared plumbing:
+//! the `mlv_core::bench` micro-benches in `benches/` measure
+//! construction and checking throughput. This library holds the shared plumbing:
 //! measuring a family at a layer count, formatting comparison tables,
 //! and the measured-vs-predicted ratio helpers.
 

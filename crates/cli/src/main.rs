@@ -100,13 +100,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--layers" => {
-                f.layers = Some(
-                    it.next()
-                        .ok_or("--layers needs a value")?
-                        .clone(),
-                )
-            }
+            "--layers" => f.layers = Some(it.next().ok_or("--layers needs a value")?.clone()),
             "--active-layers" => {
                 f.active_layers = Some(
                     it.next()
@@ -129,9 +123,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--json" => f.json = true,
             "--check" => f.check = true,
             "--routed" => f.routed = true,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag '{other}'"))
-            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => f.positional.push(other.to_string()),
         }
     }
@@ -181,7 +173,10 @@ fn cmd_layout(args: &[String]) -> ExitCode {
         let r = checker::check(&layout, Some(&family.graph));
         rep.checked = Some(r.is_legal());
         if !r.is_legal() {
-            eprintln!("legality check FAILED: {:?}", &r.errors[..r.errors.len().min(3)]);
+            eprintln!(
+                "legality check FAILED: {:?}",
+                &r.errors[..r.errors.len().min(3)]
+            );
         }
     }
     if flags.routed {
@@ -322,7 +317,10 @@ fn cmd_figures(args: &[String]) -> ExitCode {
     }
     if all || which == "f2" {
         let l = kary_collinear(3, 2);
-        println!("Figure 2 — collinear 3-ary 2-cube ({} tracks):\n", l.tracks());
+        println!(
+            "Figure 2 — collinear 3-ary 2-cube ({} tracks):\n",
+            l.tracks()
+        );
         println!("{}", render_tracks(&l, None));
     }
     if all || which == "f3" {

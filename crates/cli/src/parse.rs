@@ -9,19 +9,34 @@ use mlv_topology::cluster::ClusterKind;
 pub const FAMILY_HELP: &[(&str, &str)] = &[
     ("hypercube:<n>", "binary n-cube (2^n nodes)"),
     ("karyn:<k>,<n>", "k-ary n-cube torus"),
-    ("karyn-folded:<k>,<n>", "k-ary n-cube with folded rows/columns"),
+    (
+        "karyn-folded:<k>,<n>",
+        "k-ary n-cube with folded rows/columns",
+    ),
     ("mesh:<k>,<n>", "k-ary n-mesh (no wraparound)"),
     ("ghc:<r0>,<r1>,...", "generalized hypercube, mixed radices"),
     ("complete:<n>", "complete graph K_n (1-dim GHC)"),
     ("folded:<n>", "folded hypercube"),
-    ("enhanced:<n>[,<seed>]", "enhanced cube (random extra links)"),
+    (
+        "enhanced:<n>[,<seed>]",
+        "enhanced cube (random extra links)",
+    ),
     ("ccc:<n>", "cube-connected cycles"),
     ("rh:<n>", "reduced hypercube (n = 2^s)"),
-    ("butterfly:<m>[,<b>]", "wrapped butterfly, cluster radix 2^b"),
+    (
+        "butterfly:<m>[,<b>]",
+        "wrapped butterfly, cluster radix 2^b",
+    ),
     ("hsn:<levels>,<r>", "hierarchical swap network over K_r"),
-    ("hhn:<levels>,<s>", "hierarchical hypercube network (s-cube nuclei)"),
+    (
+        "hhn:<levels>,<s>",
+        "hierarchical hypercube network (s-cube nuclei)",
+    ),
     ("isn:<levels>,<r>", "indirect swap network"),
-    ("clusterc:<k>,<n>,<c>,<ring|cube|complete>", "k-ary n-cube cluster-c"),
+    (
+        "clusterc:<k>,<n>,<c>,<ring|cube|complete>",
+        "k-ary n-cube cluster-c",
+    ),
     ("star:<n>", "star graph (n! nodes)"),
     ("pancake:<n>", "pancake graph"),
     ("bubble:<n>", "bubble-sort graph"),

@@ -96,10 +96,7 @@ impl Report {
             self.footprint_fraction * 100.0,
             self.max_cut_flux
         ));
-        s.push_str(&format!(
-            "layers   : usage {:?}\n",
-            self.layer_usage
-        ));
+        s.push_str(&format!("layers   : usage {:?}\n", self.layer_usage));
         s
     }
 

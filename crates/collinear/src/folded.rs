@@ -18,7 +18,13 @@ use crate::track::CollinearLayout;
 /// pair) end up at positions at most 2 apart.
 pub fn folded_sequence(g: usize) -> Vec<usize> {
     (0..g)
-        .map(|p| if p % 2 == 0 { p / 2 } else { g - 1 - (p - 1) / 2 })
+        .map(|p| {
+            if p % 2 == 0 {
+                p / 2
+            } else {
+                g - 1 - (p - 1) / 2
+            }
+        })
         .collect()
 }
 
@@ -54,7 +60,10 @@ pub fn reorder_and_recolor(base: &CollinearLayout, sequence: &[usize]) -> Collin
 /// keep their order.
 pub fn fold_outer_groups(base: &CollinearLayout, groups: usize) -> CollinearLayout {
     let n = base.slot_count();
-    assert!(groups >= 1 && n.is_multiple_of(groups), "groups must divide slots");
+    assert!(
+        groups >= 1 && n.is_multiple_of(groups),
+        "groups must divide slots"
+    );
     let size = n / groups;
     let seq = folded_sequence(groups);
     let mut sequence = Vec::with_capacity(n);

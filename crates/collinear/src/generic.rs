@@ -16,7 +16,11 @@ use std::collections::VecDeque;
 
 /// Collinear layout of `graph` with nodes in the given order.
 pub fn generic_collinear(graph: &Graph, order: &[NodeId]) -> CollinearLayout {
-    assert_eq!(order.len(), graph.node_count(), "order must cover all nodes");
+    assert_eq!(
+        order.len(),
+        graph.node_count(),
+        "order must cover all nodes"
+    );
     let mut pos = vec![usize::MAX; graph.node_count()];
     for (slot, &v) in order.iter().enumerate() {
         assert!(pos[v as usize] == usize::MAX, "order repeats node {v}");
@@ -104,12 +108,7 @@ pub fn best_order_collinear(graph: &Graph, restarts: usize, seed: u64) -> Collin
 /// it moves in plateaus; the total span breaks ties and gives the
 /// search a descent direction across them. Deterministic for a given
 /// seed; stops after a full pass without improvement (≤ `max_rounds`).
-pub fn improve_order(
-    graph: &Graph,
-    start: &[NodeId],
-    max_rounds: usize,
-    seed: u64,
-) -> Vec<NodeId> {
+pub fn improve_order(graph: &Graph, start: &[NodeId], max_rounds: usize, seed: u64) -> Vec<NodeId> {
     let n = graph.node_count();
     assert_eq!(start.len(), n);
     let fitness = |order: &[NodeId]| -> (usize, usize) {

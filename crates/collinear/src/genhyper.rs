@@ -54,11 +54,7 @@ pub fn genhyper_collinear(radices: &[usize]) -> CollinearLayout {
 /// One recursion step: interleave `r` copies of `base` (which covers
 /// `card` nodes) and connect each slot group as K_r using the optimal
 /// template.
-fn extend_by_complete_dimension(
-    base: &CollinearLayout,
-    r: usize,
-    card: usize,
-) -> CollinearLayout {
+fn extend_by_complete_dimension(base: &CollinearLayout, r: usize, card: usize) -> CollinearLayout {
     let old_n = base.slot_count();
     let f_old = base.tracks();
     let mut node_at_slot = vec![0u32; old_n * r];
@@ -108,7 +104,9 @@ mod tests {
             );
             assert_eq!(
                 l.edge_multiset(),
-                GeneralizedHypercube::new(radices.clone()).graph.edge_multiset(),
+                GeneralizedHypercube::new(radices.clone())
+                    .graph
+                    .edge_multiset(),
                 "radices {radices:?}"
             );
         }

@@ -135,11 +135,7 @@ mod tests {
             let l = hypercube_collinear(n);
             l.assert_valid();
             assert_eq!(l.tracks(), hypercube_track_count(n), "n={n}");
-            assert_eq!(
-                l.edge_multiset(),
-                hypercube(n).edge_multiset(),
-                "n={n}"
-            );
+            assert_eq!(l.edge_multiset(), hypercube(n).edge_multiset(), "n={n}");
         }
     }
 

@@ -204,7 +204,11 @@ mod tests {
     #[test]
     fn bad_span_detected() {
         let mut l = simple();
-        l.wires.push(SpanWire { lo: 2, hi: 2, track: 3 });
+        l.wires.push(SpanWire {
+            lo: 2,
+            hi: 2,
+            track: 3,
+        });
         assert!(matches!(l.validate(), Err(TrackError::BadSpan(_))));
         let mut l2 = simple();
         l2.add_wire(0, 9, 0);

@@ -9,14 +9,15 @@ use mlv_collinear::hypercube::{hypercube_collinear, hypercube_track_count};
 use mlv_collinear::interval::{color_intervals, max_load};
 use mlv_collinear::karyn::{kary_collinear, kary_track_count};
 use mlv_collinear::track::CollinearLayout;
-use proptest::prelude::*;
+use mlv_core::prop;
+use mlv_core::{mlv_proptest, prop_assert, prop_assert_eq, prop_assume};
 
-proptest! {
+mlv_proptest! {
     /// Greedy interval colouring is optimal: tracks used == max gap
     /// load, and the result validates.
     #[test]
     fn greedy_is_optimal(
-        spans_raw in prop::collection::vec((0usize..40, 0usize..40), 1..80)
+        spans_raw in prop::vec((0usize..40, 0usize..40), 1..80)
     ) {
         let spans: Vec<(usize, usize)> = spans_raw
             .into_iter()
@@ -59,7 +60,7 @@ proptest! {
     /// The GHC construction matches its recurrence for random radix
     /// vectors.
     #[test]
-    fn ghc_construction_sound(radices in prop::collection::vec(2usize..5, 1..4)) {
+    fn ghc_construction_sound(radices in prop::vec(2usize..5, 1..4)) {
         prop_assume!(radices.iter().product::<usize>() <= 256);
         let l = genhyper_collinear(&radices);
         l.assert_valid();

@@ -1,0 +1,190 @@
+//! A tiny wall-clock micro-benchmark harness — the in-repo replacement
+//! for criterion, sized to what the workspace's benches need.
+//!
+//! Each benchmark is calibrated (iterations doubled until one sample
+//! takes long enough to time meaningfully), warmed up, then sampled N
+//! times; the **median** per-iteration time is the headline number.
+//! Every benchmark prints exactly one JSON line to stdout:
+//!
+//! ```text
+//! {"group":"checker","bench":"hypercube n=8","iters":4,"samples":11,"median_ns":2310040,...}
+//! ```
+//!
+//! so results are machine-diffable across runs with nothing but grep.
+//! `MLV_BENCH_SAMPLES` overrides the sample count globally (e.g. `3`
+//! for a CI smoke run).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark timing statistics (per-iteration nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// Timed iterations per sample (chosen by calibration).
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Median per-iteration time.
+    pub median_ns: u64,
+    /// Mean per-iteration time.
+    pub mean_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+/// Calibrate, warm up, and sample `f`, returning per-iteration stats.
+///
+/// `samples` must be ≥ 1. The first (calibration) runs double the
+/// iteration count until one batch exceeds ~5 ms, then iterations are
+/// scaled so each timed sample takes ~20 ms.
+pub fn measure<R>(samples: usize, mut f: impl FnMut() -> R) -> Stats {
+    assert!(samples >= 1, "need at least one sample");
+    const CALIBRATE: Duration = Duration::from_millis(5);
+    const TARGET: Duration = Duration::from_millis(20);
+    // calibration doubles as warmup
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let el = t.elapsed();
+        if el >= CALIBRATE || iters >= 1 << 20 {
+            break (el.as_nanos() / iters as u128).max(1);
+        }
+        iters *= 2;
+    };
+    iters = ((TARGET.as_nanos() / per_iter_ns).clamp(1, 1 << 24)) as u64;
+
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            (t.elapsed().as_nanos() / iters as u128) as u64
+        })
+        .collect();
+    times.sort_unstable();
+    Stats {
+        iters,
+        samples,
+        median_ns: times[samples / 2],
+        mean_ns: (times.iter().map(|&t| t as u128).sum::<u128>() / samples as u128) as u64,
+        min_ns: times[0],
+        max_ns: times[samples - 1],
+    }
+}
+
+/// A named group of benchmarks sharing a sample count — the analogue of
+/// a criterion benchmark group.
+pub struct BenchGroup {
+    group: String,
+    samples: usize,
+    env_pinned: bool,
+}
+
+impl BenchGroup {
+    /// Start a group. Sample count defaults to 11; `MLV_BENCH_SAMPLES`
+    /// overrides both the default and any [`Self::sample_size`] call
+    /// (so a CI smoke run can shrink every bench at once).
+    pub fn new(group: impl Into<String>) -> Self {
+        let env = std::env::var("MLV_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n: &usize| n >= 1);
+        BenchGroup {
+            group: group.into(),
+            samples: env.unwrap_or(11),
+            env_pinned: env.is_some(),
+        }
+    }
+
+    /// Set this group's sample count (ignored when `MLV_BENCH_SAMPLES`
+    /// pins it globally).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        if !self.env_pinned {
+            self.samples = samples.max(1);
+        }
+        self
+    }
+
+    /// Run one benchmark and print its JSON line.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) -> Stats {
+        let stats = measure(self.samples, f);
+        println!(
+            "{{\"group\":{},\"bench\":{},\"iters\":{},\"samples\":{},\
+             \"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            json_str(&self.group),
+            json_str(name),
+            stats.iters,
+            stats.samples,
+            stats.median_ns,
+            stats.mean_ns,
+            stats.min_ns,
+            stats.max_ns,
+        );
+        stats
+    }
+
+    /// End the group (kept for call-site symmetry with criterion).
+    pub fn finish(&mut self) {}
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_positive() {
+        let mut x = 0u64;
+        let s = measure(5, || {
+            for i in 0..2_000u64 {
+                x = x.wrapping_add(black_box(i) * 31);
+            }
+            x
+        });
+        assert!(s.min_ns > 0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.max_ns);
+        assert!(s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
+        assert!(s.iters >= 1);
+    }
+
+    #[test]
+    fn timer_is_monotonic() {
+        // wall-clock reads never go backwards across sampling
+        let mut last = Instant::now();
+        for _ in 0..1000 {
+            let now = Instant::now();
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("L=2, n=8"), "\"L=2, n=8\"");
+    }
+}

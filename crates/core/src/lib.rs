@@ -1,0 +1,31 @@
+//! # mlv-core
+//!
+//! The zero-dependency runtime kernel of the workspace. Everything the
+//! reproduction previously pulled from crates.io lives here, implemented
+//! on `std` alone so the whole workspace builds and tests fully offline:
+//!
+//! * [`exec`] — a chunked data-parallel executor over
+//!   [`std::thread::scope`] (`par_map`, `par_flat_map`,
+//!   `par_chunk_reduce`, `par_sort_unstable`), the replacement for rayon
+//!   in the legality checker and metrics hot paths;
+//! * [`rng`] — a seedable SplitMix64/xoshiro256++ PRNG with the same
+//!   deterministic-seed contract the topology generators relied on from
+//!   `StdRng::seed_from_u64`;
+//! * [`prop`] — a minimal property-testing harness behind the
+//!   [`mlv_proptest!`](crate::mlv_proptest) macro: generator values from
+//!   ranges/tuples/`vec`, configurable case counts, shrink-free failure
+//!   reports that print the generated inputs and the case seed;
+//! * [`bench`] — a wall-clock micro-bench harness (warmup + calibration
+//!   + median-of-N, one JSON line per benchmark) replacing criterion.
+//!
+//! Determinism is a design rule throughout: parallel results are
+//! combined in input order, so every parallel entry point returns
+//! byte-identical output to its sequential equivalent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod exec;
+pub mod prop;
+pub mod rng;

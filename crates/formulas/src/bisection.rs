@@ -101,7 +101,7 @@ mod tests {
         // the numbering cut along the top digit achieves the formula
         let nucleus = mlv_topology::complete::complete(4);
         let h = mlv_topology::hsn::Hsn::new(3, &nucleus);
-        assert_eq!(h.graph.numbering_cut_width() , {
+        assert_eq!(h.graph.numbering_cut_width(), {
             // numbering cut = top-digit halving cut: formula value plus
             // intra-cluster/nucleus links crossing (none: clusters are
             // contiguous in the numbering)

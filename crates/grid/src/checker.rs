@@ -20,15 +20,17 @@
 //!    multiset of a reference graph — the layout realizes exactly that
 //!    network.
 //!
-//! Checking is data-parallel over wires (rayon): per-wire validation
-//! first, then a parallel sort of all occupied grid points to detect
-//! cross-wire conflicts.
+//! Checking is data-parallel over wires (the `mlv-core` scoped-thread
+//! executor): per-wire validation first, then a parallel sort of all
+//! occupied grid points to detect cross-wire conflicts. The executor
+//! recombines chunk results in wire order, so the report is
+//! byte-identical to a sequential check.
 
 use crate::geom::Point3;
 use crate::hasher::FxBuildHasher;
 use crate::layout::Layout;
+use mlv_core::exec;
 use mlv_topology::{Graph, NodeId};
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// A single legality violation.
@@ -166,53 +168,48 @@ pub fn check(layout: &Layout, reference: Option<&Graph>) -> CheckReport {
 
     // --- per-wire validation (parallel) ---
     let layers = layout.layers as i32;
-    let per_wire: Vec<Vec<CheckError>> = layout
-        .wires
-        .par_iter()
-        .enumerate()
-        .map(|(i, w)| {
-            let mut errs = Vec::new();
-            if let Err(e) = w.path.validate() {
-                errs.push(CheckError::BadPath {
-                    wire: i,
-                    reason: format!("{e:?}"),
-                });
-                return errs; // point iteration unsafe on broken paths
+    let per_wire: Vec<Vec<CheckError>> = exec::par_map(&layout.wires, |i, w| {
+        let mut errs = Vec::new();
+        if let Err(e) = w.path.validate() {
+            errs.push(CheckError::BadPath {
+                wire: i,
+                reason: format!("{e:?}"),
+            });
+            return errs; // point iteration unsafe on broken paths
+        }
+        for c in w.path.corners() {
+            if c.z < 0 || c.z >= layers {
+                errs.push(CheckError::LayerOutOfRange { wire: i, point: *c });
             }
-            for c in w.path.corners() {
-                if c.z < 0 || c.z >= layers {
-                    errs.push(CheckError::LayerOutOfRange { wire: i, point: *c });
-                }
-            }
-            for (node, pt) in [(w.u, w.path.start()), (w.v, w.path.end())] {
-                match placed.get(&node) {
-                    None => errs.push(CheckError::MissingNode { node }),
-                    Some(&layer) => {
-                        if pt.z != layer || fp.get(&(pt.x, pt.y, layer)) != Some(&node) {
-                            errs.push(CheckError::BadTerminal {
-                                wire: i,
-                                node,
-                                point: pt,
-                            });
-                        }
-                    }
-                }
-            }
-            // active-layer points may only touch own endpoints' footprints
-            for p in w.path.points() {
-                if let Some(&owner) = fp.get(&(p.x, p.y, p.z)) {
-                    if owner != w.u && owner != w.v {
-                        errs.push(CheckError::WireThroughNode {
+        }
+        for (node, pt) in [(w.u, w.path.start()), (w.v, w.path.end())] {
+            match placed.get(&node) {
+                None => errs.push(CheckError::MissingNode { node }),
+                Some(&layer) => {
+                    if pt.z != layer || fp.get(&(pt.x, pt.y, layer)) != Some(&node) {
+                        errs.push(CheckError::BadTerminal {
                             wire: i,
-                            node: owner,
-                            point: p,
+                            node,
+                            point: pt,
                         });
                     }
                 }
             }
-            errs
-        })
-        .collect();
+        }
+        // active-layer points may only touch own endpoints' footprints
+        for p in w.path.points() {
+            if let Some(&owner) = fp.get(&(p.x, p.y, p.z)) {
+                if owner != w.u && owner != w.v {
+                    errs.push(CheckError::WireThroughNode {
+                        wire: i,
+                        node: owner,
+                        point: p,
+                    });
+                }
+            }
+        }
+        errs
+    });
     for mut e in per_wire {
         errors.append(&mut e);
         if errors.len() >= cap {
@@ -222,13 +219,10 @@ pub fn check(layout: &Layout, reference: Option<&Graph>) -> CheckReport {
     }
 
     // --- cross-wire point disjointness (parallel sort) ---
-    let mut occupancy: Vec<(Point3, u32)> = layout
-        .wires
-        .par_iter()
-        .enumerate()
-        .flat_map_iter(|(i, w)| w.path.points().map(move |p| (p, i as u32)))
-        .collect();
-    occupancy.par_sort_unstable();
+    let mut occupancy: Vec<(Point3, u32)> = exec::par_flat_map(&layout.wires, |i, w, out| {
+        out.extend(w.path.points().map(|p| (p, i as u32)))
+    });
+    exec::par_sort_unstable(&mut occupancy);
     for pair in occupancy.windows(2) {
         if pair[0].0 == pair[1].0 {
             errors.push(CheckError::WireConflict {
@@ -280,11 +274,12 @@ pub fn check(layout: &Layout, reference: Option<&Graph>) -> CheckReport {
 }
 
 fn finish(layout: &Layout, errors: Vec<CheckError>) -> CheckReport {
-    let wire_points: u64 = layout
-        .wires
-        .par_iter()
-        .map(|w| w.path.length() + 1)
-        .sum();
+    let wire_points: u64 = exec::par_chunk_reduce(
+        &layout.wires,
+        0u64,
+        |acc, w| acc + w.path.length() + 1,
+        |a, b| a + b,
+    );
     let node_points: u64 = layout.nodes.iter().map(|n| n.rect.point_count()).sum();
     CheckReport {
         errors,
@@ -390,7 +385,11 @@ mod tests {
     fn detects_wire_conflict() {
         let mut l = two_nodes();
         l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
-        l.add_wire(0, 1, WirePath::new(vec![p(1, 1, 0), p(3, 1, 0), p(3, 0, 0), p(5, 0, 0)]));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 1, 0), p(3, 1, 0), p(3, 0, 0), p(5, 0, 0)]),
+        );
         let r = check(&l, None);
         assert!(r
             .errors
@@ -462,7 +461,11 @@ mod tests {
         l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
         assert!(check(&l, Some(&g)).is_legal());
         // extra wire -> mismatch
-        l.add_wire(0, 1, WirePath::new(vec![p(0, 1, 0), p(0, 3, 0), p(6, 3, 0), p(6, 1, 0)]));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 1, 0), p(0, 3, 0), p(6, 3, 0), p(6, 1, 0)]),
+        );
         let r = check(&l, Some(&g));
         assert!(r
             .errors

@@ -47,7 +47,10 @@ impl FoldedEstimate {
     /// Fold the given 2-layer layout metrics onto `layers` layers
     /// (`layers` even, ≥ 2). Folds along the y (height) axis.
     pub fn from_two_layer(m: &LayoutMetrics, layers: usize) -> Self {
-        assert!(layers >= 2 && layers.is_multiple_of(2), "fold needs even L >= 2");
+        assert!(
+            layers >= 2 && layers.is_multiple_of(2),
+            "fold needs even L >= 2"
+        );
         assert_eq!(m.layers, 2, "folding starts from a 2-layer layout");
         let t = (layers / 2) as u64;
         let creases = t.saturating_sub(1);
@@ -137,7 +140,10 @@ impl ThreeDEstimate {
     /// gains ≈ `L_A` while the volume is unchanged and the max wire
     /// shrinks ≈ √L_A (both sides shrink by √L_A).
     pub fn from_two_d(m: &LayoutMetrics, l_a: usize) -> Self {
-        assert!(l_a >= 1 && m.layers.is_multiple_of(l_a), "L_A must divide L");
+        assert!(
+            l_a >= 1 && m.layers.is_multiple_of(l_a),
+            "L_A must divide L"
+        );
         let area = m.area as f64 / l_a as f64;
         ThreeDEstimate {
             layers: m.layers,
@@ -173,7 +179,7 @@ mod tests {
     fn folding_reduces_area_by_t_only() {
         let m = metrics(1000, 1000, 1000);
         let f = FoldedEstimate::from_two_layer(&m, 8); // t = 4
-        // area falls by ~4 = L/2, NOT by (L/2)^2 = 16
+                                                       // area falls by ~4 = L/2, NOT by (L/2)^2 = 16
         assert!(f.area >= m.area / 4);
         assert!(f.area <= m.area / 4 + 8 * m.width);
         // volume essentially unchanged

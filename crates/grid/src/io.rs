@@ -69,15 +69,11 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
         message: message.to_string(),
     };
     let mut lines = text.lines().enumerate();
-    let (i, magic) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty input"))?;
+    let (i, magic) = lines.next().ok_or_else(|| err(1, "empty input"))?;
     if magic.trim() != "mlvlayout 1" {
         return Err(err(i + 1, "expected header 'mlvlayout 1'"));
     }
-    let (i, header) = lines
-        .next()
-        .ok_or_else(|| err(2, "missing layout line"))?;
+    let (i, header) = lines.next().ok_or_else(|| err(2, "missing layout line"))?;
     let mut parts = header.split_whitespace();
     if parts.next() != Some("layout") {
         return Err(err(i + 1, "expected 'layout <name> layers=<L>'"));
@@ -129,9 +125,7 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
                     let mut fields = tok.split(',');
                     let mut num = || fields.next().and_then(|t| t.parse::<i64>().ok());
                     match (num(), num(), num()) {
-                        (Some(x), Some(y), Some(z)) => {
-                            corners.push(Point3::new(x, y, z as i32))
-                        }
+                        (Some(x), Some(y), Some(z)) => corners.push(Point3::new(x, y, z as i32)),
                         _ => return Err(err(i + 1, &format!("bad corner '{tok}'"))),
                     }
                 }

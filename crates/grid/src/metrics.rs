@@ -13,9 +13,9 @@
 //!   lengths into BFS shortest paths of the reference graph.
 
 use crate::layout::Layout;
+use mlv_core::exec;
 use mlv_topology::routing::max_route_cost;
 use mlv_topology::Graph;
-use rayon::prelude::*;
 
 /// Aggregated metrics of one layout.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,17 +52,20 @@ impl LayoutMetrics {
             None => (0, 0),
         };
         let area = width * height;
-        let (max_wire_planar, max_wire_full, total_wire, via_count) = layout
-            .wires
-            .par_iter()
-            .map(|w| {
+        let (max_wire_planar, max_wire_full, total_wire, via_count) = exec::par_chunk_reduce(
+            &layout.wires,
+            (0, 0, 0, 0),
+            |a, w| {
                 let full = w.path.length();
-                (w.path.planar_length(), full, full, w.path.via_count())
-            })
-            .reduce(
-                || (0, 0, 0, 0),
-                |a, b| (a.0.max(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3),
-            );
+                (
+                    a.0.max(w.path.planar_length()),
+                    a.1.max(full),
+                    a.2 + full,
+                    a.3 + w.path.via_count(),
+                )
+            },
+            |a, b| (a.0.max(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3),
+        );
         LayoutMetrics {
             width,
             height,
@@ -156,7 +159,11 @@ mod tests {
         l.place_node(0, Rect::new(0, 0, 0, 0));
         l.place_node(1, Rect::new(3, 0, 3, 0));
         l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(3, 0, 0)]));
-        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(0, 1, 0), p(3, 1, 0), p(3, 0, 0)]));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 0, 0), p(0, 1, 0), p(3, 1, 0), p(3, 0, 0)]),
+        );
         let m = LayoutMetrics::of(&l);
         assert_eq!(m.total_wire, 3 + 5);
         assert_eq!(m.wire_count, 2);

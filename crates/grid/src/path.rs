@@ -62,10 +62,7 @@ impl WirePath {
 
     /// Wire length in grid edges (sum of segment lengths, z included).
     pub fn length(&self) -> u64 {
-        self.corners
-            .windows(2)
-            .map(|w| w[0].manhattan(&w[1]))
-            .sum()
+        self.corners.windows(2).map(|w| w[0].manhattan(&w[1])).sum()
     }
 
     /// Planar wire length (x/y segments only, vias excluded) — the
@@ -141,7 +138,13 @@ mod tests {
 
     #[test]
     fn length_and_vias() {
-        let w = WirePath::new(vec![p(0, 0, 0), p(0, 0, 1), p(3, 0, 1), p(3, 2, 1), p(3, 2, 0)]);
+        let w = WirePath::new(vec![
+            p(0, 0, 0),
+            p(0, 0, 1),
+            p(3, 0, 1),
+            p(3, 2, 1),
+            p(3, 2, 0),
+        ]);
         assert_eq!(w.length(), 1 + 3 + 2 + 1);
         assert_eq!(w.planar_length(), 5);
         assert_eq!(w.via_count(), 2);
@@ -153,10 +156,7 @@ mod tests {
     fn points_enumeration() {
         let w = WirePath::new(vec![p(0, 0, 0), p(2, 0, 0), p(2, 1, 0)]);
         let pts: Vec<Point3> = w.points().collect();
-        assert_eq!(
-            pts,
-            vec![p(0, 0, 0), p(1, 0, 0), p(2, 0, 0), p(2, 1, 0)]
-        );
+        assert_eq!(pts, vec![p(0, 0, 0), p(1, 0, 0), p(2, 0, 0), p(2, 1, 0)]);
     }
 
     #[test]

@@ -89,8 +89,7 @@ fn paint(layout: &Layout, layer: Option<i32>) -> Option<(Vec<Vec<Cell>>, i64, i6
             let c = corners[i];
             let prev = (i > 0).then(|| corners[i - 1]);
             let next = (i + 1 < corners.len()).then(|| corners[i + 1]);
-            let via_here = prev.is_some_and(|p| p.z != c.z)
-                || next.is_some_and(|n| n.z != c.z);
+            let via_here = prev.is_some_and(|p| p.z != c.z) || next.is_some_and(|n| n.z != c.z);
             let cell = if via_here {
                 Cell::Via
             } else {
@@ -257,7 +256,13 @@ mod tests {
         l.add_wire(
             0,
             1,
-            WirePath::new(vec![p(0, 0, 0), p(1, 0, 0), p(1, 0, 1), p(3, 0, 1), p(3, 0, 0)]),
+            WirePath::new(vec![
+                p(0, 0, 0),
+                p(1, 0, 0),
+                p(1, 0, 1),
+                p(3, 0, 1),
+                p(3, 0, 0),
+            ]),
         );
         let s = render_top(&l);
         assert!(s.contains('o'), "{s}");
@@ -290,7 +295,11 @@ mod tests {
         l.place_node(0, Rect::new(0, 0, 0, 0));
         l.place_node(1, Rect::new(3, 0, 3, 0));
         l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(3, 0, 0)]));
-        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(0, 1, 0), p(3, 1, 0), p(3, 0, 0)]));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 0, 0), p(0, 1, 0), p(3, 1, 0), p(3, 0, 0)]),
+        );
         let h = wire_length_histogram(&l);
         assert_eq!(h, vec![(3, 1), (5, 1)]);
     }

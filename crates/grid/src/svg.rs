@@ -50,10 +50,7 @@ pub fn render_svg(layout: &Layout, opts: &SvgOptions) -> String {
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
          viewBox=\"0 0 {w:.0} {h:.0}\">"
     );
-    let _ = writeln!(
-        out,
-        "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>"
-    );
+    let _ = writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
     // node footprints
     for n in &layout.nodes {
         let _ = writeln!(

@@ -1,14 +1,15 @@
 //! Property-based tests (proptest) for the grid substrate: wire paths,
 //! the legality checker, and the folding estimates.
 
+use mlv_core::prop;
+use mlv_core::{mlv_proptest, prop_assert, prop_assert_eq};
 use mlv_grid::checker::{check, CheckError};
-use mlv_grid::io::{read_layout, write_layout};
 use mlv_grid::fold::FoldedEstimate;
 use mlv_grid::geom::{Point3, Rect};
+use mlv_grid::io::{read_layout, write_layout};
 use mlv_grid::layout::Layout;
 use mlv_grid::metrics::LayoutMetrics;
 use mlv_grid::path::WirePath;
-use proptest::prelude::*;
 
 /// Build a rectilinear path from a list of axis-aligned steps.
 fn path_from_steps(start: (i64, i64, i32), steps: &[(u8, i64)]) -> WirePath {
@@ -27,14 +28,14 @@ fn path_from_steps(start: (i64, i64, i32), steps: &[(u8, i64)]) -> WirePath {
     WirePath::new(corners)
 }
 
-proptest! {
+mlv_proptest! {
     /// For any valid path: point count = length + 1, endpoints'
     /// Manhattan distance ≤ length, and planar + via lengths partition
     /// the total.
     #[test]
     fn path_length_point_consistency(
         sx in -20i64..20, sy in -20i64..20,
-        steps in prop::collection::vec((0u8..3, -6i64..7), 0..12)
+        steps in prop::vec((0u8..3, -6i64..7), 0..12)
     ) {
         let p = path_from_steps((sx, sy, 2), &steps);
         prop_assert_eq!(p.planar_length() + p.via_count(), p.length());
@@ -48,7 +49,7 @@ proptest! {
     /// with a set).
     #[test]
     fn valid_paths_are_self_disjoint(
-        steps in prop::collection::vec((0u8..3, -5i64..6), 1..10)
+        steps in prop::vec((0u8..3, -5i64..6), 1..10)
     ) {
         let p = path_from_steps((0, 0, 1), &steps);
         if p.validate().is_ok() {
@@ -128,15 +129,15 @@ proptest! {
     /// The text format round-trips arbitrary layouts byte-stably.
     #[test]
     fn io_round_trip(
-        nodes in prop::collection::vec((0i64..40, 0i64..40, 0u8..4), 1..6),
-        steps in prop::collection::vec((0u8..3, -5i64..6), 1..8),
+        nodes in prop::vec((0i64..40, 0i64..40, 0u8..4), 1..6),
+        steps in prop::vec((0u8..3, -5i64..6), 1..8),
     ) {
         let mut l = Layout::new("prop trip", 4);
         for (i, &(x, y, z)) in nodes.iter().enumerate() {
             l.place_node_at(i as u32, Rect::new(x, y, x + 1, y + 1), z as i32);
         }
         let path = path_from_steps((nodes[0].0, nodes[0].1, nodes[0].2 as i32), &steps);
-        l.add_wire(0, 0.min(nodes.len() as u32 - 1), path);
+        l.add_wire(0, 0, path);
         let text = write_layout(&l);
         let back = read_layout(&text).unwrap();
         prop_assert_eq!(write_layout(&back), text);
@@ -144,10 +145,62 @@ proptest! {
         prop_assert_eq!(back.wires[0].path.corners(), l.wires[0].path.corners());
     }
 
+    /// The parallel checker is byte-identical to the sequential path:
+    /// same errors in the same order, same point counts, at every
+    /// thread count — on legal layouts and on corrupted ones.
+    #[test]
+    fn checker_parallel_equals_sequential(
+        n_wires in 1usize..120, corrupt in 0usize..4
+    ) {
+        let mut l = Layout::new("par-vs-seq", 2);
+        l.place_node(0, Rect::new(0, 0, 0, (n_wires as i64).max(1) - 1));
+        l.place_node(1, Rect::new(10, 0, 10, (n_wires as i64).max(1) - 1));
+        for t in 0..n_wires {
+            l.add_wire(
+                0,
+                1,
+                WirePath::new(vec![
+                    Point3::new(0, t as i64, 0),
+                    Point3::new(10, t as i64, 0),
+                ]),
+            );
+        }
+        if corrupt > 0 {
+            // duplicated wire, foreign footprint, and layer escape
+            let t = (corrupt * 7) % n_wires;
+            l.add_wire(
+                0,
+                1,
+                WirePath::new(vec![
+                    Point3::new(0, t as i64, 0),
+                    Point3::new(10, t as i64, 0),
+                ]),
+            );
+            if corrupt > 1 {
+                l.place_node(2, Rect::new(5, 0, 5, 0));
+            }
+            if corrupt > 2 {
+                l.wires[0].path = WirePath::new(vec![
+                    Point3::new(0, 0, 0),
+                    Point3::new(0, 0, 5),
+                    Point3::new(10, 0, 5),
+                    Point3::new(10, 0, 0),
+                ]);
+            }
+        }
+        let seq = mlv_core::exec::with_thread_count(1, || check(&l, None));
+        for threads in [2usize, 4, 8] {
+            let par = mlv_core::exec::with_thread_count(threads, || check(&l, None));
+            prop_assert_eq!(&par.errors, &seq.errors, "threads = {}", threads);
+            prop_assert_eq!(par.wire_points, seq.wire_points);
+            prop_assert_eq!(par.node_points, seq.node_points);
+        }
+    }
+
     /// Bounding boxes contain every wire corner and every node.
     #[test]
     fn bounding_box_covers_everything(
-        nodes in prop::collection::vec((0i64..50, 0i64..50), 1..6),
+        nodes in prop::vec((0i64..50, 0i64..50), 1..6),
     ) {
         let mut l = Layout::new("bb", 2);
         for (i, &(x, y)) in nodes.iter().enumerate() {

@@ -99,7 +99,11 @@ mod tests {
         // folding: volume gain ~ 1 (slightly < 1 with crease overhead)
         assert!(cmp.folded_volume_gain() <= 1.05);
         // direct: volume strictly improves
-        assert!(cmp.direct_volume_gain() > 1.3, "{}", cmp.direct_volume_gain());
+        assert!(
+            cmp.direct_volume_gain() > 1.3,
+            "{}",
+            cmp.direct_volume_gain()
+        );
     }
 
     #[test]

@@ -85,10 +85,7 @@ pub fn karyn_cube(k: usize, n: usize, fold: bool) -> Family {
         }
     };
     let graph = mlv_topology::karyn::KaryNCube::torus(k, n).graph;
-    let name = format!(
-        "{k}-ary {n}-cube{}",
-        if fold { " (folded)" } else { "" }
-    );
+    let name = format!("{k}-ary {n}-cube{}", if fold { " (folded)" } else { "" });
     if lo == 0 {
         // single row: realize the 1-D collinear layout directly
         let row = make(hi);

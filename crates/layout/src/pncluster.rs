@@ -81,15 +81,9 @@ mod tests {
         let pc = kary_cluster_c(3, 2, 4, ClusterKind::Hypercube);
         let addr = MixedRadix::fixed(3, 2);
         let (qr, qc, pos) = digit_split_arrangement(&addr);
-        let spec = pn_cluster_spec(
-            "3-ary 2-cube cluster-4",
-            &pc.graph,
-            qr,
-            qc,
-            4,
-            pos,
-            |u| (pc.cluster_of(u), pc.member_of(u)),
-        );
+        let spec = pn_cluster_spec("3-ary 2-cube cluster-4", &pc.graph, qr, qc, 4, pos, |u| {
+            (pc.cluster_of(u), pc.member_of(u))
+        });
         spec.assert_valid();
         assert_eq!(spec.edge_multiset(), pc.graph.edge_multiset());
         for layers in [2usize, 4] {
@@ -102,8 +96,8 @@ mod tests {
     fn cluster_overhead_is_modest() {
         // a k-ary 2-cube with tiny clusters should cost little more than
         // the flat torus (paper: area within 1 + o(1) while c is small)
-        use mlv_collinear::karyn::kary_collinear;
         use crate::product::{product_spec, standard_product_id};
+        use mlv_collinear::karyn::kary_collinear;
         let k = 8;
         let pc = kary_cluster_c(k, 2, 2, ClusterKind::Ring);
         let addr = MixedRadix::fixed(k, 2);
@@ -128,7 +122,7 @@ mod tests {
         let (qr, qc, pos) = digit_split_arrangement(&addr);
         assert_eq!(qr * qc, 64);
         assert_eq!((qr, qc), (16, 4)); // low 1 digit = cols
-        // node 7 = digits (3, 1, 0) low-first: low part 3, high part 1
+                                       // node 7 = digits (3, 1, 0) low-first: low part 3, high part 1
         assert_eq!(pos(7), (1, 3));
     }
 }

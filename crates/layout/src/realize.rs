@@ -312,10 +312,7 @@ pub fn realize(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
     }
 
     // --- emit layout ------------------------------------------------------
-    let mut layout = Layout::new(
-        format!("{} @ L={}", spec.name, opts.layers),
-        opts.layers,
-    );
+    let mut layout = Layout::new(format!("{} @ L={}", spec.name, opts.layers), opts.layers);
     #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         for c in 0..cols {
@@ -433,9 +430,22 @@ mod tests {
     /// 2x2 grid, one row wire + one col wire + one jog diagonal.
     fn small_spec() -> OrthogonalSpec {
         let mut s = OrthogonalSpec::new("small", 2, 2);
-        s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: 0 });
-        s.col_wires.push(ColWire { col: 0, lo: 0, hi: 1, track: 0 });
-        s.jog_wires.push(JogWire { a: (0, 1), b: (1, 0) });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
+        s.col_wires.push(ColWire {
+            col: 0,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
+        s.jog_wires.push(JogWire {
+            a: (0, 1),
+            b: (1, 0),
+        });
         s
     }
 
@@ -453,9 +463,19 @@ mod tests {
         // 1 row of 4 nodes as a ring: 3 adjacent (track 0) + wrap (track 1)
         let mut s = OrthogonalSpec::new("ring-row", 1, 4);
         for c in 0..3 {
-            s.row_wires.push(RowWire { row: 0, lo: c, hi: c + 1, track: 0 });
+            s.row_wires.push(RowWire {
+                row: 0,
+                lo: c,
+                hi: c + 1,
+                track: 0,
+            });
         }
-        s.row_wires.push(RowWire { row: 0, lo: 0, hi: 3, track: 1 });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 3,
+            track: 1,
+        });
         let l = realize(&s, &RealizeOptions::with_layers(2));
         checker::assert_legal(&l, None);
         let m = LayoutMetrics::of(&l);
@@ -468,7 +488,12 @@ mod tests {
     fn more_layers_shrink_bundles() {
         let mut s = OrthogonalSpec::new("tracks", 1, 2);
         for t in 0..8 {
-            s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: t });
+            s.row_wires.push(RowWire {
+                row: 0,
+                lo: 0,
+                hi: 1,
+                track: t,
+            });
         }
         let l2 = realize(&s, &RealizeOptions::with_layers(2));
         let l8 = realize(&s, &RealizeOptions::with_layers(8));
@@ -484,17 +509,19 @@ mod tests {
     fn odd_layer_budget_uses_floor_groups() {
         let mut s = OrthogonalSpec::new("odd", 1, 2);
         for t in 0..6 {
-            s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: t });
+            s.row_wires.push(RowWire {
+                row: 0,
+                lo: 0,
+                hi: 1,
+                track: t,
+            });
         }
         let l5 = realize(&s, &RealizeOptions::with_layers(5));
         checker::assert_legal(&l5, None);
         // floor(5/2)=2 groups -> max layer index 3 (< 5, top layer idle)
         assert!(l5.max_used_layer() <= 3);
         let l4 = realize(&s, &RealizeOptions::with_layers(4));
-        assert_eq!(
-            LayoutMetrics::of(&l5).area,
-            LayoutMetrics::of(&l4).area
-        );
+        assert_eq!(LayoutMetrics::of(&l5).area, LayoutMetrics::of(&l4).area);
     }
 
     #[test]
@@ -518,7 +545,12 @@ mod tests {
     fn node_side_below_minimum_rejected() {
         let mut s = OrthogonalSpec::new("busy", 1, 2);
         for t in 0..5 {
-            s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: t });
+            s.row_wires.push(RowWire {
+                row: 0,
+                lo: 0,
+                hi: 1,
+                track: t,
+            });
         }
         let _ = realize(
             &s,
@@ -533,8 +565,18 @@ mod tests {
     #[test]
     fn touching_same_track_wires_realize_disjointly() {
         let mut s = OrthogonalSpec::new("touch", 1, 3);
-        s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: 0 });
-        s.row_wires.push(RowWire { row: 0, lo: 1, hi: 2, track: 0 });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 1,
+            hi: 2,
+            track: 0,
+        });
         let l = realize(&s, &RealizeOptions::with_layers(2));
         checker::assert_legal(&l, None);
     }
@@ -542,8 +584,18 @@ mod tests {
     #[test]
     fn touching_same_track_col_wires() {
         let mut s = OrthogonalSpec::new("touch-col", 3, 1);
-        s.col_wires.push(ColWire { col: 0, lo: 0, hi: 1, track: 0 });
-        s.col_wires.push(ColWire { col: 0, lo: 1, hi: 2, track: 0 });
+        s.col_wires.push(ColWire {
+            col: 0,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
+        s.col_wires.push(ColWire {
+            col: 0,
+            lo: 1,
+            hi: 2,
+            track: 0,
+        });
         let l = realize(&s, &RealizeOptions::with_layers(2));
         checker::assert_legal(&l, None);
     }
@@ -556,7 +608,10 @@ mod tests {
                 let r2 = (r + 1) % 4;
                 let c2 = (c + 2) % 4;
                 if r2 != r {
-                    s.jog_wires.push(JogWire { a: (r, c), b: (r2, c2) });
+                    s.jog_wires.push(JogWire {
+                        a: (r, c),
+                        b: (r2, c2),
+                    });
                 }
             }
         }
@@ -575,8 +630,18 @@ mod tests {
         let g = b.build();
         let mut sp = OrthogonalSpec::new("z", 2, 2);
         sp.node_at = vec![0, 1, 2, 3];
-        sp.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: 0 });
-        sp.row_wires.push(RowWire { row: 1, lo: 0, hi: 1, track: 0 });
+        sp.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
+        sp.row_wires.push(RowWire {
+            row: 1,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
         let mut l = realize(&sp, &RealizeOptions::with_layers(2));
         align_wires(&mut l, &g);
         let key = |i: usize| {

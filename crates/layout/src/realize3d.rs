@@ -76,7 +76,10 @@ pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
     spec.assert_valid();
     let l = opts.layers;
     let la = opts.active_layers;
-    assert!(la >= 1 && l.is_multiple_of(la) && l / la >= 2, "need L_A | L, L/L_A >= 2");
+    assert!(
+        la >= 1 && l.is_multiple_of(la) && l / la >= 2,
+        "need L_A | L, L/L_A >= 2"
+    );
     let ls = l / la; // layers per slab
     let groups = ls / 2;
     let (rows, cols) = (spec.rows, spec.cols);
@@ -215,7 +218,13 @@ pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
         }
         let g = intra_jog_counter % groups;
         intra_jog_counter += 1;
-        jog_assign.insert(i, JAssign { group: g, ..Default::default() });
+        jog_assign.insert(
+            i,
+            JAssign {
+                group: g,
+                ..Default::default()
+            },
+        );
         let rlo = slot_of(w.a.0).min(slot_of(w.b.0));
         let rhi = slot_of(w.a.0).max(slot_of(w.b.0));
         vkeys
@@ -249,10 +258,21 @@ pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
                 *c += 1;
                 r
             };
-            inter_assign.insert(ki, IAssign { ga, gb, hcolor: 0, riser });
+            inter_assign.insert(
+                ki,
+                IAssign {
+                    ga,
+                    gb,
+                    hcolor: 0,
+                    riser,
+                },
+            );
             let clo = ca.min(cb);
             let chi = ca.max(cb);
-            hkeys.entry((rb, gb)).or_default().push((usize::MAX - ki, (clo, chi)));
+            hkeys
+                .entry((rb, gb))
+                .or_default()
+                .push((usize::MAX - ki, (clo, chi)));
             let _ = ra;
         }
     }
@@ -403,10 +423,7 @@ pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
     }
 
     // --- emit --------------------------------------------------------------
-    let mut layout = Layout::new(
-        format!("{} @ L={l} LA={la} (3-D)", spec.name),
-        l,
-    );
+    let mut layout = Layout::new(format!("{} @ L={l} LA={la} (3-D)", spec.name), l);
     #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         for c in 0..cols {

@@ -55,7 +55,11 @@ pub fn grid_spec(
     cols: usize,
     position: impl Fn(NodeId) -> (usize, usize),
 ) -> OrthogonalSpec {
-    assert_eq!(rows * cols, graph.node_count(), "grid must be filled exactly");
+    assert_eq!(
+        rows * cols,
+        graph.node_count(),
+        "grid must be filled exactly"
+    );
     let mut spec = OrthogonalSpec::new(name, rows, cols);
     let mut filled = vec![false; rows * cols];
     for u in graph.node_ids() {
@@ -204,11 +208,7 @@ pub fn near_square(n: usize) -> (usize, usize) {
 /// scheme: an l-level hierarchy's level-`l` blocks arranged as a grid.
 pub fn figure1_labels(rows: usize, cols: usize) -> Vec<Vec<String>> {
     (0..rows)
-        .map(|r| {
-            (0..cols)
-                .map(|c| format!("B{}{}", r, c))
-                .collect()
-        })
+        .map(|r| (0..cols).map(|c| format!("B{}{}", r, c)).collect())
         .collect()
 }
 

@@ -242,7 +242,12 @@ mod tests {
     #[test]
     fn row_wire_endpoints() {
         let mut s = grid_2x3();
-        s.row_wires.push(RowWire { row: 1, lo: 0, hi: 2, track: 0 });
+        s.row_wires.push(RowWire {
+            row: 1,
+            lo: 0,
+            hi: 2,
+            track: 0,
+        });
         assert_eq!(s.wire_endpoints(), vec![(3, 5)]);
         s.assert_valid();
     }
@@ -250,23 +255,46 @@ mod tests {
     #[test]
     fn track_overlap_detected() {
         let mut s = grid_2x3();
-        s.row_wires.push(RowWire { row: 0, lo: 0, hi: 2, track: 0 });
-        s.row_wires.push(RowWire { row: 0, lo: 1, hi: 2, track: 0 });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 2,
+            track: 0,
+        });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 1,
+            hi: 2,
+            track: 0,
+        });
         assert!(matches!(s.validate(), Err(SpecError::TrackOverlap(_))));
     }
 
     #[test]
     fn touching_same_track_ok() {
         let mut s = grid_2x3();
-        s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: 0 });
-        s.row_wires.push(RowWire { row: 0, lo: 1, hi: 2, track: 0 });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 1,
+            track: 0,
+        });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 1,
+            hi: 2,
+            track: 0,
+        });
         s.assert_valid();
     }
 
     #[test]
     fn jog_same_row_rejected() {
         let mut s = grid_2x3();
-        s.jog_wires.push(JogWire { a: (0, 0), b: (0, 2) });
+        s.jog_wires.push(JogWire {
+            a: (0, 0),
+            b: (0, 2),
+        });
         assert!(matches!(s.validate(), Err(SpecError::BadWire(_))));
     }
 
@@ -280,8 +308,18 @@ mod tests {
     #[test]
     fn track_counts() {
         let mut s = grid_2x3();
-        s.row_wires.push(RowWire { row: 0, lo: 0, hi: 1, track: 3 });
-        s.col_wires.push(ColWire { col: 2, lo: 0, hi: 1, track: 1 });
+        s.row_wires.push(RowWire {
+            row: 0,
+            lo: 0,
+            hi: 1,
+            track: 3,
+        });
+        s.col_wires.push(ColWire {
+            col: 2,
+            lo: 0,
+            hi: 1,
+            track: 1,
+        });
         assert_eq!(s.row_tracks(0), 4);
         assert_eq!(s.row_tracks(1), 0);
         assert_eq!(s.col_tracks(2), 2);

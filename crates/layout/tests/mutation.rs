@@ -2,13 +2,13 @@
 //! in every way the model forbids; the checker must catch each one.
 //! This is the guarantee that "checker-verified" means something.
 
+use mlv_core::{mlv_proptest, prop_assert, prop_assume};
 use mlv_grid::checker::{check, CheckError};
 use mlv_grid::geom::{Point3, Rect};
 use mlv_grid::layout::Layout;
 use mlv_grid::path::WirePath;
 use mlv_layout::families;
 use mlv_topology::Graph;
-use proptest::prelude::*;
 
 fn legal_layout() -> (Layout, Graph) {
     let fam = families::hypercube(4);
@@ -52,11 +52,7 @@ fn catches_rewired_endpoints() {
     let (u, v) = (layout.wires[0].u, layout.wires[0].v);
     layout.wires[0].u = (u + 1) % 16;
     let r = check(&layout, Some(&graph));
-    assert!(
-        !r.is_legal(),
-        "rewiring {u}->{} undetected",
-        (u + 1) % 16
-    );
+    assert!(!r.is_legal(), "rewiring {u}->{} undetected", (u + 1) % 16);
     let _ = v;
 }
 
@@ -135,17 +131,13 @@ fn catches_wire_dragged_through_node() {
     let w = layout.wires[0].clone();
     let start = w.path.start();
     let end = w.path.end();
-    layout.wires[0].path = WirePath::new(vec![
-        start,
-        Point3::new(end.x, start.y, 0),
-        end,
-    ]);
+    layout.wires[0].path = WirePath::new(vec![start, Point3::new(end.x, start.y, 0), end]);
     let r = check(&layout, Some(&graph));
     assert!(!r.is_legal(), "reroute through the die undetected");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+mlv_proptest! {
+    cases = 48;
 
     /// Randomly perturbing one corner of one wire never makes the
     /// checker panic, and if the perturbed layout differs at all in its

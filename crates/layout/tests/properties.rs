@@ -2,16 +2,17 @@
 //! placed on a grid realizes to a legal multilayer layout at any layer
 //! budget — the strongest invariant of the reproduction.
 
+use mlv_core::prop;
+use mlv_core::{mlv_proptest, prop_assert, prop_assert_eq, prop_assume};
 use mlv_grid::checker::check;
 use mlv_grid::metrics::LayoutMetrics;
 use mlv_layout::families;
 use mlv_layout::realize::{realize, RealizeOptions};
 use mlv_layout::scheme::grid_spec;
 use mlv_topology::GraphBuilder;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+mlv_proptest! {
+    cases = 64;
 
     /// Random graphs on random grids realize legally at every layer
     /// budget, and the layout realizes exactly the graph.
@@ -19,7 +20,7 @@ proptest! {
     fn random_graphs_realize_legally(
         rows in 2usize..5,
         cols in 2usize..5,
-        edges in prop::collection::vec((0u32..25, 0u32..25), 1..40),
+        edges in prop::vec((0u32..25, 0u32..25), 1..40),
         layers in 2usize..9,
     ) {
         let n = rows * cols;
@@ -124,7 +125,7 @@ proptest! {
     fn random_graphs_realize_3d_legally(
         rows in 2usize..6,
         cols in 2usize..5,
-        edges in prop::collection::vec((0u32..30, 0u32..30), 1..35),
+        edges in prop::vec((0u32..30, 0u32..30), 1..35),
         slab_pow in 0u32..3,
     ) {
         use mlv_layout::realize3d::{realize_3d, Realize3dOptions};

@@ -42,7 +42,10 @@ impl Ccc {
                 }
             }
         }
-        Ccc { n, graph: b.build() }
+        Ccc {
+            n,
+            graph: b.build(),
+        }
     }
 
     fn id_at(x: usize, p: usize, n: usize) -> NodeId {

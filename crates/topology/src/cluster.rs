@@ -65,10 +65,7 @@ impl PnCluster {
         let c = cluster.node_count();
         assert!(c >= 1, "cluster must be non-empty");
         let nq = quotient.node_count();
-        let mut b = GraphBuilder::new(
-            format!("{}[{}]", quotient.name(), cluster.name()),
-            nq * c,
-        );
+        let mut b = GraphBuilder::new(format!("{}[{}]", quotient.name(), cluster.name()), nq * c);
         // intra-cluster links
         for q in 0..nq {
             for e in cluster.edge_ids() {

@@ -40,10 +40,7 @@ impl Hsn {
         assert!(r >= 2, "nucleus must have at least 2 nodes");
         let addr = MixedRadix::fixed(r, levels);
         let nn = addr.cardinality();
-        let mut b = GraphBuilder::new(
-            format!("HSN({levels},{})", nucleus.name()),
-            nn,
-        );
+        let mut b = GraphBuilder::new(format!("HSN({levels},{})", nucleus.name()), nn);
         for i in 0..nn {
             let digits = addr.digits_of(i);
             let p = digits[0];

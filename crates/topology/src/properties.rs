@@ -119,7 +119,11 @@ impl GraphProperties for Graph {
         let mut best = usize::MAX;
         // enumerate subsets of size `half` containing node 0 (WLOG) when
         // n is even; for odd n allow floor/ceil halves with node 0 fixed.
-        let full: u64 = if n >= 64 { return None } else { (1u64 << n) - 1 };
+        let full: u64 = if n >= 64 {
+            return None;
+        } else {
+            (1u64 << n) - 1
+        };
         for mask in 0..=full {
             if mask & 1 == 0 {
                 continue; // fix node 0 on the left to halve the work

@@ -3,8 +3,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mlv_core::rng::Rng;
 
 /// Folded hypercube (El-Amawy & Latifi / Adams & Siegel [1]): the n-cube
 /// plus one *diameter link* per node joining each label to its bitwise
@@ -36,7 +35,7 @@ pub fn folded_hypercube(n: usize) -> Graph {
 pub fn enhanced_cube(n: usize, seed: u64) -> Graph {
     assert!((1..31).contains(&n));
     let nn = 1usize << n;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(format!("enhanced {n}-cube"), nn);
     for i in 0..nn {
         for j in 0..n {
@@ -48,7 +47,7 @@ pub fn enhanced_cube(n: usize, seed: u64) -> Graph {
     }
     for i in 0..nn {
         // random destination different from the source
-        let mut dst = rng.gen_range(0..nn - 1);
+        let mut dst = rng.gen_range_usize(0..nn - 1);
         if dst >= i {
             dst += 1;
         }
@@ -93,7 +92,10 @@ impl ReducedHypercube {
                 }
             }
         }
-        ReducedHypercube { n, graph: b.build() }
+        ReducedHypercube {
+            n,
+            graph: b.build(),
+        }
     }
 
     fn id_at(x: usize, p: usize, n: usize) -> NodeId {

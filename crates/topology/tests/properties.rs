@@ -1,5 +1,7 @@
 //! Property-based tests (proptest) for the topology substrate.
 
+use mlv_core::prop;
+use mlv_core::{mlv_proptest, prop_assert, prop_assert_eq, prop_assume};
 use mlv_topology::cayley::{perm_rank, perm_unrank};
 use mlv_topology::genhyper::GeneralizedHypercube;
 use mlv_topology::karyn::KaryNCube;
@@ -8,13 +10,12 @@ use mlv_topology::product::cartesian_product;
 use mlv_topology::properties::GraphProperties;
 use mlv_topology::ring::ring;
 use mlv_topology::GraphBuilder;
-use proptest::prelude::*;
 
-proptest! {
+mlv_proptest! {
     /// Mixed-radix digit/index conversion round-trips for arbitrary
     /// radix vectors.
     #[test]
-    fn mixed_radix_roundtrip(radices in prop::collection::vec(1usize..6, 1..6)) {
+    fn mixed_radix_roundtrip(radices in prop::vec(1usize..6, 1..6)) {
         let mr = MixedRadix::new(radices);
         let card = mr.cardinality();
         prop_assume!(card <= 4096);
@@ -30,7 +31,7 @@ proptest! {
     /// split_index is consistent with split cardinalities for every
     /// split point.
     #[test]
-    fn mixed_radix_split(radices in prop::collection::vec(1usize..5, 1..5)) {
+    fn mixed_radix_split(radices in prop::vec(1usize..5, 1..5)) {
         let mr = MixedRadix::new(radices.clone());
         prop_assume!(mr.cardinality() <= 2048);
         for at in 0..=radices.len() {
@@ -84,7 +85,7 @@ proptest! {
     /// Generalized hypercube degree: Σ(r_j − 1); diameter = number of
     /// non-trivial dimensions.
     #[test]
-    fn ghc_invariants(radices in prop::collection::vec(2usize..5, 1..4)) {
+    fn ghc_invariants(radices in prop::vec(2usize..5, 1..4)) {
         let g = GeneralizedHypercube::new(radices.clone());
         prop_assume!(g.node_count() <= 512);
         let deg: usize = radices.iter().map(|&r| r - 1).sum();
@@ -94,7 +95,7 @@ proptest! {
 
     /// BFS distance is symmetric on arbitrary graphs.
     #[test]
-    fn bfs_symmetry(edges in prop::collection::vec((0u32..12, 0u32..12), 0..30)) {
+    fn bfs_symmetry(edges in prop::vec((0u32..12, 0u32..12), 0..30)) {
         let mut b = GraphBuilder::new("random", 12);
         for (u, v) in edges {
             if u != v {
@@ -115,7 +116,7 @@ proptest! {
     /// random graphs.
     #[test]
     fn numbering_cut_bounds_bisection(
-        edges in prop::collection::vec((0u32..10, 0u32..10), 1..25)
+        edges in prop::vec((0u32..10, 0u32..10), 1..25)
     ) {
         let mut b = GraphBuilder::new("random", 10);
         for (u, v) in edges {
@@ -133,7 +134,7 @@ proptest! {
     /// edge set.
     #[test]
     fn edge_multiset_order_invariant(
-        mut edges in prop::collection::vec((0u32..8, 0u32..8), 1..20)
+        mut edges in prop::vec((0u32..8, 0u32..8), 1..20)
     ) {
         edges.retain(|(u, v)| u != v);
         let mut b1 = GraphBuilder::new("a", 8);

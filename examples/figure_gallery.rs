@@ -25,25 +25,42 @@ fn main() {
     }
     if all || arg == "f2" {
         let l = kary_collinear(3, 2);
-        println!("=== Figure 2: collinear 3-ary 2-cube — {} tracks ===\n", l.tracks());
+        println!(
+            "=== Figure 2: collinear 3-ary 2-cube — {} tracks ===\n",
+            l.tracks()
+        );
         println!("{}", render_tracks(&l, None));
     }
     if all || arg == "f3" {
         let l = complete_collinear(9);
-        println!("=== Figure 3: collinear K9 — {} tracks (strictly optimal) ===\n", l.tracks());
+        println!(
+            "=== Figure 3: collinear K9 — {} tracks (strictly optimal) ===\n",
+            l.tracks()
+        );
         println!("{}", render_tracks(&l, None));
     }
     if all || arg == "f4" {
         let l = hypercube_collinear(4);
-        println!("=== Figure 4: collinear 4-cube — {} tracks ===\n", l.tracks());
+        println!(
+            "=== Figure 4: collinear 4-cube — {} tracks ===\n",
+            l.tracks()
+        );
         println!("{}", render_tracks(&l, None));
     }
     if all || arg == "folded" {
         let base = kary_collinear(8, 1);
         let folded = fold_outer_groups(&base, 8);
         println!("=== Bonus: folding an 8-ring (§3.1) — wrap link shrinks ===\n");
-        println!("plain order (max span {}):\n{}", base.max_span(), render_tracks(&base, None));
-        println!("folded order (max span {}):\n{}", folded.max_span(), render_tracks(&folded, None));
+        println!(
+            "plain order (max span {}):\n{}",
+            base.max_span(),
+            render_tracks(&base, None)
+        );
+        println!(
+            "folded order (max span {}):\n{}",
+            folded.max_span(),
+            render_tracks(&folded, None)
+        );
     }
     if all || arg == "layout" {
         let fam = families::hypercube(3);

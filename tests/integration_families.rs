@@ -37,8 +37,16 @@ fn full_check(name: &str, fam: &Family, layer_sweep: &[usize]) {
 
 #[test]
 fn karyn_cubes() {
-    full_check("3-ary 2-cube", &families::karyn_cube(3, 2, false), &[2, 4, 8]);
-    full_check("4-ary 3-cube", &families::karyn_cube(4, 3, false), &[2, 4, 8]);
+    full_check(
+        "3-ary 2-cube",
+        &families::karyn_cube(3, 2, false),
+        &[2, 4, 8],
+    );
+    full_check(
+        "4-ary 3-cube",
+        &families::karyn_cube(4, 3, false),
+        &[2, 4, 8],
+    );
     full_check("8-ary 2-cube", &families::karyn_cube(8, 2, false), &[2, 4]);
     full_check("5-ary 1-cube", &families::karyn_cube(5, 1, false), &[2, 4]);
     full_check(
@@ -51,11 +59,7 @@ fn karyn_cubes() {
 #[test]
 fn hypercubes() {
     for n in 1..=8usize {
-        full_check(
-            &format!("{n}-cube"),
-            &families::hypercube(n),
-            &[2, 4, 6, 8],
-        );
+        full_check(&format!("{n}-cube"), &families::hypercube(n), &[2, 4, 6, 8]);
     }
 }
 

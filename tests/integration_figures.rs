@@ -35,7 +35,9 @@ fn figure2_three_ary_two_cube() {
     assert_eq!(s.lines().count(), 9); // 8 track rows + node row
     assert_eq!(
         l.edge_multiset(),
-        mlv_topology::karyn::KaryNCube::torus(3, 2).graph.edge_multiset()
+        mlv_topology::karyn::KaryNCube::torus(3, 2)
+            .graph
+            .edge_multiset()
     );
 }
 

@@ -108,7 +108,8 @@ fn odd_layers_match_next_even() {
             let mo = measure(&fam, odd, false);
             let me = measure(&fam, odd - 1, false);
             assert_eq!(
-                mo.metrics.area, me.metrics.area,
+                mo.metrics.area,
+                me.metrics.area,
                 "{name}: area at L={odd} differs from L={}",
                 odd - 1
             );
@@ -127,7 +128,10 @@ fn quadratic_area_scaling_on_dense_network() {
     let gain = a2 / a8;
     let (s, t) = (25.0f64, 144.0f64); // side 24+1, tracks 24²/4
     let model = ((s + t) / (s + (t / 4.0).ceil())).powi(2);
-    assert!((gain - model).abs() / model < 0.05, "gain {gain} vs model {model}");
+    assert!(
+        (gain - model).abs() / model < 0.05,
+        "gain {gain} vs model {model}"
+    );
     assert!(gain > 7.0, "gain only {gain}");
 }
 

@@ -94,7 +94,11 @@ fn variant_area_ordering() {
             .area as f64;
         assert!(plain < folded && folded < enhanced);
         assert!(folded / plain <= 49.0 / 16.0 + 0.5, "{}", folded / plain);
-        assert!(enhanced / plain <= 100.0 / 16.0 + 0.5, "{}", enhanced / plain);
+        assert!(
+            enhanced / plain <= 100.0 / 16.0 + 0.5,
+            "{}",
+            enhanced / plain
+        );
     }
 }
 
