@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("conformance") => cmd_conformance(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             ExitCode::SUCCESS
@@ -56,11 +57,20 @@ USAGE:
   mlv sweep  <family-spec> --layers <L1,L2,...> [--check]
   mlv check  <layout-file.mlv>
   mlv figures [f1|f2|f3|f4|folded|layout]
+  mlv conformance [--seed <u64>] [--cases <n>] [--families a,b,...]
+                  [--no-inject]
 
 EXAMPLES:
   mlv layout hypercube:8 --layers 4 --check
   mlv layout karyn:8,2 --layers 8 --svg torus.svg
   mlv sweep ghc:16,16 --layers 2,4,8,16
+  mlv conformance --seed 2000 --cases 12
+
+`mlv conformance` fuzzes every family over a seeded lattice (checker,
+differential, and prediction oracles + fault injection), prints one
+JSON line per family, and exits nonzero on any violation. Env
+fallbacks: MLV_SEED, MLV_CONFORMANCE_CASES; MLV_THREADS sizes the
+executor (the report is byte-identical for any thread count).
 ";
 
 fn cmd_families() -> ExitCode {
@@ -297,6 +307,84 @@ fn cmd_check(args: &[String]) -> ExitCode {
         for e in r.errors.iter().take(5) {
             println!("  {e:?}");
         }
+        ExitCode::FAILURE
+    }
+}
+
+/// `mlv conformance`: run the cross-family conformance harness and
+/// print one JSON line per family. Exit code: 0 only when every oracle
+/// passed, no injection survived, and (for full-vocabulary runs with
+/// injection on) every `CheckError` kind was exercised.
+fn cmd_conformance(args: &[String]) -> ExitCode {
+    let mut config = mlv_conformance::Config::from_env();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                config.seed = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => return fail("--seed needs an unsigned integer"),
+                }
+            }
+            "--cases" => {
+                config.cases_per_family = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return fail("--cases needs a positive integer"),
+                }
+            }
+            "--families" => {
+                let Some(list) = it.next() else {
+                    return fail("--families needs a comma-separated list");
+                };
+                let families: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+                for f in &families {
+                    if !mlv_conformance::cases::FAMILY_NAMES.contains(&f.as_str()) {
+                        return fail(format!(
+                            "unknown family '{f}'; choose from {:?}",
+                            mlv_conformance::cases::FAMILY_NAMES
+                        ));
+                    }
+                }
+                config.families = families;
+            }
+            "--no-inject" => config.inject = false,
+            other => return fail(format!("unknown conformance flag '{other}'")),
+        }
+    }
+    // full kind coverage is only demanded when the run can deliver it:
+    // injection on, the whole family vocabulary in play, and enough
+    // cases per family to cycle through every strategy
+    let full = config.inject
+        && config.families.len() == mlv_conformance::cases::FAMILY_NAMES.len()
+        && config.cases_per_family >= mlv_conformance::inject::Strategy::ALL.len();
+    eprintln!(
+        "conformance: seed={} cases/family={} families={} inject={}",
+        config.seed,
+        config.cases_per_family,
+        config.families.len(),
+        config.inject
+    );
+    let report = mlv_conformance::run(&config);
+    for r in &report.results {
+        println!("{}", r.json_line());
+    }
+    if !report.uncovered_kinds().is_empty() {
+        eprintln!(
+            "CheckError kinds not exercised: {:?}",
+            report.uncovered_kinds()
+        );
+    }
+    if report.passed(full) {
+        eprintln!(
+            "conformance: PASSED (reproduce with --seed {})",
+            report.seed
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "conformance: FAILED (reproduce with --seed {})",
+            report.seed
+        );
         ExitCode::FAILURE
     }
 }

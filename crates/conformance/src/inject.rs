@@ -1,0 +1,267 @@
+//! Seeded fault injection: controlled defects whose detection the
+//! checker must guarantee.
+//!
+//! Each [`Strategy`] applies one minimal mutation to a (presumed legal)
+//! layout and names the [`CheckError`] kind the checker is *guaranteed*
+//! to report for it when run with the source graph as reference. The
+//! strategies jointly cover every [`CheckError::KINDS`] entry — the
+//! harness (and `mlv-layout`'s mutation suite) assert both directions:
+//! every injection is caught, and every error kind has an injection
+//! that triggers it.
+
+use mlv_core::rng::Rng;
+use mlv_grid::checker::CheckError;
+use mlv_grid::geom::{Point3, Rect};
+use mlv_grid::layout::Layout;
+use mlv_grid::path::WirePath;
+use mlv_topology::NodeId;
+
+/// One class of injected defect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Drop one wire — the layout no longer realizes the graph.
+    DeleteWire,
+    /// Clone one wire verbatim — every point of it is now shared.
+    DuplicateWire,
+    /// Relabel a wire's `u` endpoint to a different placed node.
+    RewireEndpoint,
+    /// Shift a wire's every corner up by `L` layers (all out of budget).
+    LayerEscape,
+    /// Shift a wire's every corner down by `L` layers (all negative).
+    NegativeLayer,
+    /// Translate a wired node's footprint outside the bounding box.
+    MoveNode,
+    /// Copy one node's footprint onto another node of the same layer.
+    OverlapNodes,
+    /// Replace a wire's path with a single diagonal segment.
+    DiagonalPath,
+    /// Place a fresh node directly on a wire's interior point.
+    NodeOnWire,
+    /// Remove the placement of a wire's endpoint node.
+    DeleteNode,
+}
+
+impl Strategy {
+    /// Every strategy, in declaration order.
+    pub const ALL: [Strategy; 10] = [
+        Strategy::DeleteWire,
+        Strategy::DuplicateWire,
+        Strategy::RewireEndpoint,
+        Strategy::LayerEscape,
+        Strategy::NegativeLayer,
+        Strategy::MoveNode,
+        Strategy::OverlapNodes,
+        Strategy::DiagonalPath,
+        Strategy::NodeOnWire,
+        Strategy::DeleteNode,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::DeleteWire => "DeleteWire",
+            Strategy::DuplicateWire => "DuplicateWire",
+            Strategy::RewireEndpoint => "RewireEndpoint",
+            Strategy::LayerEscape => "LayerEscape",
+            Strategy::NegativeLayer => "NegativeLayer",
+            Strategy::MoveNode => "MoveNode",
+            Strategy::OverlapNodes => "OverlapNodes",
+            Strategy::DiagonalPath => "DiagonalPath",
+            Strategy::NodeOnWire => "NodeOnWire",
+            Strategy::DeleteNode => "DeleteNode",
+        }
+    }
+
+    /// The [`CheckError::kind`] the checker is guaranteed to report for
+    /// this injection (the mutated layout may additionally trip others;
+    /// `DeleteWire` needs the reference graph passed to `check`). The
+    /// union over [`Strategy::ALL`] equals [`CheckError::KINDS`].
+    pub fn expected_kind(self) -> &'static str {
+        match self {
+            Strategy::DeleteWire => "TopologyMismatch",
+            Strategy::DuplicateWire => "WireConflict",
+            Strategy::RewireEndpoint => "BadTerminal",
+            Strategy::LayerEscape => "LayerOutOfRange",
+            Strategy::NegativeLayer => "LayerOutOfRange",
+            Strategy::MoveNode => "BadTerminal",
+            Strategy::OverlapNodes => "NodeOverlap",
+            Strategy::DiagonalPath => "BadPath",
+            Strategy::NodeOnWire => "WireThroughNode",
+            Strategy::DeleteNode => "MissingNode",
+        }
+    }
+}
+
+/// Record of one applied injection.
+#[derive(Clone, Debug)]
+pub struct Injection {
+    /// Which strategy was applied.
+    pub strategy: Strategy,
+    /// What exactly was mutated (for failure reports).
+    pub detail: String,
+}
+
+/// Apply `strategy` to `layout` at a seeded location. Returns `None`
+/// when the layout cannot host the mutation (no wires, a single node,
+/// no interior wire point, …) — the layout is untouched in that case.
+pub fn inject(layout: &mut Layout, strategy: Strategy, rng: &mut Rng) -> Option<Injection> {
+    let done = |detail: String| Some(Injection { strategy, detail });
+    match strategy {
+        Strategy::DeleteWire => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let w = layout.wires.remove(i);
+            done(format!("deleted wire {i} ({},{})", w.u, w.v))
+        }
+        Strategy::DuplicateWire => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let w = layout.wires[i].clone();
+            layout.wires.push(w);
+            done(format!("duplicated wire {i}"))
+        }
+        Strategy::RewireEndpoint => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let (u, v) = (layout.wires[i].u, layout.wires[i].v);
+            // any placed node that is neither endpoint: its footprint is
+            // disjoint from u's, so the start terminal cannot satisfy it
+            let other = layout
+                .nodes
+                .iter()
+                .map(|n| n.node)
+                .find(|&c| c != u && c != v)?;
+            layout.wires[i].u = other;
+            done(format!("rewired wire {i} endpoint {u} -> {other}"))
+        }
+        Strategy::LayerEscape | Strategy::NegativeLayer => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let shift = if strategy == Strategy::LayerEscape {
+                layout.layers as i32
+            } else {
+                -(layout.layers as i32)
+            };
+            // a uniform z-shift keeps the path axis-aligned and
+            // self-avoiding, so LayerOutOfRange is reported (BadPath
+            // would short-circuit the per-wire layer scan)
+            let corners: Vec<Point3> = layout.wires[i]
+                .path
+                .corners()
+                .iter()
+                .map(|c| Point3::new(c.x, c.y, c.z + shift))
+                .collect();
+            layout.wires[i].path = WirePath::new(corners);
+            done(format!("shifted wire {i} layers by {shift}"))
+        }
+        Strategy::MoveNode => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let u = layout.wires[i].u;
+            let bb = layout.bounding_box()?;
+            let dx = bb.x1 - bb.x0 + 1000;
+            let n = layout.nodes.iter_mut().find(|n| n.node == u)?;
+            n.rect = Rect::new(n.rect.x0 + dx, n.rect.y0, n.rect.x1 + dx, n.rect.y1);
+            done(format!("moved node {u} by dx={dx}"))
+        }
+        Strategy::OverlapNodes => {
+            let pair = (0..layout.nodes.len()).find_map(|i| {
+                ((i + 1)..layout.nodes.len())
+                    .find(|&j| layout.nodes[j].layer == layout.nodes[i].layer)
+                    .map(|j| (i, j))
+            });
+            let (i, j) = pair?;
+            layout.nodes[j].rect = layout.nodes[i].rect;
+            done(format!(
+                "node {} footprint copied onto node {}",
+                layout.nodes[i].node, layout.nodes[j].node
+            ))
+        }
+        Strategy::DiagonalPath => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let s = layout.wires[i].path.start();
+            layout.wires[i].path = WirePath::new(vec![s, Point3::new(s.x + 1, s.y + 1, s.z)]);
+            done(format!("wire {i} replaced with a diagonal stub"))
+        }
+        Strategy::NodeOnWire => {
+            // interior point of some wire (never a terminal of any wire,
+            // by point-disjointness of the legal input layout)
+            let fresh: NodeId = layout.nodes.iter().map(|n| n.node).max()? + 1;
+            let wire_count = layout.wires.len();
+            if wire_count == 0 {
+                return None;
+            }
+            let first = rng.gen_range_usize(0..wire_count);
+            for k in 0..wire_count {
+                let i = (first + k) % wire_count;
+                let pts: Vec<Point3> = layout.wires[i].path.points().collect();
+                if pts.len() < 3 {
+                    continue;
+                }
+                let p = pts[rng.gen_range_usize(1..pts.len() - 1)];
+                layout.nodes.push(mlv_grid::layout::NodePlacement {
+                    node: fresh,
+                    rect: Rect::new(p.x, p.y, p.x, p.y),
+                    layer: p.z,
+                });
+                return done(format!("node {fresh} placed on wire {i} at {p:?}"));
+            }
+            None
+        }
+        Strategy::DeleteNode => {
+            if layout.wires.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range_usize(0..layout.wires.len());
+            let u = layout.wires[i].u;
+            let pos = layout.nodes.iter().position(|n| n.node == u)?;
+            layout.nodes.remove(pos);
+            done(format!("removed placement of node {u}"))
+        }
+    }
+}
+
+/// Sanity: the strategies' guaranteed kinds cover the whole
+/// [`CheckError::KINDS`] universe. The conformance harness re-asserts
+/// this dynamically (injection → checker → kind observed); this is the
+/// static half.
+pub fn uncovered_kinds() -> Vec<&'static str> {
+    CheckError::KINDS
+        .iter()
+        .copied()
+        .filter(|k| !Strategy::ALL.iter().any(|s| s.expected_kind() == *k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_coverage_is_complete() {
+        assert!(
+            uncovered_kinds().is_empty(),
+            "no strategy guarantees: {:?}",
+            uncovered_kinds()
+        );
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let names: std::collections::HashSet<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Strategy::ALL.len());
+    }
+}

@@ -1,0 +1,105 @@
+//! Layout serialization coverage over real family layouts: byte-exact
+//! round-trips, and malformed inputs that must fail with parse errors —
+//! never panics.
+
+use mlv_grid::checker;
+use mlv_grid::io::{read_layout, write_layout};
+use mlv_layout::families::{self, Family};
+
+fn family_pool() -> Vec<Family> {
+    vec![
+        families::hypercube(4),
+        families::karyn_cube(3, 2, false),
+        families::ccc(3),
+        families::genhyper(&[3, 3]),
+    ]
+}
+
+#[test]
+fn round_trip_is_byte_identical_for_families() {
+    for fam in family_pool() {
+        for layers in [2usize, 4] {
+            let layout = fam.realize(layers);
+            let text = write_layout(&layout);
+            let back = read_layout(&text)
+                .unwrap_or_else(|e| panic!("{}: reload failed: {e}", layout.name));
+            // the reloaded layout is the same object...
+            assert_eq!(back.name, layout.name);
+            assert_eq!(back.layers, layout.layers);
+            assert_eq!(back.nodes.len(), layout.nodes.len());
+            assert_eq!(back.wires.len(), layout.wires.len());
+            for (a, b) in layout.wires.iter().zip(&back.wires) {
+                assert_eq!((a.u, a.v, &a.path), (b.u, b.v, &b.path));
+            }
+            // ...still legal against the source graph...
+            checker::assert_legal(&back, Some(&fam.graph));
+            // ...and re-serializes byte-identically (stable format)
+            assert_eq!(write_layout(&back), text);
+        }
+    }
+}
+
+#[test]
+fn truncated_inputs_error_not_panic() {
+    let text = write_layout(&families::hypercube(3).realize(2));
+    // every line prefix: parseable or a clean error, never a panic
+    let lines: Vec<&str> = text.lines().collect();
+    for n in 0..lines.len() {
+        let prefix = lines[..n].join("\n");
+        let _ = read_layout(&prefix);
+    }
+    // byte-level truncation can split a record mid-token
+    for cut in 0..text.len().min(400) {
+        let _ = read_layout(&text[..cut]);
+    }
+    // a split wire corner is a hard error, not a shorter wire
+    if let Some(pos) = text.find("wire") {
+        let line_end = text[pos..]
+            .find('\n')
+            .map(|e| pos + e)
+            .unwrap_or(text.len());
+        let broken = &text[..line_end - 2];
+        assert!(read_layout(broken).is_err() || !broken.contains(','));
+    }
+}
+
+#[test]
+fn corrupted_records_return_errors() {
+    let good = write_layout(&families::hypercube(3).realize(2));
+    let corrupt = |from: &str, to: &str| -> String { good.replacen(from, to, 1) };
+
+    // each corruption must yield Err with a line number — and no panic
+    let cases: Vec<(String, &str)> = vec![
+        (corrupt("mlvlayout 1", "mlvlayout 9"), "bad magic"),
+        (
+            corrupt("layers=", "layers=zero-"),
+            "unparseable layer count",
+        ),
+        (corrupt("layers=2", "layers=0"), "zero layer budget"),
+        (corrupt("layer=0", "layer=99"), "node layer out of budget"),
+        (corrupt("layer=0", "layer=-3"), "negative node layer"),
+        (corrupt("node", "blob"), "unknown record"),
+        (corrupt("wire", "wire x"), "non-numeric endpoint"),
+    ];
+    for (text, what) in cases {
+        assert_ne!(text, good, "{what}: corruption did not apply");
+        let e = read_layout(&text).unwrap_err();
+        assert!(e.line >= 1, "{what}: error missing line number");
+    }
+
+    // corrupting a corner token
+    if let Some(pos) = good.find(",") {
+        let mut text = good.clone();
+        text.replace_range(pos..pos + 1, "#");
+        assert!(read_layout(&text).is_err());
+    }
+}
+
+#[test]
+fn empty_and_garbage_inputs() {
+    assert!(read_layout("").is_err());
+    assert!(read_layout("\n\n").is_err());
+    assert!(read_layout("mlvlayout 1").is_err());
+    assert!(read_layout("total garbage\nmore garbage").is_err());
+    let _ = read_layout("mlvlayout 1\nlayout x layers=3");
+}

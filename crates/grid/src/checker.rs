@@ -96,6 +96,38 @@ pub enum CheckError {
     },
 }
 
+impl CheckError {
+    /// Every variant name [`CheckError::kind`] can return, in
+    /// declaration order — the coverage universe for fault-injection
+    /// completeness accounting (the conformance harness asserts every
+    /// one of these is triggered by at least one injected defect).
+    pub const KINDS: [&'static str; 8] = [
+        "LayerOutOfRange",
+        "BadPath",
+        "NodeOverlap",
+        "BadTerminal",
+        "WireConflict",
+        "WireThroughNode",
+        "MissingNode",
+        "TopologyMismatch",
+    ];
+
+    /// Stable, machine-readable variant name (one of
+    /// [`CheckError::KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CheckError::LayerOutOfRange { .. } => "LayerOutOfRange",
+            CheckError::BadPath { .. } => "BadPath",
+            CheckError::NodeOverlap { .. } => "NodeOverlap",
+            CheckError::BadTerminal { .. } => "BadTerminal",
+            CheckError::WireConflict { .. } => "WireConflict",
+            CheckError::WireThroughNode { .. } => "WireThroughNode",
+            CheckError::MissingNode { .. } => "MissingNode",
+            CheckError::TopologyMismatch { .. } => "TopologyMismatch",
+        }
+    }
+}
+
 /// Result of a legality check.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
@@ -471,6 +503,44 @@ mod tests {
             .errors
             .iter()
             .any(|e| matches!(e, CheckError::TopologyMismatch { .. })));
+    }
+
+    #[test]
+    fn kinds_cover_every_variant() {
+        let pt = p(0, 0, 0);
+        let samples = [
+            CheckError::LayerOutOfRange { wire: 0, point: pt },
+            CheckError::BadPath {
+                wire: 0,
+                reason: String::new(),
+            },
+            CheckError::NodeOverlap { a: 0, b: 1 },
+            CheckError::BadTerminal {
+                wire: 0,
+                node: 0,
+                point: pt,
+            },
+            CheckError::WireConflict {
+                a: 0,
+                b: 1,
+                point: pt,
+            },
+            CheckError::WireThroughNode {
+                wire: 0,
+                node: 0,
+                point: pt,
+            },
+            CheckError::MissingNode { node: 0 },
+            CheckError::TopologyMismatch {
+                detail: String::new(),
+            },
+        ];
+        // one sample per variant, each kind distinct, KINDS in sync
+        assert_eq!(samples.len(), CheckError::KINDS.len());
+        let kinds: Vec<&str> = samples.iter().map(CheckError::kind).collect();
+        assert_eq!(kinds, CheckError::KINDS);
+        let distinct: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(distinct.len(), CheckError::KINDS.len());
     }
 
     #[test]

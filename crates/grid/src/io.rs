@@ -84,6 +84,9 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
         .and_then(|t| t.strip_prefix("layers="))
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| err(i + 1, "missing or bad layers=<L>"))?;
+    if layers == 0 {
+        return Err(err(i + 1, "layers must be >= 1"));
+    }
     let mut layout = Layout::new(name, layers);
     for (i, line) in lines {
         let line = line.trim();
@@ -108,6 +111,9 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
                     .ok_or_else(|| err(i + 1, "missing or bad layer=<z>"))?;
                 if x1 < x0 || y1 < y0 {
                     return Err(err(i + 1, "degenerate node rectangle"));
+                }
+                if layer < 0 || layer as usize >= layers {
+                    return Err(err(i + 1, "node layer outside the layer budget"));
                 }
                 layout.place_node_at(id, Rect::new(x0, y0, x1, y1), layer);
             }

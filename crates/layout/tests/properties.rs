@@ -11,6 +11,47 @@ use mlv_layout::realize::{realize, RealizeOptions};
 use mlv_layout::scheme::grid_spec;
 use mlv_topology::GraphBuilder;
 
+/// Shared body of `node_side_scaling_is_exact`: grow the node side by
+/// `extra` on hypercube(4) at `layers` and require the width to scale
+/// exactly by the pitch model. Panics (caught by the property driver)
+/// on violation.
+fn node_side_scaling_case(extra: usize, layers: usize) {
+    let fam = families::hypercube(4);
+    let base = realize(&fam.spec, &RealizeOptions::with_layers(layers));
+    assert!(check(&base, Some(&fam.graph)).is_legal());
+    let base_m = LayoutMetrics::of(&base);
+    // base pitch: side s and per-gap tracks derived from the width
+    let cols = 4u64;
+    let base_pitch = base_m.width / cols;
+    // per-gap tracks: the 2-track 2-cube bundle split over ⌊L/2⌋
+    // groups; the rest of the pitch is the minimal node side
+    let wpl = 2u64.div_ceil(layers as u64 / 2);
+    let min_side = base_pitch - wpl;
+    let grown = realize(
+        &fam.spec,
+        &RealizeOptions {
+            layers,
+            node_side: Some((min_side as usize) + extra),
+            jog_strategy: Default::default(),
+        },
+    );
+    assert!(check(&grown, Some(&fam.graph)).is_legal());
+    let grown_m = LayoutMetrics::of(&grown);
+    assert_eq!(grown_m.width, cols * (base_pitch + extra as u64));
+}
+
+/// Pinned regression: the minimal case the retired
+/// `properties.proptest-regressions` file recorded for
+/// `node_side_scaling_is_exact` (`extra = 0, layers = 2` — a
+/// `node_side` equal to the minimum side must reproduce the base
+/// layout's width exactly). Kept as an explicit test so the case
+/// survives the switch to the in-repo property harness, which does not
+/// read regression files.
+#[test]
+fn regression_node_side_scaling_extra0_layers2() {
+    node_side_scaling_case(0, 2);
+}
+
 mlv_proptest! {
     cases = 64;
 
@@ -68,28 +109,8 @@ mlv_proptest! {
     /// and never breaks legality.
     #[test]
     fn node_side_scaling_is_exact(extra in 0usize..12, layers in 2usize..6) {
-        let fam = families::hypercube(4);
-        let base = realize(&fam.spec, &RealizeOptions::with_layers(layers));
-        prop_assert!(check(&base, Some(&fam.graph)).is_legal());
-        let base_m = LayoutMetrics::of(&base);
-        // base pitch: side s and per-gap tracks derived from the width
-        let cols = 4u64;
-        let base_pitch = base_m.width / cols;
-        // per-gap tracks: the 2-track 2-cube bundle split over ⌊L/2⌋
-        // groups; the rest of the pitch is the minimal node side
-        let wpl = 2u64.div_ceil(layers as u64 / 2);
-        let min_side = base_pitch - wpl;
-        let grown = realize(
-            &fam.spec,
-            &RealizeOptions {
-                layers,
-                node_side: Some((min_side as usize) + extra),
-                jog_strategy: Default::default(),
-            },
-        );
-        prop_assert!(check(&grown, Some(&fam.graph)).is_legal());
-        let grown_m = LayoutMetrics::of(&grown);
-        prop_assert_eq!(grown_m.width, cols * (base_pitch + extra as u64));
+        node_side_scaling_case(extra, layers);
+        prop_assert!(true);
     }
 
     /// Area and max wire never increase when the layer budget grows.
