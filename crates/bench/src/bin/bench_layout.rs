@@ -1,0 +1,66 @@
+//! Realization micro-bench over the registry's lattice vocabulary.
+//!
+//! For every lattice-bearing family in [`mlv_layout::registry`], draws
+//! one fixed-seed configuration, realizes it through the staged pass
+//! pipeline at `L = 4`, and times the realization with
+//! [`mlv_core::bench::measure`]. Results go to stdout (one JSON line
+//! per family, the house bench format) and to `BENCH_layout.json` at
+//! the repo root so runs are diffable artifacts.
+//!
+//! `MLV_BENCH_SAMPLES` overrides the sample count (default 11); CI's
+//! smoke leg uses `3`.
+
+use mlv_core::bench::{black_box, measure};
+use mlv_core::rng::Rng;
+use mlv_layout::registry;
+use std::path::Path;
+
+const SEED: u64 = 2000;
+const LAYERS: usize = 4;
+
+fn main() {
+    let samples = std::env::var("MLV_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(11);
+
+    let mut lines = Vec::new();
+    for entry in registry::REGISTRY {
+        let Some(lattice) = &entry.lattice else {
+            continue;
+        };
+        // one deterministic draw per family: the draw stream is the
+        // same one the conformance lattice replays, so the shapes here
+        // are representative of what the harness exercises
+        let mut rng = Rng::seed_from_u64(SEED);
+        let draw = (lattice.draw)(&mut rng);
+        let nodes = draw.family.graph.node_count();
+        let stats = measure(samples, || black_box(draw.family.realize(LAYERS)));
+        let line = format!(
+            "{{\"family\":\"{}\",\"label\":\"{} L={LAYERS}\",\"nodes\":{nodes},\
+             \"iters\":{},\"samples\":{},\"median_ns\":{},\"mean_ns\":{},\
+             \"min_ns\":{},\"max_ns\":{}}}",
+            entry.name,
+            draw.label,
+            stats.iters,
+            stats.samples,
+            stats.median_ns,
+            stats.mean_ns,
+            stats.min_ns,
+            stats.max_ns,
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    let doc = format!(
+        "{{\"bench\":\"layout-realize\",\"seed\":{SEED},\"layers\":{LAYERS},\
+         \"samples\":{samples},\"results\":[\n{}\n]}}\n",
+        lines.join(",\n")
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_layout.json");
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}

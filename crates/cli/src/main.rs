@@ -22,14 +22,15 @@ use mlv_grid::metrics::LayoutMetrics;
 use mlv_grid::svg::{render_svg, SvgOptions};
 use mlv_layout::realize::{align_wires, RealizeOptions};
 use mlv_layout::realize3d::{realize_3d, Realize3dOptions};
-use parse::{parse_family, parse_layers, FAMILY_HELP};
+use mlv_layout::registry;
+use parse::{parse_family, parse_layers};
 use report::Report;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("families") => cmd_families(),
+        Some("families") => cmd_families(&args[1..]),
         Some("layout") => cmd_layout(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
@@ -50,7 +51,7 @@ const HELP: &str = "\
 mlv — multilayer VLSI layouts of interconnection networks
 
 USAGE:
-  mlv families
+  mlv families [--json]
   mlv layout <family-spec> --layers <L> [--active-layers <LA>] [--check]
              [--routed] [--node-side <S>] [--svg <path>] [--save <path>]
              [--ascii] [--json]
@@ -73,10 +74,33 @@ fallbacks: MLV_SEED, MLV_CONFORMANCE_CASES; MLV_THREADS sizes the
 executor (the report is byte-identical for any thread count).
 ";
 
-fn cmd_families() -> ExitCode {
-    println!("family specs (use with `mlv layout <spec> ...`):\n");
-    for (spec, desc) in FAMILY_HELP {
-        println!("  {spec:<42} {desc}");
+fn cmd_families(args: &[String]) -> ExitCode {
+    let json = match args {
+        [] => false,
+        [flag] if flag == "--json" => true,
+        _ => {
+            eprintln!("usage: mlv families [--json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        // one object per line, mirroring the conformance report style
+        for e in registry::REGISTRY {
+            println!(
+                "{{\"name\":\"{}\",\"keyword\":\"{}\",\"spec\":\"{}\",\"description\":\"{}\",\"example\":\"{}\",\"lattice\":{}}}",
+                e.name,
+                e.keyword,
+                e.grammar,
+                e.description,
+                e.example,
+                e.lattice.is_some()
+            );
+        }
+    } else {
+        println!("family specs (use with `mlv layout <spec> ...`):\n");
+        for e in registry::REGISTRY {
+            println!("  {:<42} {}", e.grammar, e.description);
+        }
     }
     ExitCode::SUCCESS
 }
@@ -336,13 +360,11 @@ fn cmd_conformance(args: &[String]) -> ExitCode {
                 let Some(list) = it.next() else {
                     return fail("--families needs a comma-separated list");
                 };
+                let known = mlv_conformance::cases::family_names();
                 let families: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
                 for f in &families {
-                    if !mlv_conformance::cases::FAMILY_NAMES.contains(&f.as_str()) {
-                        return fail(format!(
-                            "unknown family '{f}'; choose from {:?}",
-                            mlv_conformance::cases::FAMILY_NAMES
-                        ));
+                    if !known.contains(&f.as_str()) {
+                        return fail(format!("unknown family '{f}'; choose from {known:?}"));
                     }
                 }
                 config.families = families;
@@ -355,7 +377,7 @@ fn cmd_conformance(args: &[String]) -> ExitCode {
     // injection on, the whole family vocabulary in play, and enough
     // cases per family to cycle through every strategy
     let full = config.inject
-        && config.families.len() == mlv_conformance::cases::FAMILY_NAMES.len()
+        && config.families.len() == mlv_conformance::cases::family_names().len()
         && config.cases_per_family >= mlv_conformance::inject::Strategy::ALL.len();
     eprintln!(
         "conformance: seed={} cases/family={} families={} inject={}",

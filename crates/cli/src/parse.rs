@@ -1,163 +1,16 @@
 //! Family-spec parsing: `"<name>:<args>"` strings to [`Family`]
-//! instances, e.g. `hypercube:8`, `karyn:8,2`, `ghc:8,8,8`,
-//! `clusterc:8,2,4,ring`.
+//! instances (run `mlv families` for every accepted spelling).
+//!
+//! The grammar itself lives in [`mlv_layout::registry`] — one table
+//! shared with the conformance lattice and `mlv families` — so this
+//! module is a thin delegate.
 
-use mlv_layout::families::{self, Family};
-use mlv_topology::cluster::ClusterKind;
-
-/// Everything `parse_family` understands, for `mlv families`.
-pub const FAMILY_HELP: &[(&str, &str)] = &[
-    ("hypercube:<n>", "binary n-cube (2^n nodes)"),
-    ("karyn:<k>,<n>", "k-ary n-cube torus"),
-    (
-        "karyn-folded:<k>,<n>",
-        "k-ary n-cube with folded rows/columns",
-    ),
-    ("mesh:<k>,<n>", "k-ary n-mesh (no wraparound)"),
-    ("ghc:<r0>,<r1>,...", "generalized hypercube, mixed radices"),
-    ("complete:<n>", "complete graph K_n (1-dim GHC)"),
-    ("folded:<n>", "folded hypercube"),
-    (
-        "enhanced:<n>[,<seed>]",
-        "enhanced cube (random extra links)",
-    ),
-    ("ccc:<n>", "cube-connected cycles"),
-    ("rh:<n>", "reduced hypercube (n = 2^s)"),
-    (
-        "butterfly:<m>[,<b>]",
-        "wrapped butterfly, cluster radix 2^b",
-    ),
-    ("hsn:<levels>,<r>", "hierarchical swap network over K_r"),
-    (
-        "hhn:<levels>,<s>",
-        "hierarchical hypercube network (s-cube nuclei)",
-    ),
-    ("isn:<levels>,<r>", "indirect swap network"),
-    (
-        "clusterc:<k>,<n>,<c>,<ring|cube|complete>",
-        "k-ary n-cube cluster-c",
-    ),
-    ("star:<n>", "star graph (n! nodes)"),
-    ("pancake:<n>", "pancake graph"),
-    ("bubble:<n>", "bubble-sort graph"),
-    ("transposition:<n>", "transposition network"),
-    ("scc:<n>", "star-connected cycles"),
-    ("macrostar:<l>,<n>", "macro-star network MS(l,n)"),
-];
+use mlv_layout::families::Family;
+use mlv_layout::registry;
 
 /// Parse a family spec. Returns a readable error for anything invalid.
 pub fn parse_family(spec: &str) -> Result<Family, String> {
-    let (name, rest) = spec.split_once(':').unwrap_or((spec, ""));
-    // leading numeric arguments; trailing word arguments (e.g. the
-    // cluster kind) are read from `rest` directly where needed
-    let nums: Vec<usize> = rest
-        .split(',')
-        .map_while(|t| t.trim().parse::<usize>().ok())
-        .collect();
-    let need = |n: usize| -> Result<(), String> {
-        if nums.len() < n {
-            Err(format!("'{spec}': expected {n} numeric argument(s)"))
-        } else {
-            Ok(())
-        }
-    };
-    match name {
-        "hypercube" => {
-            need(1)?;
-            Ok(families::hypercube(nums[0]))
-        }
-        "karyn" => {
-            need(2)?;
-            Ok(families::karyn_cube(nums[0], nums[1], false))
-        }
-        "karyn-folded" => {
-            need(2)?;
-            Ok(families::karyn_cube(nums[0], nums[1], true))
-        }
-        "mesh" => {
-            need(2)?;
-            Ok(families::karyn_mesh(nums[0], nums[1]))
-        }
-        "ghc" => {
-            need(1)?;
-            Ok(families::genhyper(&nums))
-        }
-        "complete" => {
-            need(1)?;
-            Ok(families::genhyper(&nums[..1]))
-        }
-        "folded" => {
-            need(1)?;
-            Ok(families::folded_hypercube(nums[0]))
-        }
-        "enhanced" => {
-            need(1)?;
-            let seed = nums.get(1).copied().unwrap_or(2026) as u64;
-            Ok(families::enhanced_cube(nums[0], seed))
-        }
-        "ccc" => {
-            need(1)?;
-            Ok(families::ccc(nums[0]))
-        }
-        "rh" => {
-            need(1)?;
-            Ok(families::reduced_hypercube(nums[0]))
-        }
-        "butterfly" => {
-            need(1)?;
-            let b = nums.get(1).copied().unwrap_or(0);
-            Ok(families::butterfly_clustered(nums[0], b))
-        }
-        "hsn" => {
-            need(2)?;
-            Ok(families::hsn(nums[0], nums[1]))
-        }
-        "hhn" => {
-            need(2)?;
-            Ok(families::hhn(nums[0], nums[1]))
-        }
-        "isn" => {
-            need(2)?;
-            Ok(families::isn(nums[0], nums[1]))
-        }
-        "clusterc" => {
-            need(3)?;
-            let kind = match rest.split(',').nth(3).map(str::trim) {
-                Some("ring") | None => ClusterKind::Ring,
-                Some("cube") | Some("hypercube") => ClusterKind::Hypercube,
-                Some("complete") => ClusterKind::Complete,
-                Some(other) => return Err(format!("unknown cluster kind '{other}'")),
-            };
-            Ok(families::kary_cluster(nums[0], nums[1], nums[2], kind))
-        }
-        "star" => {
-            need(1)?;
-            Ok(families::star(nums[0]))
-        }
-        "pancake" => {
-            need(1)?;
-            Ok(families::pancake(nums[0]))
-        }
-        "bubble" => {
-            need(1)?;
-            Ok(families::bubble_sort(nums[0]))
-        }
-        "transposition" => {
-            need(1)?;
-            Ok(families::transposition(nums[0]))
-        }
-        "scc" => {
-            need(1)?;
-            Ok(families::scc(nums[0]))
-        }
-        "macrostar" => {
-            need(2)?;
-            Ok(families::macro_star(nums[0], nums[1]))
-        }
-        _ => Err(format!(
-            "unknown family '{name}'; run `mlv families` for the list"
-        )),
-    }
+    registry::parse(spec)
 }
 
 /// Parse a comma-separated layer list, e.g. `"2,4,8"`.
@@ -178,41 +31,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_known_families() {
-        for spec in [
-            "hypercube:4",
-            "karyn:4,2",
-            "karyn-folded:4,2",
-            "mesh:3,2",
-            "ghc:4,4",
-            "complete:6",
-            "folded:4",
-            "enhanced:4,7",
-            "ccc:3",
-            "rh:4",
-            "butterfly:3",
-            "butterfly:4,1",
-            "hsn:2,4",
-            "hhn:2,2",
-            "isn:2,3",
-            "clusterc:3,2,4,cube",
-            "star:4",
-            "pancake:4",
-            "bubble:4",
-            "transposition:4",
-            "scc:4",
-            "macrostar:2,2",
-        ] {
-            let fam = parse_family(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
-            assert!(fam.graph.node_count() > 0, "{spec}");
+    fn parses_every_registry_example() {
+        for entry in registry::REGISTRY {
+            let fam =
+                parse_family(entry.example).unwrap_or_else(|e| panic!("{}: {e}", entry.example));
+            assert!(fam.graph.node_count() > 0, "{}", entry.example);
         }
     }
 
     #[test]
-    fn rejects_unknown_and_malformed() {
+    fn rejects_unknown_and_missing_arguments() {
         assert!(parse_family("nope:3").is_err());
-        assert!(parse_family("hypercube").is_err());
-        assert!(parse_family("clusterc:3,2,4,triangle").is_err());
+        // every family needs at least one numeric argument
+        for entry in registry::REGISTRY {
+            assert!(parse_family(entry.name).is_err(), "{}", entry.name);
+        }
     }
 
     #[test]
@@ -224,8 +57,17 @@ mod tests {
 
     #[test]
     fn parsed_families_match_direct_construction() {
-        let a = parse_family("hypercube:5").unwrap();
-        let b = mlv_layout::families::hypercube(5);
-        assert_eq!(a.graph.edge_multiset(), b.graph.edge_multiset());
+        // the example spec and a second parse of the same spec must
+        // agree exactly — the registry constructors are deterministic
+        for entry in registry::REGISTRY {
+            let a = parse_family(entry.example).unwrap();
+            let b = parse_family(entry.example).unwrap();
+            assert_eq!(
+                a.graph.edge_multiset(),
+                b.graph.edge_multiset(),
+                "{}",
+                entry.example
+            );
+        }
     }
 }

@@ -1,47 +1,33 @@
 //! The seeded parameter lattice: which (family, parameters, layers)
 //! configurations the harness exercises.
 //!
-//! Every family has a small pool of checker-affordable parameter
-//! choices; a case is one seeded draw from that pool plus a seeded
-//! layer budget. The pools are fixed, so the prediction envelopes in
-//! [`crate::oracles`] can be calibrated against the *whole* reachable
-//! lattice — any draw outside its envelope is a regression, not noise.
+//! The per-family parameter pools, draw procedures, and calibrated
+//! prediction envelopes live in the [`mlv_layout::registry`] — one
+//! table shared with the CLI parser and `mlv families`. A case is one
+//! seeded draw from a family's pool plus a seeded layer budget. The
+//! pools are fixed, so the envelopes can be calibrated against the
+//! *whole* reachable lattice — any draw outside its envelope is a
+//! regression, not noise.
 
 use mlv_core::rng::Rng;
-use mlv_formulas::predictions::{self, Prediction};
-use mlv_layout::families::{self, Family};
-use mlv_topology::cluster::ClusterKind;
+use mlv_formulas::predictions::Prediction;
+use mlv_layout::families::Family;
+use mlv_layout::registry;
+
+/// Measured/predicted ratio bounds at the Thompson (L = 2) point
+/// (re-exported from the registry, where the per-family constants
+/// live).
+pub type Envelope = registry::RatioEnvelope;
 
 /// Every family name the lattice covers (also the `--families` filter
-/// vocabulary of the CLI).
-pub const FAMILY_NAMES: [&str; 13] = [
-    "hypercube",
-    "karyn",
-    "mesh",
-    "genhyper",
-    "butterfly",
-    "ccc",
-    "folded",
-    "enhanced",
-    "hsn",
-    "hhn",
-    "isn",
-    "clusterc",
-    "star",
-];
+/// vocabulary of the CLI): the registry entries that carry a lattice,
+/// in reporting order.
+pub fn family_names() -> Vec<&'static str> {
+    registry::lattice_names()
+}
 
 /// Layer budgets drawn per case (even, odd, and the degenerate L=2).
 const LAYER_POOL: [usize; 6] = [2, 3, 4, 5, 6, 8];
-
-/// Measured/predicted ratio bounds at the Thompson (L = 2) point.
-#[derive(Clone, Copy, Debug)]
-pub struct Envelope {
-    /// `(lo, hi)` for `measured_area / predicted_area`.
-    pub area: (f64, f64),
-    /// `(lo, hi)` for `measured_max_wire_planar / predicted_max_wire`,
-    /// when the paper states a max-wire leading term.
-    pub wire: Option<(f64, f64)>,
-}
 
 /// Closed-form expectations for one case, where the paper provides them.
 #[derive(Clone, Debug)]
@@ -67,200 +53,25 @@ pub struct Case {
     pub predicted: Option<CasePrediction>,
 }
 
-fn pick<T: Copy>(rng: &mut Rng, pool: &[T]) -> T {
-    pool[rng.gen_range_usize(0..pool.len())]
-}
-
 /// Build one seeded case for `name`. Panics on unknown family names —
-/// validate against [`FAMILY_NAMES`] first.
+/// validate against [`family_names`] first.
 pub fn build_case(name: &str, rng: &mut Rng) -> Case {
-    let layers = pick(rng, &LAYER_POOL);
-    let (label, family, predicted) = match name {
-        "hypercube" => {
-            let n = pick(rng, &[3usize, 4, 5, 6]);
-            let fam = families::hypercube(n);
-            let pred = paired(|l| predictions::hypercube(1 << n, l), layers, HYPERCUBE_ENV);
-            (format!("hypercube:{n}"), fam, Some(pred))
-        }
-        "karyn" => {
-            let (k, n) = pick(rng, &[(3usize, 2usize), (4, 2), (5, 2), (3, 3)]);
-            let fold = rng.gen_bool(0.5);
-            let fam = families::karyn_cube(k, n, fold);
-            let pred = paired(|l| predictions::karyn(k, n, l), layers, KARYN_ENV);
-            (
-                format!("karyn:{k},{n}{}", if fold { " folded" } else { "" }),
-                fam,
-                Some(pred),
-            )
-        }
-        "mesh" => {
-            let (k, n) = pick(rng, &[(3usize, 2usize), (4, 2), (5, 2), (3, 3)]);
-            let fam = families::karyn_mesh(k, n);
-            let pred = paired(|l| predictions::karyn_mesh(k, n, l), layers, MESH_ENV);
-            (format!("mesh:{k},{n}"), fam, Some(pred))
-        }
-        "genhyper" => {
-            // uniform radices carry predictions; mixed radices are
-            // exercised checker+differential-only
-            let uniform = rng.gen_bool(0.7);
-            if uniform {
-                let (r, n) = pick(rng, &[(3usize, 2usize), (4, 2), (5, 2), (3, 3)]);
-                let fam = families::genhyper(&vec![r; n]);
-                let pred = paired(|l| predictions::genhyper(r, n, l), layers, GENHYPER_ENV);
-                (format!("ghc:{r}^{n}"), fam, Some(pred))
-            } else {
-                let radices: &[usize] = pick(rng, &[&[4usize, 3][..], &[5, 3][..], &[4, 3, 2][..]]);
-                let fam = families::genhyper(radices);
-                (format!("ghc:{radices:?}"), fam, None)
-            }
-        }
-        "butterfly" => {
-            let (m, b) = pick(rng, &[(3usize, 0usize), (4, 0), (4, 1)]);
-            let fam = families::butterfly_clustered(m, b);
-            let n_nodes = m << m;
-            let pred = paired(
-                |l| predictions::butterfly(n_nodes, l),
-                layers,
-                BUTTERFLY_ENV,
-            );
-            (format!("butterfly:{m},{b}"), fam, Some(pred))
-        }
-        "ccc" => {
-            let n = pick(rng, &[3usize, 4]);
-            let fam = families::ccc(n);
-            let n_nodes = n << n;
-            let pred = paired(|l| predictions::ccc(n_nodes, l), layers, CCC_ENV);
-            (format!("ccc:{n}"), fam, Some(pred))
-        }
-        "folded" => {
-            let n = pick(rng, &[3usize, 4, 5]);
-            let fam = families::folded_hypercube(n);
-            let pred = paired(
-                |l| predictions::folded_hypercube(1 << n, l),
-                layers,
-                FOLDED_ENV,
-            );
-            (format!("folded:{n}"), fam, Some(pred))
-        }
-        "enhanced" => {
-            let n = pick(rng, &[3usize, 4, 5]);
-            let seed = rng.gen_range_u64(1..1_000_000);
-            let fam = families::enhanced_cube(n, seed);
-            let pred = paired(
-                |l| predictions::enhanced_cube(1 << n, l),
-                layers,
-                ENHANCED_ENV,
-            );
-            (format!("enhanced:{n} seed={seed}"), fam, Some(pred))
-        }
-        "hsn" => {
-            let (levels, r) = pick(rng, &[(2usize, 3usize), (2, 4), (2, 5), (3, 3)]);
-            let fam = families::hsn(levels, r);
-            let n_nodes = r.pow(levels as u32);
-            let pred = paired(|l| predictions::hsn(n_nodes, l), layers, HSN_ENV);
-            (format!("hsn:{levels},{r}"), fam, Some(pred))
-        }
-        "hhn" => {
-            let (levels, s) = pick(rng, &[(2usize, 2usize), (2, 3)]);
-            let fam = families::hhn(levels, s);
-            let n_nodes = (1usize << s).pow(levels as u32);
-            let pred = paired(|l| predictions::hsn(n_nodes, l), layers, HHN_ENV);
-            (format!("hhn:{levels},{s}"), fam, Some(pred))
-        }
-        "isn" => {
-            let (levels, r) = pick(rng, &[(2usize, 3usize), (2, 4)]);
-            let fam = families::isn(levels, r);
-            let n_nodes = fam.graph.node_count();
-            let pred = paired(|l| predictions::isn(n_nodes, l), layers, ISN_ENV);
-            (format!("isn:{levels},{r}"), fam, Some(pred))
-        }
-        "clusterc" => {
-            let (k, n, c, kind) = pick(
-                rng,
-                &[
-                    (3usize, 2usize, 4usize, ClusterKind::Hypercube),
-                    (4, 2, 3, ClusterKind::Ring),
-                    (3, 2, 3, ClusterKind::Complete),
-                ],
-            );
-            let fam = families::kary_cluster(k, n, c, kind);
-            (format!("clusterc:{k},{n},{c},{kind:?}"), fam, None)
-        }
-        "star" => {
-            let n = pick(rng, &[3usize, 4]);
-            let fam = families::star(n);
-            (format!("star:{n}"), fam, None)
-        }
-        other => panic!("unknown conformance family '{other}'"),
-    };
+    let lattice = registry::find(name)
+        .and_then(|e| e.lattice.as_ref())
+        .unwrap_or_else(|| panic!("unknown conformance family '{name}'"));
+    let layers = LAYER_POOL[rng.gen_range_usize(0..LAYER_POOL.len())];
+    let draw = (lattice.draw)(rng);
+    let predicted = draw.predict.map(|predict| CasePrediction {
+        at_thompson: predict(2),
+        at_layers: predict(layers),
+        envelope: lattice
+            .envelope
+            .expect("prediction-bearing lattice entry without an envelope"),
+    });
     Case {
-        label: format!("{label} L={layers}"),
+        label: format!("{} L={layers}", draw.label),
         layers,
-        family,
+        family: draw.family,
         predicted,
     }
 }
-
-fn paired(
-    predict: impl Fn(usize) -> Prediction,
-    layers: usize,
-    envelope: Envelope,
-) -> CasePrediction {
-    CasePrediction {
-        at_thompson: predict(2),
-        at_layers: predict(layers),
-        envelope,
-    }
-}
-
-// Envelopes calibrated against the full pool lattice at the Thompson
-// point (the `tune_envelopes` sweep in `lib.rs`; re-measure after
-// layout-engine changes). Bounds carry ≥ 25% slack beyond the observed
-// extremes; a breach means the layout engine's constants moved. Large
-// ratios (ISN, butterfly, CCC, HSN) are small-instance effects — the
-// lower-order terms the leading constants drop still dominate at the
-// pool's N — which is exactly why the envelope is per-family.
-const HYPERCUBE_ENV: Envelope = Envelope {
-    area: (2.0, 7.5),
-    wire: Some((2.0, 8.0)),
-};
-const KARYN_ENV: Envelope = Envelope {
-    area: (4.5, 10.0),
-    wire: None,
-};
-const MESH_ENV: Envelope = Envelope {
-    area: (12.0, 24.0),
-    wire: None,
-};
-const GENHYPER_ENV: Envelope = Envelope {
-    area: (2.2, 8.0),
-    wire: Some((1.0, 3.5)),
-};
-const BUTTERFLY_ENV: Envelope = Envelope {
-    area: (38.0, 90.0),
-    wire: Some((5.0, 15.0)),
-};
-const CCC_ENV: Envelope = Envelope {
-    area: (40.0, 92.0),
-    wire: None,
-};
-const FOLDED_ENV: Envelope = Envelope {
-    area: (2.1, 6.0),
-    wire: Some((2.1, 5.6)),
-};
-const ENHANCED_ENV: Envelope = Envelope {
-    area: (1.6, 8.0),
-    wire: Some((1.3, 6.0)),
-};
-const HSN_ENV: Envelope = Envelope {
-    area: (24.0, 82.0),
-    wire: Some((5.0, 20.0)),
-};
-const HHN_ENV: Envelope = Envelope {
-    area: (18.0, 48.0),
-    wire: Some((8.5, 15.5)),
-};
-const ISN_ENV: Envelope = Envelope {
-    area: (170.0, 420.0),
-    wire: Some((22.0, 54.0)),
-};

@@ -3,7 +3,7 @@
 //! case, plus fault injection that must be caught by the checker.
 //!
 //! A run draws `cases_per_family` seeded configurations for each of the
-//! [`cases::FAMILY_NAMES`] families, realizes every one both at its
+//! [`cases::family_names`] families, realizes every one both at its
 //! drawn layer budget and at the 2-layer Thompson point, and applies:
 //!
 //! 1. [`oracles::checker_oracle`] — grid legality against the graph;
@@ -40,7 +40,7 @@ pub struct Config {
     pub seed: u64,
     /// Seeded configurations drawn per family.
     pub cases_per_family: usize,
-    /// Families to run (subset of [`cases::FAMILY_NAMES`]).
+    /// Families to run (subset of [`cases::family_names`]).
     pub families: Vec<String>,
     /// Apply fault injection (on by default).
     pub inject: bool,
@@ -57,7 +57,10 @@ impl Default for Config {
         Config {
             seed: DEFAULT_SEED,
             cases_per_family: DEFAULT_CASES,
-            families: cases::FAMILY_NAMES.iter().map(|s| s.to_string()).collect(),
+            families: cases::family_names()
+                .into_iter()
+                .map(String::from)
+                .collect(),
             inject: true,
         }
     }
@@ -86,7 +89,7 @@ fn env_u64(key: &str) -> Option<u64> {
 /// Per-family outcome — one JSON line each in reports.
 #[derive(Clone, Debug)]
 pub struct FamilyResult {
-    /// Family name (from [`cases::FAMILY_NAMES`]).
+    /// Family name (from [`cases::family_names`]).
     pub family: String,
     /// Cases evaluated.
     pub cases: usize,
@@ -192,6 +195,16 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
 /// FNV-1a offset basis (the standard initial state).
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// FNV-1a digest over case labels in order — the per-family lattice
+/// fingerprint [`FamilyResult::lattice`] reports. Exposed so fixture
+/// tests can pin the digests a seed must produce without running the
+/// oracles.
+pub fn lattice_digest<'a>(labels: impl IntoIterator<Item = &'a str>) -> u64 {
+    labels
+        .into_iter()
+        .fold(FNV_BASIS, |h, l| fnv1a(h, l.as_bytes()))
+}
+
 /// Stable per-family sub-seed: master seed mixed with an FNV-1a hash of
 /// the family name through SplitMix64, so adding families or reordering
 /// the run never perturbs another family's lattice.
@@ -214,9 +227,9 @@ pub fn run(config: &Config) -> RunReport {
 
 fn run_family(name: &str, config: &Config) -> FamilyResult {
     assert!(
-        cases::FAMILY_NAMES.contains(&name),
+        cases::family_names().contains(&name),
         "unknown family '{name}' (choose from {:?})",
-        cases::FAMILY_NAMES
+        cases::family_names()
     );
     // pre-draw one sub-seed per case, then evaluate in parallel: the
     // outcome is a pure function of (family, sub-seed, case index), so
@@ -309,11 +322,11 @@ mod tests {
         let a = family_seed(7, "hypercube");
         assert_eq!(a, family_seed(7, "hypercube"));
         assert_ne!(a, family_seed(8, "hypercube"));
-        let distinct: BTreeSet<u64> = cases::FAMILY_NAMES
+        let distinct: BTreeSet<u64> = cases::family_names()
             .iter()
             .map(|f| family_seed(7, f))
             .collect();
-        assert_eq!(distinct.len(), cases::FAMILY_NAMES.len());
+        assert_eq!(distinct.len(), cases::family_names().len());
     }
 
     #[test]
@@ -325,12 +338,12 @@ mod tests {
     /// ratio extremes per family over a dense seeded sample of the
     /// lattice. Run after layout-engine changes with
     /// `cargo test -p mlv-conformance tune_envelopes -- --ignored --nocapture`
-    /// and update the `*_ENV` constants in `cases.rs` (keep ≥ 25%
-    /// slack beyond the printed extremes).
+    /// and update the `*_ENV` constants in the mlv-layout registry
+    /// (keep ≥ 25% slack beyond the printed extremes).
     #[test]
     #[ignore]
     fn tune_envelopes() {
-        for name in cases::FAMILY_NAMES {
+        for name in cases::family_names() {
             let mut rng = Rng::seed_from_u64(family_seed(DEFAULT_SEED, name));
             let (mut alo, mut ahi) = (f64::INFINITY, 0.0f64);
             let (mut wlo, mut whi) = (f64::INFINITY, 0.0f64);

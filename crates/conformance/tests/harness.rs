@@ -17,7 +17,7 @@ fn json_lines(config: &Config) -> Vec<String> {
 fn full_lattice_is_clean_and_covers_every_kind() {
     let config = Config::default();
     let report = run(&config);
-    assert_eq!(report.results.len(), cases::FAMILY_NAMES.len());
+    assert_eq!(report.results.len(), cases::family_names().len());
     for r in &report.results {
         assert_eq!(r.cases, config.cases_per_family, "{}", r.family);
         assert!(r.injections > 0, "{}: no injection applied", r.family);
@@ -118,7 +118,7 @@ fn every_check_error_kind_triggered_by_injection() {
 #[test]
 fn family_vocabulary() {
     let mut rng = Rng::seed_from_u64(3);
-    for name in cases::FAMILY_NAMES {
+    for name in cases::family_names() {
         let case = cases::build_case(name, &mut rng);
         assert!(case.layers >= 2, "{}", case.label);
         assert!(case.family.graph.node_count() > 0, "{}", case.label);

@@ -1,0 +1,71 @@
+//! Pinned lattice digests at the default seed.
+//!
+//! The conformance lattice is the behavioral contract between the
+//! family registry, the case drawing procedure, and the RNG: any change
+//! to a draw sequence, a parameter pool, or a label format shifts these
+//! digests. The fixture pins the digest of every family's default-seed
+//! label stream, so refactors of the registry or the realizers can
+//! prove the reachable lattice did not move — without running the full
+//! oracle suite.
+//!
+//! If a digest change is *intended* (new pool entry, new label format),
+//! regenerate with `mlv conformance --seed 2000 --cases 12` and update
+//! the table alongside the reasoning in the commit message.
+
+use mlv_conformance::{cases, family_seed, lattice_digest, DEFAULT_CASES, DEFAULT_SEED};
+use mlv_core::rng::Rng;
+
+/// `(family, digest)` pairs as reported by the full harness at the
+/// default seed (`target/conf_baseline.jsonl` in the seed revision).
+const PINNED: &[(&str, u64)] = &[
+    ("hypercube", 0xc6f05b54fa3db9f4),
+    ("karyn", 0xd4544e86e911fa6b),
+    ("mesh", 0xb5e54c89010bc54a),
+    ("genhyper", 0x2c119c9162eb9807),
+    ("butterfly", 0x8bdb1a4510dc080a),
+    ("ccc", 0xbcd8bcf22c2c9a2a),
+    ("folded", 0xf9780d13dcce678c),
+    ("enhanced", 0xdc92eb2d404d70ae),
+    ("hsn", 0xba1134ce61ac6974),
+    ("hhn", 0xef161e92bfb238bc),
+    ("isn", 0xa3961b4b95d522c3),
+    ("clusterc", 0x669332147bbaaafb),
+    ("star", 0x39864efa4ea5cabd),
+];
+
+/// Digest of one family's label stream, exactly as `run_family`
+/// derives it: one sub-seed per case from the family RNG, one label
+/// per sub-seed. Only builds graphs — never realizes layouts — so the
+/// whole fixture runs in well under a second.
+fn family_digest(name: &str) -> u64 {
+    let mut rng = Rng::seed_from_u64(family_seed(DEFAULT_SEED, name));
+    let labels: Vec<String> = (0..DEFAULT_CASES)
+        .map(|_| rng.next_u64())
+        .collect::<Vec<u64>>()
+        .into_iter()
+        .map(|s| cases::build_case(name, &mut Rng::seed_from_u64(s)).label)
+        .collect();
+    lattice_digest(labels.iter().map(String::as_str))
+}
+
+#[test]
+fn pinned_table_covers_exactly_the_lattice_vocabulary() {
+    let pinned: Vec<&str> = PINNED.iter().map(|&(n, _)| n).collect();
+    assert_eq!(
+        pinned,
+        cases::family_names(),
+        "pinned fixture out of sync with the registry's lattice vocabulary"
+    );
+}
+
+#[test]
+fn default_seed_digests_are_byte_identical_to_baseline() {
+    let mut drift = Vec::new();
+    for &(name, want) in PINNED {
+        let got = family_digest(name);
+        if got != want {
+            drift.push(format!("{name}: pinned {want:016x}, got {got:016x}"));
+        }
+    }
+    assert!(drift.is_empty(), "lattice drift:\n{}", drift.join("\n"));
+}

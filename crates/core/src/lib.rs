@@ -15,7 +15,7 @@
 //!   [`mlv_proptest!`](crate::mlv_proptest) macro: generator values from
 //!   ranges/tuples/`vec`, configurable case counts, shrink-free failure
 //!   reports that print the generated inputs and the case seed;
-//! * [`bench`] — a wall-clock micro-bench harness (warmup + calibration
+//! * [`mod@bench`] — a wall-clock micro-bench harness (warmup + calibration
 //!   + median-of-N, one JSON line per benchmark) replacing criterion.
 //!
 //! Determinism is a design rule throughout: parallel results are

@@ -21,7 +21,7 @@
 //! ```
 //!
 //! Generators are [`Gen`] values: integer ranges (`0u64..1000`), tuples
-//! of generators, and [`vec`]`(gen, len_range)`. Each test runs a fixed
+//! of generators, and [`fn@vec`]`(gen, len_range)`. Each test runs a fixed
 //! number of generated cases (override globally with
 //! `MLV_PROPTEST_CASES`); the case stream is derived deterministically
 //! from the test's name, so runs are reproducible without any

@@ -22,7 +22,7 @@
 //!    quotient node expands into a run of member columns carrying the
 //!    cluster's own collinear layout, with inter-cluster links attached
 //!    to their member nodes (paper §2.3/§3.2).
-//! 4. [`realize`] turns a spec plus a layer count `L` into a concrete
+//! 4. [`mod@realize`] turns a spec plus a layer count `L` into a concrete
 //!    [`mlv_grid::Layout`]: tracks are split round-robin into `⌊L/2⌋`
 //!    groups, group `g`'s x-runs go to layer `2g` and its y-runs to
 //!    layer `2g+1` (the paper's odd/even layer assignment), terminals
@@ -41,10 +41,12 @@
 
 pub mod baseline;
 pub mod families;
+pub mod passes;
 pub mod pncluster;
 pub mod product;
 pub mod realize;
 pub mod realize3d;
+pub mod registry;
 pub mod scheme;
 pub mod spec;
 

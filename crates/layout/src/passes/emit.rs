@@ -1,0 +1,178 @@
+//! Pass 4 — emit: concrete geometry.
+//!
+//! Prefix sums over the per-gap widths turn the IR's gap-local offsets
+//! into absolute coordinates: column `c` occupies x in
+//! `[col_x0[c], col_x0[c] + s - 1]`, its gap the `wpl[c]` columns after
+//! it; planar row slot `sl` likewise in y. Nodes are `s × s` rectangles
+//! on their slab's bottom layer; every wire is one [`WirePath`] built
+//! from its terminal slots, track offsets, and layer assignment.
+
+use super::{PassConfig, WireKind};
+use crate::passes::layers::{LayerAssign, LayerPlan};
+use crate::passes::placement::{Edge, Placement, TermSlot};
+use crate::passes::tracks::{TrackAssign, TrackPlan};
+use crate::spec::OrthogonalSpec;
+use mlv_grid::geom::{Point3, Rect};
+use mlv_grid::layout::Layout;
+use mlv_grid::path::WirePath;
+
+/// Run the emit pass.
+pub(crate) fn run(
+    spec: &OrthogonalSpec,
+    cfg: &PassConfig,
+    place: &Placement,
+    track: &TrackPlan,
+    layer: &LayerPlan,
+) -> Layout {
+    let (rows, cols) = (spec.rows, spec.cols);
+    let slabs = &place.slabs;
+    let s = place.side;
+    let prefix = |steps: &[i64]| -> Vec<i64> {
+        std::iter::once(0)
+            .chain(steps.iter().scan(0i64, |acc, &w| {
+                *acc += s + w;
+                Some(*acc)
+            }))
+            .collect()
+    };
+    let col_x0 = prefix(&track.wpl);
+    let slot_y0 = prefix(&track.hpl_slot);
+    let gap_x0 = |c: usize| col_x0[c] + s;
+    let gap_y0 = |sl: usize| slot_y0[sl] + s;
+    let abs = |t: &TermSlot| -> (i64, i64) {
+        let (x0, y0) = (col_x0[t.col], slot_y0[slabs.slot_of(t.row)]);
+        match t.edge {
+            Edge::Top => (x0 + t.off, y0 + s - 1),
+            Edge::Right => (x0 + s - 1, y0 + t.off),
+        }
+    };
+
+    let mut layout = Layout::new(cfg.layout_name.clone(), cfg.layers);
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..rows {
+        for c in 0..cols {
+            layout.place_node_at(
+                spec.node(r, c),
+                Rect::new(
+                    col_x0[c],
+                    slot_y0[slabs.slot_of(r)],
+                    col_x0[c] + s - 1,
+                    slot_y0[slabs.slot_of(r)] + s - 1,
+                ),
+                slabs.zbase(slabs.slab_of(r)),
+            );
+        }
+    }
+
+    let p = Point3::new;
+    for (ki, k) in place.kinds.iter().enumerate() {
+        let t = &track.assign[ki];
+        let z = &layer.assign[ki];
+        let (ax, ay) = abs(&place.term[&(ki, false)]);
+        let (bx, by) = abs(&place.term[&(ki, true)]);
+        match (*k, *t, *z) {
+            (
+                WireKind::Row { idx },
+                TrackAssign::Construction { track: tidx, .. },
+                LayerAssign::Intra { zb, zh, zv },
+            ) => {
+                let w = &spec.row_wires[idx];
+                let ty = gap_y0(slabs.slot_of(w.row)) + tidx;
+                layout.add_wire(
+                    spec.node(w.row, w.lo),
+                    spec.node(w.row, w.hi),
+                    WirePath::new(vec![
+                        p(ax, ay, zb),
+                        p(ax, ay, zv),
+                        p(ax, ty, zv),
+                        p(ax, ty, zh),
+                        p(bx, ty, zh),
+                        p(bx, ty, zv),
+                        p(bx, by, zv),
+                        p(bx, by, zb),
+                    ]),
+                );
+            }
+            (
+                WireKind::Col { idx },
+                TrackAssign::Construction { track: tidx, .. },
+                LayerAssign::Intra { zb, zh, zv },
+            ) => {
+                let w = &spec.col_wires[idx];
+                let tx = gap_x0(w.col) + tidx;
+                layout.add_wire(
+                    spec.node(w.lo, w.col),
+                    spec.node(w.hi, w.col),
+                    WirePath::new(vec![
+                        p(ax, ay, zb),
+                        p(ax, ay, zh),
+                        p(tx, ay, zh),
+                        p(tx, ay, zv),
+                        p(tx, by, zv),
+                        p(tx, by, zh),
+                        p(bx, by, zh),
+                        p(bx, by, zb),
+                    ]),
+                );
+            }
+            (
+                WireKind::Jog { idx },
+                TrackAssign::Jog { tx, ty, .. },
+                LayerAssign::Intra { zb, zh, zv },
+            ) => {
+                let w = &spec.jog_wires[idx];
+                let tx = gap_x0(w.a.1) + tx;
+                let ty = gap_y0(slabs.slot_of(w.b.0)) + ty;
+                layout.add_wire(
+                    spec.node(w.a.0, w.a.1),
+                    spec.node(w.b.0, w.b.1),
+                    WirePath::new(vec![
+                        p(ax, ay, zb),
+                        p(ax, ay, zh),
+                        p(tx, ay, zh),
+                        p(tx, ay, zv),
+                        p(tx, ty, zv),
+                        p(tx, ty, zh),
+                        p(bx, ty, zh),
+                        p(bx, ty, zv),
+                        p(bx, by, zv),
+                        p(bx, by, zb),
+                    ]),
+                );
+            }
+            (
+                _,
+                TrackAssign::Inter { riser, ty, .. },
+                LayerAssign::Inter {
+                    za,
+                    zha,
+                    zb,
+                    zhb,
+                    zvb,
+                },
+            ) => {
+                let (ra, ca, rb, cb) = k.inter_ends(spec).unwrap();
+                let riser_x = gap_x0(ca) + track.track_width[ca] + riser;
+                let ty = gap_y0(slabs.slot_of(rb)) + ty;
+                layout.add_wire(
+                    spec.node(ra, ca),
+                    spec.node(rb, cb),
+                    WirePath::new(vec![
+                        p(ax, ay, za),
+                        p(ax, ay, zha),
+                        p(riser_x, ay, zha),
+                        p(riser_x, ay, zvb),
+                        p(riser_x, ty, zvb),
+                        p(riser_x, ty, zhb),
+                        p(bx, ty, zhb),
+                        p(bx, ty, zvb),
+                        p(bx, by, zvb),
+                        p(bx, by, zb),
+                    ]),
+                );
+            }
+            _ => unreachable!("wire kind / track / layer assignment mismatch"),
+        }
+    }
+    layout
+}

@@ -1,0 +1,85 @@
+//! Pass 3 — layers: the odd/even group-to-layer assignment.
+//!
+//! Within a slab based at layer `zb`, group `g` runs its x-segments on
+//! layer `zb + 2g` and its y-segments on `zb + 2g + 1` — the paper's
+//! assignment of horizontal groups to layers 1,3,5,… and vertical
+//! groups to 2,4,6,… (0-indexed here, with the active layer doubling as
+//! group 0's x-layer, exactly as the multilayer grid model allows). For
+//! odd per-slab budgets the top layer is left unused, which is where
+//! the paper's `L² − 1` odd-L denominators come from.
+//!
+//! Slab-crossing wires get layers on both sides: the x-run layer of
+//! their source-slab group, and the x/y pair of their destination-slab
+//! group; the riser climbs between the two in `z`.
+
+use super::WireKind;
+use crate::passes::placement::Placement;
+use crate::passes::tracks::{TrackAssign, TrackPlan};
+use crate::spec::OrthogonalSpec;
+
+/// Layer assignment for one wire.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LayerAssign {
+    /// Intra-slab wire: terminal layer `zb`, x-run layer `zh`, y-run
+    /// layer `zv`.
+    Intra { zb: i32, zh: i32, zv: i32 },
+    /// Slab-crossing wire: source terminal/x-run layers (`za`, `zha`)
+    /// and destination terminal/x-run/y-run layers (`zb`, `zhb`, `zvb`).
+    Inter {
+        za: i32,
+        zha: i32,
+        zb: i32,
+        zhb: i32,
+        zvb: i32,
+    },
+}
+
+/// The layers pass product: per-wire assignment, parallel to
+/// `Placement::kinds`.
+pub(crate) struct LayerPlan {
+    pub assign: Vec<LayerAssign>,
+}
+
+/// Run the layers pass.
+pub(crate) fn run(spec: &OrthogonalSpec, place: &Placement, track: &TrackPlan) -> LayerPlan {
+    let slabs = &place.slabs;
+    let assign = place
+        .kinds
+        .iter()
+        .zip(&track.assign)
+        .map(|(k, t)| {
+            let home_row = match *k {
+                WireKind::Row { idx } => spec.row_wires[idx].row,
+                WireKind::Col { idx } => spec.col_wires[idx].lo,
+                WireKind::Jog { idx } => spec.jog_wires[idx].a.0,
+                _ => {
+                    let (ra, _, rb, _) = k.inter_ends(spec).unwrap();
+                    let TrackAssign::Inter {
+                        group_a, group_b, ..
+                    } = *t
+                    else {
+                        unreachable!("inter wire without inter track assignment")
+                    };
+                    let za = slabs.zbase(slabs.slab_of(ra));
+                    let zb = slabs.zbase(slabs.slab_of(rb));
+                    let zvb = zb + 2 * group_b as i32 + 1;
+                    return LayerAssign::Inter {
+                        za,
+                        zha: za + 2 * group_a as i32,
+                        zb,
+                        zhb: zvb - 1,
+                        zvb,
+                    };
+                }
+            };
+            let zb = slabs.zbase(slabs.slab_of(home_row));
+            let g = t.home_group() as i32;
+            LayerAssign::Intra {
+                zb,
+                zh: zb + 2 * g,
+                zv: zb + 2 * g + 1,
+            }
+        })
+        .collect();
+    LayerPlan { assign }
+}

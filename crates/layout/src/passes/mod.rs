@@ -1,0 +1,141 @@
+//! The staged realization pipeline: an explicit layout IR threaded
+//! through four passes.
+//!
+//! ```text
+//!   OrthogonalSpec + PassConfig
+//!        │
+//!        ▼
+//!   placement  — wire classification (row/col/jog, slab-crossing),
+//!        │       node footprint sizing from terminal demand, and the
+//!        │       terminal slot discipline (arrive < jog < depart)
+//!        ▼
+//!   tracks     — shared track grouping: round-robin bundling of
+//!        │       construction tracks over ⌊L/2⌋ groups, closed-interval
+//!        │       jog colouring, riser allocation, per-gap widths
+//!        ▼
+//!   layers     — odd/even group-to-layer assignment (x-runs on layer
+//!        │       2g, y-runs on 2g+1), slab z-bases for the 3-D model
+//!        ▼
+//!   emit       — concrete geometry: prefix-sum gap origins, node
+//!        │       rectangles, and WirePath generation
+//!        ▼
+//!   mlv_grid::Layout
+//! ```
+//!
+//! Both public realizers are thin drivers over this pipeline:
+//! [`mod@crate::realize`] runs it with a single slab (`L_A = 1`) and
+//! [`crate::realize3d`] with `L_A ≥ 1` slabs — the 2-D scheme *is* the
+//! 1-slab special case, so the two no longer duplicate the track and
+//! terminal machinery. Each pass produces one IR product
+//! (`Placement`, `TrackPlan`, `LayerPlan`), which keeps the per-stage
+//! track accounting explicit so alternative track-assignment passes can
+//! be swapped in per stage.
+
+pub(crate) mod emit;
+pub(crate) mod layers;
+pub(crate) mod placement;
+pub(crate) mod tracks;
+
+use crate::realize::JogStrategy;
+use crate::spec::OrthogonalSpec;
+use mlv_grid::layout::Layout;
+
+/// Pipeline configuration shared by every pass.
+#[derive(Clone, Debug)]
+pub(crate) struct PassConfig {
+    /// Total wiring layers `L`.
+    pub layers: usize,
+    /// Active layers `L_A` (1 for the 2-D multilayer grid model).
+    pub active_layers: usize,
+    /// Node footprint override (≥ the computed terminal demand).
+    pub node_side: Option<usize>,
+    /// Jog distribution strategy (ablation knob, 2-D driver only).
+    pub jog_strategy: JogStrategy,
+    /// Name for the emitted layout.
+    pub layout_name: String,
+}
+
+impl PassConfig {
+    /// Wiring layers available to one slab (`L / L_A`).
+    pub fn slab_layers(&self) -> usize {
+        self.layers / self.active_layers
+    }
+
+    /// Track groups per slab: `⌊(L/L_A)/2⌋`. For odd per-slab budgets
+    /// the top layer is left unused — the paper's `L² − 1` odd-L
+    /// denominators.
+    pub fn groups(&self) -> usize {
+        self.slab_layers() / 2
+    }
+}
+
+/// Wire classification produced by the placement pass. Indices point
+/// into the spec's `row_wires` / `col_wires` / `jog_wires`; the `Inter`
+/// variants mark slab-crossing wires that must ride a riser.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum WireKind {
+    /// Same-row link in the row's horizontal bundle.
+    Row { idx: usize },
+    /// Same-column link within one slab.
+    Col { idx: usize },
+    /// Cross link within one slab (vertical run + horizontal run).
+    Jog { idx: usize },
+    /// Column wire whose endpoints land in different slabs.
+    InterCol { idx: usize },
+    /// Jog wire whose endpoints land in different slabs.
+    InterJog { idx: usize },
+}
+
+impl WireKind {
+    /// Endpoints `(a_row, a_col, b_row, b_col)` of a slab-crossing
+    /// wire; `None` for intra-slab kinds.
+    pub fn inter_ends(&self, spec: &OrthogonalSpec) -> Option<(usize, usize, usize, usize)> {
+        match *self {
+            WireKind::InterCol { idx } => {
+                let w = &spec.col_wires[idx];
+                Some((w.lo, w.col, w.hi, w.col))
+            }
+            WireKind::InterJog { idx } => {
+                let w = &spec.jog_wires[idx];
+                Some((w.a.0, w.a.1, w.b.0, w.b.1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Row-block-to-slab mapping: rows are cut into `L_A` contiguous blocks
+/// of `slots` rows; block `a` stacks as the slab based at layer
+/// `a·L/L_A` (trivial for `L_A = 1`: every row in slab 0).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SlabMap {
+    /// Planar row slots shared by the stacked blocks.
+    pub slots: usize,
+    /// Wiring layers per slab (`L / L_A`).
+    pub slab_layers: usize,
+}
+
+impl SlabMap {
+    /// Slab (row block) of grid row `r`.
+    pub fn slab_of(&self, r: usize) -> usize {
+        r / self.slots
+    }
+
+    /// Planar row slot of grid row `r` within its slab.
+    pub fn slot_of(&self, r: usize) -> usize {
+        r % self.slots
+    }
+
+    /// Bottom (active) layer of slab `a`.
+    pub fn zbase(&self, a: usize) -> i32 {
+        (a * self.slab_layers) as i32
+    }
+}
+
+/// Run the full pipeline: placement → tracks → layers → emit.
+pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig) -> Layout {
+    let place = placement::run(spec, cfg);
+    let track = tracks::run(spec, cfg, &place);
+    let layer = layers::run(spec, &place, &track);
+    emit::run(spec, cfg, &place, &track, &layer)
+}

@@ -1,0 +1,246 @@
+//! Pass 1 — placement: classify wires against the slab map, size the
+//! node footprint from terminal demand, and fix every terminal's
+//! node-local slot.
+//!
+//! Row-wire ends drop onto the node's **top edge** (excluding the
+//! corner), column-wire ends onto its **right edge** (excluding the
+//! corner). At each node edge, wires arriving from the left/below
+//! (class 0) get smaller offsets than jogs (class 1), which get smaller
+//! offsets than wires departing right/up (class 2) — so two same-track
+//! wires that touch at a node never share a grid point.
+//!
+//! Slab-crossing source terminals need planar y positions that are
+//! unique across a whole *stack* of nodes (same slot, same column,
+//! different slabs): the riser climbs through every slab at the
+//! terminal's y, so a stacked neighbour's gap-crossing x-segment at the
+//! same offset would hit it. They are therefore allocated from a
+//! per-(slot, col) counter that starts above every stack member's
+//! intra-wire demand.
+
+use super::{PassConfig, SlabMap, WireKind};
+use crate::spec::OrthogonalSpec;
+use std::collections::BTreeMap;
+
+/// Which node edge a terminal sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Edge {
+    /// Top edge: offset is in x from the node's left side.
+    Top,
+    /// Right edge: offset is in y from the node's bottom side.
+    Right,
+}
+
+/// A terminal's node-local slot; the emit pass turns it into absolute
+/// coordinates once gap widths are known.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TermSlot {
+    /// Grid row of the owning node.
+    pub row: usize,
+    /// Grid column of the owning node.
+    pub col: usize,
+    /// Node edge the terminal occupies.
+    pub edge: Edge,
+    /// Offset along the edge (x for top, y for right).
+    pub off: i64,
+}
+
+/// The placement pass product.
+pub(crate) struct Placement {
+    /// Row-block-to-slab mapping.
+    pub slabs: SlabMap,
+    /// Per-wire classification, in emission order (rows, cols, jogs).
+    pub kinds: Vec<WireKind>,
+    /// Node footprint side `s` (max terminal demand + 1, or the
+    /// caller's larger override).
+    pub side: i64,
+    /// Terminal slot per `(kinds index, is_hi_or_b_end)`.
+    pub term: BTreeMap<(usize, bool), TermSlot>,
+}
+
+/// Run the placement pass.
+///
+/// # Panics
+/// If `cfg.node_side` is below the computed terminal demand.
+pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig) -> Placement {
+    let (rows, cols) = (spec.rows, spec.cols);
+    let slabs = SlabMap {
+        slots: rows.div_ceil(cfg.active_layers),
+        slab_layers: cfg.slab_layers(),
+    };
+
+    // --- classify wires ------------------------------------------------
+    let mut kinds: Vec<WireKind> = Vec::with_capacity(spec.wire_count());
+    for (i, _) in spec.row_wires.iter().enumerate() {
+        kinds.push(WireKind::Row { idx: i });
+    }
+    for (i, w) in spec.col_wires.iter().enumerate() {
+        if slabs.slab_of(w.lo) == slabs.slab_of(w.hi) {
+            kinds.push(WireKind::Col { idx: i });
+        } else {
+            kinds.push(WireKind::InterCol { idx: i });
+        }
+    }
+    for (i, w) in spec.jog_wires.iter().enumerate() {
+        if slabs.slab_of(w.a.0) == slabs.slab_of(w.b.0) {
+            kinds.push(WireKind::Jog { idx: i });
+        } else {
+            kinds.push(WireKind::InterJog { idx: i });
+        }
+    }
+
+    // --- terminal demand ------------------------------------------------
+    let mut top_count = vec![0usize; rows * cols];
+    let mut right_count = vec![0usize; rows * cols];
+    for w in &spec.row_wires {
+        top_count[w.row * cols + w.lo] += 1;
+        top_count[w.row * cols + w.hi] += 1;
+    }
+    for k in &kinds {
+        match *k {
+            WireKind::Col { idx } => {
+                let w = &spec.col_wires[idx];
+                right_count[w.lo * cols + w.col] += 1;
+                right_count[w.hi * cols + w.col] += 1;
+            }
+            WireKind::Jog { idx } => {
+                let w = &spec.jog_wires[idx];
+                right_count[w.a.0 * cols + w.a.1] += 1;
+                top_count[w.b.0 * cols + w.b.1] += 1;
+            }
+            WireKind::Row { .. } => {}
+            _ => {
+                if let Some((ra, ca, rb, cb)) = k.inter_ends(spec) {
+                    right_count[ra * cols + ca] += 1;
+                    top_count[rb * cols + cb] += 1;
+                }
+            }
+        }
+    }
+    // split intra vs stack-allocated inter demand on the right edge
+    let mut intra_right = right_count.clone();
+    let mut inter_per_stack: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for k in &kinds {
+        if let Some((ra, ca, _, _)) = k.inter_ends(spec) {
+            intra_right[ra * cols + ca] -= 1;
+            *inter_per_stack.entry((slabs.slot_of(ra), ca)).or_insert(0) += 1;
+        }
+    }
+    let mut stack_intra_max: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let e = stack_intra_max.entry((slabs.slot_of(r), c)).or_insert(0);
+            *e = (*e).max(intra_right[r * cols + c]);
+        }
+    }
+    let right_demand = stack_intra_max
+        .iter()
+        .map(|(key, &intra)| intra + inter_per_stack.get(key).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let min_side = 1 + top_count
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(right_demand) as i64;
+    let side = match cfg.node_side {
+        Some(side) => {
+            assert!(
+                side as i64 >= min_side,
+                "node_side {side} below terminal demand {min_side}"
+            );
+            side as i64
+        }
+        None => min_side,
+    };
+
+    // --- terminal slots ---------------------------------------------------
+    // class 0: arrives (from left / from below), 1: jogs, 2: departs
+    let mut top_items: Vec<Vec<(u8, usize, bool)>> = vec![Vec::new(); rows * cols];
+    let mut right_items: Vec<Vec<(u8, usize, bool)>> = vec![Vec::new(); rows * cols];
+    for (ki, k) in kinds.iter().enumerate() {
+        match *k {
+            WireKind::Row { idx } => {
+                let w = &spec.row_wires[idx];
+                // at the hi end the wire arrives from the left (class 0);
+                // at the lo end it departs rightward (class 2)
+                top_items[w.row * cols + w.hi].push((0, ki, true));
+                top_items[w.row * cols + w.lo].push((2, ki, false));
+            }
+            WireKind::Col { idx } => {
+                let w = &spec.col_wires[idx];
+                right_items[w.hi * cols + w.col].push((0, ki, true));
+                right_items[w.lo * cols + w.col].push((2, ki, false));
+            }
+            WireKind::Jog { idx } => {
+                let w = &spec.jog_wires[idx];
+                right_items[w.a.0 * cols + w.a.1].push((1, ki, false));
+                top_items[w.b.0 * cols + w.b.1].push((1, ki, true));
+            }
+            _ => {
+                let (_, _, rb, cb) = k.inter_ends(spec).unwrap();
+                // the a-side terminal is stack-allocated below
+                top_items[rb * cols + cb].push((1, ki, true));
+            }
+        }
+    }
+    let mut term: BTreeMap<(usize, bool), TermSlot> = BTreeMap::new();
+    let mut stack_counter: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (ki, k) in kinds.iter().enumerate() {
+        if let Some((ra, ca, _, _)) = k.inter_ends(spec) {
+            let key = (slabs.slot_of(ra), ca);
+            let base = stack_intra_max[&key];
+            let cnt = stack_counter.entry(key).or_insert(0);
+            let off = (base + *cnt) as i64;
+            *cnt += 1;
+            term.insert(
+                (ki, false),
+                TermSlot {
+                    row: ra,
+                    col: ca,
+                    edge: Edge::Right,
+                    off,
+                },
+            );
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..rows {
+        for c in 0..cols {
+            let pos = r * cols + c;
+            let mut items = std::mem::take(&mut top_items[pos]);
+            items.sort();
+            for (off, &(_, ki, hi_end)) in items.iter().enumerate() {
+                term.insert(
+                    (ki, hi_end),
+                    TermSlot {
+                        row: r,
+                        col: c,
+                        edge: Edge::Top,
+                        off: off as i64,
+                    },
+                );
+            }
+            let mut items = std::mem::take(&mut right_items[pos]);
+            items.sort();
+            for (off, &(_, ki, hi_end)) in items.iter().enumerate() {
+                term.insert(
+                    (ki, hi_end),
+                    TermSlot {
+                        row: r,
+                        col: c,
+                        edge: Edge::Right,
+                        off: off as i64,
+                    },
+                );
+            }
+        }
+    }
+
+    Placement {
+        slabs,
+        kinds,
+        side,
+        term,
+    }
+}

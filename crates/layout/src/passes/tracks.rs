@@ -1,0 +1,309 @@
+//! Pass 2 — tracks: shared track grouping and per-gap widths.
+//!
+//! Construction tracks are split round-robin into `G = ⌊(L/L_A)/2⌋`
+//! groups (round-robin keeps per-group counts balanced within one,
+//! matching the paper's `⌈h_i/⌊L/2⌋⌉` bundles). Jog wires take appended
+//! tracks coloured greedily with *closed*-interval semantics — verticals
+//! per (gap column, group, slab), horizontals per (row bundle, group) —
+//! so they never touch anything on their tracks at all. Slab-crossing
+//! wires pool their horizontal-run colours with the destination row's
+//! jogs and additionally own a private riser column appended to the
+//! source column's gap.
+
+use super::{PassConfig, WireKind};
+use crate::passes::placement::Placement;
+use crate::realize::JogStrategy;
+use crate::spec::OrthogonalSpec;
+use std::collections::BTreeMap;
+
+/// Closed-interval greedy colouring: intervals may share a track only
+/// if strictly disjoint. Returns per-interval colours and the number of
+/// colours used.
+pub(crate) fn color_closed(intervals: &[(usize, usize)]) -> (Vec<usize>, usize) {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| intervals[i]);
+    let mut track_end: Vec<usize> = Vec::new(); // last hi per track
+    let mut colors = vec![0usize; intervals.len()];
+    for &i in &order {
+        let (lo, hi) = intervals[i];
+        let mut assigned = None;
+        for (t, end) in track_end.iter_mut().enumerate() {
+            if *end < lo {
+                *end = hi;
+                assigned = Some(t);
+                break;
+            }
+        }
+        let t = assigned.unwrap_or_else(|| {
+            track_end.push(hi);
+            track_end.len() - 1
+        });
+        colors[i] = t;
+    }
+    (colors, track_end.len())
+}
+
+/// Number of construction tracks `t < base` with `t % groups == g`.
+pub(crate) fn count_in_group(base: usize, g: usize, groups: usize) -> usize {
+    if base > g {
+        (base - g).div_ceil(groups)
+    } else {
+        0
+    }
+}
+
+/// Track assignment for one wire: its group(s) and gap-local track
+/// offsets. The emit pass adds the gap origins.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TrackAssign {
+    /// Row/column construction wire: spec-assigned track `t` lands in
+    /// group `t % G` at in-gap offset `t / G`.
+    Construction { group: usize, track: i64 },
+    /// Intra-slab jog: coloured offsets in the source column gap (`tx`)
+    /// and destination row gap (`ty`), past the construction bundle.
+    Jog { group: usize, tx: i64, ty: i64 },
+    /// Slab-crossing wire: source-slab group `group_a`, destination-slab
+    /// group `group_b`, private riser index in the source column gap,
+    /// and destination row-gap offset `ty`.
+    Inter {
+        group_a: usize,
+        group_b: usize,
+        riser: i64,
+        ty: i64,
+    },
+}
+
+impl TrackAssign {
+    /// The group used in the wire's home slab (source slab for
+    /// slab-crossing wires).
+    pub fn home_group(&self) -> usize {
+        match *self {
+            TrackAssign::Construction { group, .. } | TrackAssign::Jog { group, .. } => group,
+            TrackAssign::Inter { group_a, .. } => group_a,
+        }
+    }
+}
+
+/// The tracks pass product.
+pub(crate) struct TrackPlan {
+    /// Per-wire assignment, parallel to `Placement::kinds`.
+    pub assign: Vec<TrackAssign>,
+    /// Horizontal gap height above each planar row slot.
+    pub hpl_slot: Vec<i64>,
+    /// Vertical gap width right of each column (risers included).
+    pub wpl: Vec<i64>,
+    /// Construction + jog width of each column gap (risers sit past it).
+    pub track_width: Vec<i64>,
+}
+
+/// Per-key list of (wire tag, closed interval) awaiting colouring.
+type IntervalsByKey = BTreeMap<(usize, usize), Vec<(usize, (usize, usize))>>;
+/// Same, additionally keyed by slab.
+type IntervalsBySlabKey = BTreeMap<(usize, usize, usize), Vec<(usize, (usize, usize))>>;
+
+#[derive(Default, Clone, Copy)]
+struct JAssign {
+    group: usize,
+    vcolor: usize,
+    hcolor: usize,
+}
+
+#[derive(Default, Clone, Copy)]
+struct IAssign {
+    ga: usize,
+    gb: usize,
+    hcolor: usize,
+    riser: usize,
+}
+
+/// Run the tracks pass.
+pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, place: &Placement) -> TrackPlan {
+    let groups = cfg.groups();
+    let slabs = &place.slabs;
+    let (rows, cols) = (spec.rows, spec.cols);
+
+    // --- intra-jog group + colouring keys --------------------------------
+    // verticals are keyed (col, group, slab) to stay slab-local; the
+    // horizontal keys are slab-local already because rows are unique
+    let mut jog_assign: BTreeMap<usize, JAssign> = BTreeMap::new();
+    let mut vkeys: IntervalsBySlabKey = BTreeMap::new();
+    let mut hkeys: IntervalsByKey = BTreeMap::new();
+    let mut intra_jog_counter = 0usize;
+    for (i, w) in spec.jog_wires.iter().enumerate() {
+        if slabs.slab_of(w.a.0) != slabs.slab_of(w.b.0) {
+            continue;
+        }
+        let g = match cfg.jog_strategy {
+            JogStrategy::RoundRobin => intra_jog_counter % groups,
+            JogStrategy::SingleGroup => 0,
+        };
+        intra_jog_counter += 1;
+        jog_assign.insert(
+            i,
+            JAssign {
+                group: g,
+                ..Default::default()
+            },
+        );
+        let rlo = slabs.slot_of(w.a.0).min(slabs.slot_of(w.b.0));
+        let rhi = slabs.slot_of(w.a.0).max(slabs.slot_of(w.b.0));
+        vkeys
+            .entry((w.a.1, g, slabs.slab_of(w.a.0)))
+            .or_default()
+            .push((i, (rlo, rhi)));
+        let clo = w.a.1.min(w.b.1);
+        let chi = w.a.1.max(w.b.1);
+        hkeys.entry((w.b.0, g)).or_default().push((i, (clo, chi)));
+    }
+
+    // --- slab-crossing wires: groups, risers, pooled h-colouring ---------
+    let mut inter_assign: BTreeMap<usize, IAssign> = BTreeMap::new(); // key: kinds index
+    let mut riser_count: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut inter_counter = 0usize;
+    for (ki, k) in place.kinds.iter().enumerate() {
+        if let Some((_, ca, rb, cb)) = k.inter_ends(spec) {
+            let ga = inter_counter % groups;
+            let gb = (inter_counter / groups) % groups;
+            inter_counter += 1;
+            let riser = {
+                let c = riser_count.entry(ca).or_insert(0);
+                let r = *c;
+                *c += 1;
+                r
+            };
+            inter_assign.insert(
+                ki,
+                IAssign {
+                    ga,
+                    gb,
+                    hcolor: 0,
+                    riser,
+                },
+            );
+            let clo = ca.min(cb);
+            let chi = ca.max(cb);
+            hkeys
+                .entry((rb, gb))
+                .or_default()
+                .push((usize::MAX - ki, (clo, chi)));
+        }
+    }
+
+    // --- closed-interval colouring ---------------------------------------
+    let mut jog_vtracks: BTreeMap<(usize, usize, usize), usize> = BTreeMap::new();
+    for ((c, g, a), items) in &vkeys {
+        let spans: Vec<(usize, usize)> = items.iter().map(|&(_, iv)| iv).collect();
+        let (colors, used) = color_closed(&spans);
+        for (pos, &(i, _)) in items.iter().enumerate() {
+            jog_assign.get_mut(&i).unwrap().vcolor = colors[pos];
+        }
+        jog_vtracks.insert((*c, *g, *a), used);
+    }
+    let mut jog_htracks: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for ((r, g), items) in &hkeys {
+        let spans: Vec<(usize, usize)> = items.iter().map(|&(_, iv)| iv).collect();
+        let (colors, used) = color_closed(&spans);
+        for (pos, &(tag, _)) in items.iter().enumerate() {
+            if tag <= spec.jog_wires.len() {
+                jog_assign.get_mut(&tag).unwrap().hcolor = colors[pos];
+            } else {
+                inter_assign.get_mut(&(usize::MAX - tag)).unwrap().hcolor = colors[pos];
+            }
+        }
+        jog_htracks.insert((*r, *g), used);
+    }
+
+    // --- per-gap widths ----------------------------------------------------
+    let base_h: Vec<usize> = (0..rows).map(|r| spec.row_tracks(r)).collect();
+    let base_w: Vec<usize> = (0..cols).map(|c| spec.col_tracks(c)).collect();
+    // per-row bundle height (within its slab), then per-slot max
+    let hpl_row: Vec<i64> = (0..rows)
+        .map(|r| {
+            (0..groups)
+                .map(|g| {
+                    count_in_group(base_h[r], g, groups)
+                        + jog_htracks.get(&(r, g)).copied().unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0) as i64
+        })
+        .collect();
+    let hpl_slot: Vec<i64> = (0..slabs.slots)
+        .map(|sl| {
+            (0..cfg.active_layers)
+                .filter_map(|a| {
+                    let r = a * slabs.slots + sl;
+                    (r < rows).then(|| hpl_row[r])
+                })
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let wpl: Vec<i64> = (0..cols)
+        .map(|c| {
+            let tracks = (0..groups)
+                .map(|g| {
+                    let jmax = (0..cfg.active_layers)
+                        .map(|a| jog_vtracks.get(&(c, g, a)).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0);
+                    count_in_group(base_w[c], g, groups) + jmax
+                })
+                .max()
+                .unwrap_or(0) as i64;
+            tracks + riser_count.get(&c).copied().unwrap_or(0) as i64
+        })
+        .collect();
+    let track_width: Vec<i64> = (0..cols)
+        .map(|c| wpl[c] - riser_count.get(&c).copied().unwrap_or(0) as i64)
+        .collect();
+
+    // --- per-wire assignment ------------------------------------------------
+    let assign: Vec<TrackAssign> = place
+        .kinds
+        .iter()
+        .enumerate()
+        .map(|(ki, k)| match *k {
+            WireKind::Row { idx } => {
+                let w = &spec.row_wires[idx];
+                TrackAssign::Construction {
+                    group: w.track % groups,
+                    track: (w.track / groups) as i64,
+                }
+            }
+            WireKind::Col { idx } => {
+                let w = &spec.col_wires[idx];
+                TrackAssign::Construction {
+                    group: w.track % groups,
+                    track: (w.track / groups) as i64,
+                }
+            }
+            WireKind::Jog { idx } => {
+                let w = &spec.jog_wires[idx];
+                let a = jog_assign[&idx];
+                TrackAssign::Jog {
+                    group: a.group,
+                    tx: (count_in_group(base_w[w.a.1], a.group, groups) + a.vcolor) as i64,
+                    ty: (count_in_group(base_h[w.b.0], a.group, groups) + a.hcolor) as i64,
+                }
+            }
+            _ => {
+                let (_, _, rb, _) = k.inter_ends(spec).unwrap();
+                let ia = inter_assign[&ki];
+                TrackAssign::Inter {
+                    group_a: ia.ga,
+                    group_b: ia.gb,
+                    riser: ia.riser as i64,
+                    ty: (count_in_group(base_h[rb], ia.gb, groups) + ia.hcolor) as i64,
+                }
+            }
+        })
+        .collect();
+
+    TrackPlan {
+        assign,
+        hpl_slot,
+        wpl,
+        track_width,
+    }
+}

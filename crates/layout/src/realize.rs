@@ -1,43 +1,27 @@
 //! Realization: turning an [`OrthogonalSpec`] plus a layer budget `L`
 //! into a concrete, checker-verifiable [`mlv_grid::Layout`].
 //!
-//! ## Layer discipline (paper §2.4)
+//! This is a thin driver over the staged [`crate::passes`] pipeline
+//! (placement → tracks → layers → emit), run with a single slab
+//! (`L_A = 1`). See the pass modules for the scheme's mechanics:
 //!
-//! Tracks are split round-robin into `G = ⌊L/2⌋` groups (round-robin
-//! keeps per-group counts balanced within one, matching the paper's
-//! `⌈h_i/⌊L/2⌋⌉` bundles). Group `g` runs its x-segments on layer `2g`
-//! and its y-segments on layer `2g+1` — the paper's assignment of
-//! horizontal groups to layers 1,3,5,… and vertical groups to 2,4,6,…
-//! (0-indexed here, with the active layer `z = 0` doubling as group 0's
-//! x-layer, exactly as the multilayer 2-D grid model allows). For odd
-//! `L` the top layer is left unused, which is where the paper's
-//! `L² − 1` odd-L denominators come from.
+//! - `passes::placement` — node footprints and the terminal
+//!   ordering discipline (arriving < jogging < departing wires).
+//! - `passes::tracks` — round-robin track bundling over
+//!   `⌊L/2⌋` groups and closed-interval jog colouring. Because the
+//!   groups stack in `z`, the planar footprint of a bundle shrinks by
+//!   the full factor `⌊L/2⌋` in each direction — the paper's `(L/2)²`
+//!   area gain (§2.4).
+//! - `passes::layers` — group `g`'s x-segments on layer `2g`,
+//!   y-segments on `2g+1`; odd `L` leaves the top layer unused.
+//! - `passes::emit` — prefix-sum geometry and [`WirePath`]
+//!   generation.
 //!
-//! ## Geometry
-//!
-//! Every node is an `s × s` footprint (`s` = max terminal demand + 1,
-//! or larger if the caller exercises the paper's node-size scalability
-//! claim). Row `r`'s horizontal bundle occupies `⌈h_r/G⌉` grid rows
-//! *above* row `r`; column `c`'s vertical bundle occupies `⌈w_c/G⌉`
-//! grid columns *right of* column `c`. Because the `G` groups stack in
-//! `z`, the planar footprint of a bundle shrinks by the full factor
-//! `G = ⌊L/2⌋` in each direction — the paper's `(L/2)²` area gain.
-//!
-//! ## Terminals
-//!
-//! Row-wire ends drop onto the node's **top edge** (excluding the
-//! corner), column-wire ends onto its **right edge** (excluding the
-//! corner). At each node, wires arriving from the left/below get
-//! smaller offsets than wires departing right/up, so two same-track
-//! wires that touch at a node never share a grid point. Jog wires
-//! (vertical run + horizontal run) take appended tracks coloured
-//! greedily with *closed*-interval semantics, so they never touch
-//! anything on their tracks at all.
+//! [`WirePath`]: mlv_grid::path::WirePath
 
+use crate::passes::{self, PassConfig};
 use crate::spec::OrthogonalSpec;
-use mlv_grid::geom::{Point3, Rect};
 use mlv_grid::layout::Layout;
-use mlv_grid::path::WirePath;
 use mlv_topology::{Graph, NodeId};
 use std::collections::BTreeMap;
 
@@ -79,52 +63,6 @@ impl RealizeOptions {
     }
 }
 
-/// Closed-interval greedy colouring: intervals may share a track only
-/// if strictly disjoint. Returns per-interval colours and the number of
-/// colours used.
-pub(crate) fn color_closed(intervals: &[(usize, usize)]) -> (Vec<usize>, usize) {
-    let mut order: Vec<usize> = (0..intervals.len()).collect();
-    order.sort_by_key(|&i| intervals[i]);
-    let mut track_end: Vec<usize> = Vec::new(); // last hi per track
-    let mut colors = vec![0usize; intervals.len()];
-    for &i in &order {
-        let (lo, hi) = intervals[i];
-        let mut assigned = None;
-        for (t, end) in track_end.iter_mut().enumerate() {
-            if *end < lo {
-                *end = hi;
-                assigned = Some(t);
-                break;
-            }
-        }
-        let t = assigned.unwrap_or_else(|| {
-            track_end.push(hi);
-            track_end.len() - 1
-        });
-        colors[i] = t;
-    }
-    (colors, track_end.len())
-}
-
-/// Number of construction tracks `t < base` with `t % groups == g`.
-pub(crate) fn count_in_group(base: usize, g: usize, groups: usize) -> usize {
-    if base > g {
-        (base - g).div_ceil(groups)
-    } else {
-        0
-    }
-}
-
-/// Per-key list of (jog index, closed interval) awaiting colouring.
-type IntervalsByKey = BTreeMap<(usize, usize), Vec<(usize, (usize, usize))>>;
-
-#[derive(Clone, Copy)]
-struct JogAssign {
-    group: usize,
-    vcolor: usize,
-    hcolor: usize,
-}
-
 /// Realize a spec into a concrete multilayer grid layout.
 ///
 /// # Panics
@@ -133,265 +71,14 @@ struct JogAssign {
 pub fn realize(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
     spec.assert_valid();
     assert!(opts.layers >= 2, "need at least two layers");
-    let groups = opts.layers / 2;
-    let (rows, cols) = (spec.rows, spec.cols);
-
-    // --- terminal demand per node -------------------------------------
-    let mut top_count = vec![0usize; rows * cols];
-    let mut right_count = vec![0usize; rows * cols];
-    for w in &spec.row_wires {
-        top_count[w.row * cols + w.lo] += 1;
-        top_count[w.row * cols + w.hi] += 1;
-    }
-    for w in &spec.col_wires {
-        right_count[w.lo * cols + w.col] += 1;
-        right_count[w.hi * cols + w.col] += 1;
-    }
-    for w in &spec.jog_wires {
-        right_count[w.a.0 * cols + w.a.1] += 1;
-        top_count[w.b.0 * cols + w.b.1] += 1;
-    }
-    let min_side = 1 + top_count
-        .iter()
-        .chain(right_count.iter())
-        .copied()
-        .max()
-        .unwrap_or(0);
-    let s = match opts.node_side {
-        Some(side) => {
-            assert!(
-                side >= min_side,
-                "node_side {side} below terminal demand {min_side}"
-            );
-            side
-        }
-        None => min_side,
-    } as i64;
-
-    // --- jog track assignment ------------------------------------------
-    // group by round-robin; colour verticals per (gap column, group) and
-    // horizontals per (row bundle, group) with closed intervals
-    let mut jog_assign = vec![
-        JogAssign {
-            group: 0,
-            vcolor: 0,
-            hcolor: 0
-        };
-        spec.jog_wires.len()
-    ];
-    let mut vgroups: IntervalsByKey = BTreeMap::new();
-    let mut hgroups: IntervalsByKey = BTreeMap::new();
-    for (j, w) in spec.jog_wires.iter().enumerate() {
-        let g = match opts.jog_strategy {
-            JogStrategy::RoundRobin => j % groups,
-            JogStrategy::SingleGroup => 0,
-        };
-        jog_assign[j].group = g;
-        let rlo = w.a.0.min(w.b.0);
-        let rhi = w.a.0.max(w.b.0);
-        vgroups.entry((w.a.1, g)).or_default().push((j, (rlo, rhi)));
-        let clo = w.a.1.min(w.b.1);
-        let chi = w.a.1.max(w.b.1);
-        hgroups.entry((w.b.0, g)).or_default().push((j, (clo, chi)));
-    }
-    let mut jog_vtracks: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for ((c, g), items) in &vgroups {
-        let spans: Vec<(usize, usize)> = items.iter().map(|&(_, iv)| iv).collect();
-        let (colors, used) = color_closed(&spans);
-        for (pos, &(j, _)) in items.iter().enumerate() {
-            jog_assign[j].vcolor = colors[pos];
-        }
-        jog_vtracks.insert((*c, *g), used);
-    }
-    let mut jog_htracks: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for ((r, g), items) in &hgroups {
-        let spans: Vec<(usize, usize)> = items.iter().map(|&(_, iv)| iv).collect();
-        let (colors, used) = color_closed(&spans);
-        for (pos, &(j, _)) in items.iter().enumerate() {
-            jog_assign[j].hcolor = colors[pos];
-        }
-        jog_htracks.insert((*r, *g), used);
-    }
-
-    // --- bundle widths and geometry -------------------------------------
-    let base_h: Vec<usize> = (0..rows).map(|r| spec.row_tracks(r)).collect();
-    let base_w: Vec<usize> = (0..cols).map(|c| spec.col_tracks(c)).collect();
-    let hpl: Vec<i64> = (0..rows)
-        .map(|r| {
-            (0..groups)
-                .map(|g| {
-                    count_in_group(base_h[r], g, groups)
-                        + jog_htracks.get(&(r, g)).copied().unwrap_or(0)
-                })
-                .max()
-                .unwrap_or(0) as i64
-        })
-        .collect();
-    let wpl: Vec<i64> = (0..cols)
-        .map(|c| {
-            (0..groups)
-                .map(|g| {
-                    count_in_group(base_w[c], g, groups)
-                        + jog_vtracks.get(&(c, g)).copied().unwrap_or(0)
-                })
-                .max()
-                .unwrap_or(0) as i64
-        })
-        .collect();
-    // prefix sums: column c occupies x in [col_x0[c], col_x0[c]+s-1],
-    // its gap [.. + s, .. + s + wpl[c] - 1]
-    let prefix = |steps: &[i64]| -> Vec<i64> {
-        std::iter::once(0)
-            .chain(steps.iter().scan(0i64, |acc, &w| {
-                *acc += s + w;
-                Some(*acc)
-            }))
-            .collect()
+    let cfg = PassConfig {
+        layers: opts.layers,
+        active_layers: 1,
+        node_side: opts.node_side,
+        jog_strategy: opts.jog_strategy,
+        layout_name: format!("{} @ L={}", spec.name, opts.layers),
     };
-    let col_x0 = prefix(&wpl);
-    let row_y0 = prefix(&hpl);
-    let gap_x0 = |c: usize| col_x0[c] + s;
-    let gap_y0 = |r: usize| row_y0[r] + s;
-
-    // --- terminal offsets -----------------------------------------------
-    // class 0: arrives (from left / from below), 1: jogs, 2: departs
-    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-    enum Kind {
-        Row(usize, bool), // wire idx, is_hi_end
-        Col(usize, bool),
-        JogA(usize),
-        JogB(usize),
-    }
-    let mut top_items: Vec<Vec<(u8, Kind)>> = vec![Vec::new(); rows * cols];
-    let mut right_items: Vec<Vec<(u8, Kind)>> = vec![Vec::new(); rows * cols];
-    for (i, w) in spec.row_wires.iter().enumerate() {
-        // at the hi end the wire arrives from the left (class 0); at the
-        // lo end it departs rightward (class 2)
-        top_items[w.row * cols + w.hi].push((0, Kind::Row(i, true)));
-        top_items[w.row * cols + w.lo].push((2, Kind::Row(i, false)));
-    }
-    for (i, w) in spec.col_wires.iter().enumerate() {
-        right_items[w.hi * cols + w.col].push((0, Kind::Col(i, true)));
-        right_items[w.lo * cols + w.col].push((2, Kind::Col(i, false)));
-    }
-    for (j, w) in spec.jog_wires.iter().enumerate() {
-        right_items[w.a.0 * cols + w.a.1].push((1, Kind::JogA(j)));
-        top_items[w.b.0 * cols + w.b.1].push((1, Kind::JogB(j)));
-    }
-    // terminal coordinates, keyed by wire kind + end
-    let mut row_term = vec![(0i64, 0i64); spec.row_wires.len() * 2]; // [i*2+hi_end]
-    let mut col_term = vec![(0i64, 0i64); spec.col_wires.len() * 2];
-    let mut jog_a_term = vec![(0i64, 0i64); spec.jog_wires.len()];
-    let mut jog_b_term = vec![(0i64, 0i64); spec.jog_wires.len()];
-    #[allow(clippy::needless_range_loop)]
-    for r in 0..rows {
-        for c in 0..cols {
-            let pos = r * cols + c;
-            let (x0, y0) = (col_x0[c], row_y0[r]);
-            let items = &mut top_items[pos];
-            items.sort();
-            for (off, &(_, kind)) in items.iter().enumerate() {
-                let coord = (x0 + off as i64, y0 + s - 1);
-                match kind {
-                    Kind::Row(i, hi_end) => row_term[i * 2 + hi_end as usize] = coord,
-                    Kind::JogB(j) => jog_b_term[j] = coord,
-                    _ => unreachable!("top edge carries row/jog-b terminals"),
-                }
-            }
-            let items = &mut right_items[pos];
-            items.sort();
-            for (off, &(_, kind)) in items.iter().enumerate() {
-                let coord = (x0 + s - 1, y0 + off as i64);
-                match kind {
-                    Kind::Col(i, hi_end) => col_term[i * 2 + hi_end as usize] = coord,
-                    Kind::JogA(j) => jog_a_term[j] = coord,
-                    _ => unreachable!("right edge carries col/jog-a terminals"),
-                }
-            }
-        }
-    }
-
-    // --- emit layout ------------------------------------------------------
-    let mut layout = Layout::new(format!("{} @ L={}", spec.name, opts.layers), opts.layers);
-    #[allow(clippy::needless_range_loop)]
-    for r in 0..rows {
-        for c in 0..cols {
-            layout.place_node(
-                spec.node(r, c),
-                Rect::new(col_x0[c], row_y0[r], col_x0[c] + s - 1, row_y0[r] + s - 1),
-            );
-        }
-    }
-    let p = Point3::new;
-    for (i, w) in spec.row_wires.iter().enumerate() {
-        let (g, idx) = (w.track % groups, w.track / groups);
-        let (zh, zv) = ((2 * g) as i32, (2 * g + 1) as i32);
-        let ty_track = gap_y0(w.row) + idx as i64;
-        let (ax, ay) = row_term[i * 2]; // lo end
-        let (bx, by) = row_term[i * 2 + 1]; // hi end
-        layout.add_wire(
-            spec.node(w.row, w.lo),
-            spec.node(w.row, w.hi),
-            WirePath::new(vec![
-                p(ax, ay, 0),
-                p(ax, ay, zv),
-                p(ax, ty_track, zv),
-                p(ax, ty_track, zh),
-                p(bx, ty_track, zh),
-                p(bx, ty_track, zv),
-                p(bx, by, zv),
-                p(bx, by, 0),
-            ]),
-        );
-    }
-    for (i, w) in spec.col_wires.iter().enumerate() {
-        let (g, idx) = (w.track % groups, w.track / groups);
-        let (zh, zv) = ((2 * g) as i32, (2 * g + 1) as i32);
-        let tx_track = gap_x0(w.col) + idx as i64;
-        let (ax, ay) = col_term[i * 2]; // lo end
-        let (bx, by) = col_term[i * 2 + 1]; // hi end
-        layout.add_wire(
-            spec.node(w.lo, w.col),
-            spec.node(w.hi, w.col),
-            WirePath::new(vec![
-                p(ax, ay, 0),
-                p(ax, ay, zh),
-                p(tx_track, ay, zh),
-                p(tx_track, ay, zv),
-                p(tx_track, by, zv),
-                p(tx_track, by, zh),
-                p(bx, by, zh),
-                p(bx, by, 0),
-            ]),
-        );
-    }
-    for (j, w) in spec.jog_wires.iter().enumerate() {
-        let a = jog_assign[j];
-        let (zh, zv) = ((2 * a.group) as i32, (2 * a.group + 1) as i32);
-        let tx_track =
-            gap_x0(w.a.1) + (count_in_group(base_w[w.a.1], a.group, groups) + a.vcolor) as i64;
-        let ty_track =
-            gap_y0(w.b.0) + (count_in_group(base_h[w.b.0], a.group, groups) + a.hcolor) as i64;
-        let (ax, ay) = jog_a_term[j];
-        let (bx, by) = jog_b_term[j];
-        layout.add_wire(
-            spec.node(w.a.0, w.a.1),
-            spec.node(w.b.0, w.b.1),
-            WirePath::new(vec![
-                p(ax, ay, 0),
-                p(ax, ay, zh),
-                p(tx_track, ay, zh),
-                p(tx_track, ay, zv),
-                p(tx_track, ty_track, zv),
-                p(tx_track, ty_track, zh),
-                p(bx, ty_track, zh),
-                p(bx, ty_track, zv),
-                p(bx, by, zv),
-                p(bx, by, 0),
-            ]),
-        );
-    }
-    layout
+    passes::run_pipeline(spec, &cfg)
 }
 
 /// Reorder a layout's wires so that wire `i` realizes edge `i` of the
@@ -522,6 +209,35 @@ mod tests {
         assert!(l5.max_used_layer() <= 3);
         let l4 = realize(&s, &RealizeOptions::with_layers(4));
         assert_eq!(LayoutMetrics::of(&l5).area, LayoutMetrics::of(&l4).area);
+    }
+
+    #[test]
+    fn odd_layer_top_layer_unused_across_families() {
+        // the paper's odd-L discipline: with G = floor(L/2) groups the
+        // highest touchable layer is 2G-1 = L-2, so the top layer stays
+        // idle for every family, and the planar result equals L-1 layers
+        use crate::families;
+        for fam in [
+            families::hypercube(4),
+            families::karyn_cube(3, 2, false),
+            families::ccc(3),
+        ] {
+            for layers in [3usize, 5, 7] {
+                let l = fam.realize(layers);
+                assert!(
+                    l.max_used_layer() <= layers as i32 - 2,
+                    "{}: L={layers} uses top layer",
+                    fam.spec.name
+                );
+                let even = fam.realize(layers - 1);
+                assert_eq!(
+                    LayoutMetrics::of(&l).area,
+                    LayoutMetrics::of(&even).area,
+                    "{}: odd L={layers} area differs from L-1",
+                    fam.spec.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! jog inside the destination slab (riser-column y-run, destination row
 //! bundle x-run, top-edge terminal).
 //!
+//! This is a thin driver over the staged [`crate::passes`] pipeline —
+//! the same four passes as [`mod@crate::realize`], run with `L_A ≥ 1`
+//! slabs; the 2-D realizer is exactly the `L_A = 1` special case.
+//!
 //! ## When it pays
 //!
 //! Stacking does **not** shrink wiring: a slab has `L/L_A` layers, so
@@ -35,12 +39,10 @@
 //! measures this boundary; the paper's deferred general construction
 //! would need a shared z-track discipline instead of private risers.
 
-use crate::realize::{color_closed, count_in_group};
+use crate::passes::{self, PassConfig};
+use crate::realize::JogStrategy;
 use crate::spec::OrthogonalSpec;
-use mlv_grid::geom::{Point3, Rect};
 use mlv_grid::layout::Layout;
-use mlv_grid::path::WirePath;
-use std::collections::BTreeMap;
 
 /// Options for 3-D realization.
 #[derive(Clone, Debug)]
@@ -55,500 +57,52 @@ pub struct Realize3dOptions {
     pub node_side: Option<usize>,
 }
 
-/// Per-key list of (wire tag, closed interval) awaiting colouring.
-type IntervalsByKey2 = BTreeMap<(usize, usize), Vec<(usize, (usize, usize))>>;
-/// Same, additionally keyed by slab.
-type IntervalsBySlabKey = BTreeMap<(usize, usize, usize), Vec<(usize, (usize, usize))>>;
-
-/// Wire kinds after slab classification.
-enum Kind3 {
-    Row { idx: usize },
-    Col { idx: usize },
-    Jog { idx: usize },
-    InterCol { idx: usize },
-    InterJog { idx: usize },
+impl Realize3dOptions {
+    /// Check the layer budget: `L ≥ 2` total layers, `L_A ≥ 1` active
+    /// layers dividing `L`, and at least two wiring layers per slab
+    /// (`L/L_A ≥ 2`).
+    pub fn validate(&self) -> Result<(), String> {
+        let (l, la) = (self.layers, self.active_layers);
+        if l < 2 {
+            return Err(format!("need at least two layers, got L={l}"));
+        }
+        if la < 1 {
+            return Err("need at least one active layer".into());
+        }
+        if !l.is_multiple_of(la) {
+            return Err(format!("active layers L_A={la} must divide L={l}"));
+        }
+        if l / la < 2 {
+            return Err(format!(
+                "need at least two layers per slab, got L/L_A = {l}/{la}"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Realize a spec in the multilayer 3-D grid model. With
-/// `active_layers == 1` this reduces exactly to [`crate::realize`]'s
+/// `active_layers == 1` this reduces exactly to [`mod@crate::realize`]'s
 /// geometry.
+///
+/// # Panics
+/// If the spec is invalid or [`Realize3dOptions::validate`] fails.
 pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
     spec.assert_valid();
-    let l = opts.layers;
-    let la = opts.active_layers;
-    assert!(
-        la >= 1 && l.is_multiple_of(la) && l / la >= 2,
-        "need L_A | L, L/L_A >= 2"
-    );
-    let ls = l / la; // layers per slab
-    let groups = ls / 2;
-    let (rows, cols) = (spec.rows, spec.cols);
-    let slots = rows.div_ceil(la);
-    let slab_of = |r: usize| r / slots;
-    let slot_of = |r: usize| r % slots;
-    let zbase = |a: usize| (a * ls) as i32;
-
-    // --- classify wires --------------------------------------------------
-    let mut kinds: Vec<Kind3> = Vec::with_capacity(spec.wire_count());
-    for (i, _) in spec.row_wires.iter().enumerate() {
-        kinds.push(Kind3::Row { idx: i });
+    if let Err(e) = opts.validate() {
+        panic!("need L_A | L, L/L_A >= 2: {e}");
     }
-    for (i, w) in spec.col_wires.iter().enumerate() {
-        if slab_of(w.lo) == slab_of(w.hi) {
-            kinds.push(Kind3::Col { idx: i });
-        } else {
-            kinds.push(Kind3::InterCol { idx: i });
-        }
-    }
-    for (i, w) in spec.jog_wires.iter().enumerate() {
-        if slab_of(w.a.0) == slab_of(w.b.0) {
-            kinds.push(Kind3::Jog { idx: i });
-        } else {
-            kinds.push(Kind3::InterJog { idx: i });
-        }
-    }
-
-    // unified view of inter wires: (a_row, a_col, b_row, b_col)
-    let inter_ends = |k: &Kind3| -> Option<(usize, usize, usize, usize)> {
-        match *k {
-            Kind3::InterCol { idx } => {
-                let w = &spec.col_wires[idx];
-                Some((w.lo, w.col, w.hi, w.col))
-            }
-            Kind3::InterJog { idx } => {
-                let w = &spec.jog_wires[idx];
-                Some((w.a.0, w.a.1, w.b.0, w.b.1))
-            }
-            _ => None,
-        }
+    let cfg = PassConfig {
+        layers: opts.layers,
+        active_layers: opts.active_layers,
+        node_side: opts.node_side,
+        jog_strategy: JogStrategy::RoundRobin,
+        layout_name: format!(
+            "{} @ L={} LA={} (3-D)",
+            spec.name, opts.layers, opts.active_layers
+        ),
     };
-
-    // --- terminal demand --------------------------------------------------
-    let mut top_count = vec![0usize; rows * cols];
-    let mut right_count = vec![0usize; rows * cols];
-    for w in &spec.row_wires {
-        top_count[w.row * cols + w.lo] += 1;
-        top_count[w.row * cols + w.hi] += 1;
-    }
-    for k in &kinds {
-        match *k {
-            Kind3::Col { idx } => {
-                let w = &spec.col_wires[idx];
-                right_count[w.lo * cols + w.col] += 1;
-                right_count[w.hi * cols + w.col] += 1;
-            }
-            Kind3::Jog { idx } => {
-                let w = &spec.jog_wires[idx];
-                right_count[w.a.0 * cols + w.a.1] += 1;
-                top_count[w.b.0 * cols + w.b.1] += 1;
-            }
-            _ => {
-                if let Some((ra, ca, rb, cb)) = inter_ends(k) {
-                    right_count[ra * cols + ca] += 1;
-                    top_count[rb * cols + cb] += 1;
-                }
-            }
-        }
-    }
-    // Inter-wire source terminals need planar y positions that are
-    // unique across a whole *stack* of nodes (same slot, same column,
-    // different slabs): the riser climbs through every slab at the
-    // terminal's y, so a stacked neighbour's gap-crossing x-segment at
-    // the same offset would hit it. They are therefore allocated from a
-    // per-(slot, col) counter that starts above every stack member's
-    // intra-wire demand.
-    let mut intra_right = vec![0usize; rows * cols];
-    for (i, c_) in right_count.iter().enumerate() {
-        intra_right[i] = *c_;
-    }
-    let mut inter_per_stack: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for k in &kinds {
-        if let Some((ra, ca, _, _)) = inter_ends(k) {
-            intra_right[ra * cols + ca] -= 1; // split off inter demand
-            *inter_per_stack.entry((slot_of(ra), ca)).or_insert(0) += 1;
-        }
-    }
-    let mut stack_intra_max: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            let e = stack_intra_max.entry((slot_of(r), c)).or_insert(0);
-            *e = (*e).max(intra_right[r * cols + c]);
-        }
-    }
-    let right_demand = stack_intra_max
-        .iter()
-        .map(|(key, &intra)| intra + inter_per_stack.get(key).copied().unwrap_or(0))
-        .max()
-        .unwrap_or(0);
-    let min_side = 1 + top_count
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0)
-        .max(right_demand) as i64;
-    let s = match opts.node_side {
-        Some(side) => {
-            assert!(
-                side as i64 >= min_side,
-                "node_side {side} below terminal demand {min_side}"
-            );
-            side as i64
-        }
-        None => min_side,
-    };
-
-    // --- intra-jog + inter-wire track assignment ---------------------------
-    // intra jogs: vtracks keyed (col, group) — rows of one slab only ever
-    // share a (col, group) key with同slab wires because colours are per
-    // slab via the row-unique h-keys; to keep v-keys slab-local too we
-    // key them (col, group, slab).
-    #[derive(Default, Clone, Copy)]
-    struct JAssign {
-        group: usize,
-        vcolor: usize,
-        hcolor: usize,
-    }
-    let mut jog_assign: BTreeMap<usize, JAssign> = BTreeMap::new();
-    let mut vkeys: IntervalsBySlabKey = BTreeMap::new();
-    let mut hkeys: IntervalsByKey2 = BTreeMap::new();
-    let mut intra_jog_counter = 0usize;
-    for (i, w) in spec.jog_wires.iter().enumerate() {
-        if slab_of(w.a.0) != slab_of(w.b.0) {
-            continue;
-        }
-        let g = intra_jog_counter % groups;
-        intra_jog_counter += 1;
-        jog_assign.insert(
-            i,
-            JAssign {
-                group: g,
-                ..Default::default()
-            },
-        );
-        let rlo = slot_of(w.a.0).min(slot_of(w.b.0));
-        let rhi = slot_of(w.a.0).max(slot_of(w.b.0));
-        vkeys
-            .entry((w.a.1, g, slab_of(w.a.0)))
-            .or_default()
-            .push((i, (rlo, rhi)));
-        let clo = w.a.1.min(w.b.1);
-        let chi = w.a.1.max(w.b.1);
-        hkeys.entry((w.b.0, g)).or_default().push((i, (clo, chi)));
-    }
-    // inter wires: group in destination slab + htrack colour pooled with
-    // that row's intra jogs; riser index per source column gap
-    #[derive(Default, Clone, Copy)]
-    struct IAssign {
-        ga: usize,
-        gb: usize,
-        hcolor: usize,
-        riser: usize,
-    }
-    let mut inter_assign: BTreeMap<usize, IAssign> = BTreeMap::new(); // key: kinds index
-    let mut riser_count: BTreeMap<usize, usize> = BTreeMap::new();
-    let mut inter_counter = 0usize;
-    for (ki, k) in kinds.iter().enumerate() {
-        if let Some((ra, ca, rb, cb)) = inter_ends(k) {
-            let ga = inter_counter % groups;
-            let gb = (inter_counter / groups) % groups;
-            inter_counter += 1;
-            let riser = {
-                let c = riser_count.entry(ca).or_insert(0);
-                let r = *c;
-                *c += 1;
-                r
-            };
-            inter_assign.insert(
-                ki,
-                IAssign {
-                    ga,
-                    gb,
-                    hcolor: 0,
-                    riser,
-                },
-            );
-            let clo = ca.min(cb);
-            let chi = ca.max(cb);
-            hkeys
-                .entry((rb, gb))
-                .or_default()
-                .push((usize::MAX - ki, (clo, chi)));
-            let _ = ra;
-        }
-    }
-    // colour the h-keys (intra jogs and inter wires pooled per (row, g))
-    let mut jog_vtracks: BTreeMap<(usize, usize, usize), usize> = BTreeMap::new();
-    for ((c, g, a), items) in &vkeys {
-        let spans: Vec<(usize, usize)> = items.iter().map(|&(_, iv)| iv).collect();
-        let (colors, used) = color_closed(&spans);
-        for (pos, &(i, _)) in items.iter().enumerate() {
-            jog_assign.get_mut(&i).unwrap().vcolor = colors[pos];
-        }
-        jog_vtracks.insert((*c, *g, *a), used);
-    }
-    let mut jog_htracks: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for ((r, g), items) in &hkeys {
-        let spans: Vec<(usize, usize)> = items.iter().map(|&(_, iv)| iv).collect();
-        let (colors, used) = color_closed(&spans);
-        for (pos, &(tag, _)) in items.iter().enumerate() {
-            if tag <= spec.jog_wires.len() {
-                jog_assign.get_mut(&tag).unwrap().hcolor = colors[pos];
-            } else {
-                inter_assign.get_mut(&(usize::MAX - tag)).unwrap().hcolor = colors[pos];
-            }
-        }
-        jog_htracks.insert((*r, *g), used);
-    }
-
-    // --- geometry -----------------------------------------------------------
-    let base_h: Vec<usize> = (0..rows).map(|r| spec.row_tracks(r)).collect();
-    let base_w: Vec<usize> = (0..cols).map(|c| spec.col_tracks(c)).collect();
-    // per-row bundle height (within its slab), then per-slot max
-    let hpl_row: Vec<i64> = (0..rows)
-        .map(|r| {
-            (0..groups)
-                .map(|g| {
-                    count_in_group(base_h[r], g, groups)
-                        + jog_htracks.get(&(r, g)).copied().unwrap_or(0)
-                })
-                .max()
-                .unwrap_or(0) as i64
-        })
-        .collect();
-    let hpl_slot: Vec<i64> = (0..slots)
-        .map(|sl| {
-            (0..la)
-                .filter_map(|a| {
-                    let r = a * slots + sl;
-                    (r < rows).then(|| hpl_row[r])
-                })
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-    let wpl: Vec<i64> = (0..cols)
-        .map(|c| {
-            let tracks = (0..groups)
-                .map(|g| {
-                    let jmax = (0..la)
-                        .map(|a| jog_vtracks.get(&(c, g, a)).copied().unwrap_or(0))
-                        .max()
-                        .unwrap_or(0);
-                    count_in_group(base_w[c], g, groups) + jmax
-                })
-                .max()
-                .unwrap_or(0) as i64;
-            tracks + riser_count.get(&c).copied().unwrap_or(0) as i64
-        })
-        .collect();
-    let track_width: Vec<i64> = (0..cols)
-        .map(|c| wpl[c] - riser_count.get(&c).copied().unwrap_or(0) as i64)
-        .collect();
-    let prefix = |steps: &[i64]| -> Vec<i64> {
-        std::iter::once(0)
-            .chain(steps.iter().scan(0i64, |acc, &w| {
-                *acc += s + w;
-                Some(*acc)
-            }))
-            .collect()
-    };
-    let col_x0 = prefix(&wpl);
-    let slot_y0 = prefix(&hpl_slot);
-    let gap_x0 = |c: usize| col_x0[c] + s;
-    let gap_y0 = |sl: usize| slot_y0[sl] + s;
-
-    // --- terminal offsets ------------------------------------------------
-    // same class discipline as the 2-D realizer
-    let mut top_items: Vec<Vec<(u8, usize, bool)>> = vec![Vec::new(); rows * cols];
-    let mut right_items: Vec<Vec<(u8, usize, bool)>> = vec![Vec::new(); rows * cols];
-    for (ki, k) in kinds.iter().enumerate() {
-        match *k {
-            Kind3::Row { idx } => {
-                let w = &spec.row_wires[idx];
-                top_items[w.row * cols + w.hi].push((0, ki, true));
-                top_items[w.row * cols + w.lo].push((2, ki, false));
-            }
-            Kind3::Col { idx } => {
-                let w = &spec.col_wires[idx];
-                right_items[w.hi * cols + w.col].push((0, ki, true));
-                right_items[w.lo * cols + w.col].push((2, ki, false));
-            }
-            Kind3::Jog { idx } => {
-                let w = &spec.jog_wires[idx];
-                right_items[w.a.0 * cols + w.a.1].push((1, ki, false));
-                top_items[w.b.0 * cols + w.b.1].push((1, ki, true));
-            }
-            _ => {
-                let (_, _, rb, cb) = inter_ends(k).unwrap();
-                // the a-side terminal is stack-allocated below
-                top_items[rb * cols + cb].push((1, ki, true));
-            }
-        }
-    }
-    // terminal coordinate per (kinds index, is_hi_end/b_side)
-    let mut term: BTreeMap<(usize, bool), (i64, i64)> = BTreeMap::new();
-    // inter a-side terminals: per-(slot, col) shared counter above the
-    // stack's intra demand, so the y is unique across the node stack
-    let mut stack_counter: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for (ki, k) in kinds.iter().enumerate() {
-        if let Some((ra, ca, _, _)) = inter_ends(k) {
-            let key = (slot_of(ra), ca);
-            let base = stack_intra_max[&key];
-            let cnt = stack_counter.entry(key).or_insert(0);
-            let off = (base + *cnt) as i64;
-            *cnt += 1;
-            term.insert(
-                (ki, false),
-                (col_x0[ca] + s - 1, slot_y0[slot_of(ra)] + off),
-            );
-        }
-    }
-    #[allow(clippy::needless_range_loop)]
-    for r in 0..rows {
-        for c in 0..cols {
-            let pos = r * cols + c;
-            let x0 = col_x0[c];
-            let y0 = slot_y0[slot_of(r)];
-            let mut items = std::mem::take(&mut top_items[pos]);
-            items.sort();
-            for (off, &(_, ki, hi_end)) in items.iter().enumerate() {
-                term.insert((ki, hi_end), (x0 + off as i64, y0 + s - 1));
-            }
-            let mut items = std::mem::take(&mut right_items[pos]);
-            items.sort();
-            for (off, &(_, ki, hi_end)) in items.iter().enumerate() {
-                term.insert((ki, hi_end), (x0 + s - 1, y0 + off as i64));
-            }
-        }
-    }
-
-    // --- emit --------------------------------------------------------------
-    let mut layout = Layout::new(format!("{} @ L={l} LA={la} (3-D)", spec.name), l);
-    #[allow(clippy::needless_range_loop)]
-    for r in 0..rows {
-        for c in 0..cols {
-            layout.place_node_at(
-                spec.node(r, c),
-                Rect::new(
-                    col_x0[c],
-                    slot_y0[slot_of(r)],
-                    col_x0[c] + s - 1,
-                    slot_y0[slot_of(r)] + s - 1,
-                ),
-                zbase(slab_of(r)),
-            );
-        }
-    }
-    let p = Point3::new;
-    for (ki, k) in kinds.iter().enumerate() {
-        match *k {
-            Kind3::Row { idx } => {
-                let w = &spec.row_wires[idx];
-                let zb = zbase(slab_of(w.row));
-                let (g, tidx) = (w.track % groups, w.track / groups);
-                let (zh, zv) = (zb + 2 * g as i32, zb + 2 * g as i32 + 1);
-                let ty = gap_y0(slot_of(w.row)) + tidx as i64;
-                let (ax, ay) = term[&(ki, false)];
-                let (bx, by) = term[&(ki, true)];
-                layout.add_wire(
-                    spec.node(w.row, w.lo),
-                    spec.node(w.row, w.hi),
-                    WirePath::new(vec![
-                        p(ax, ay, zb),
-                        p(ax, ay, zv),
-                        p(ax, ty, zv),
-                        p(ax, ty, zh),
-                        p(bx, ty, zh),
-                        p(bx, ty, zv),
-                        p(bx, by, zv),
-                        p(bx, by, zb),
-                    ]),
-                );
-            }
-            Kind3::Col { idx } => {
-                let w = &spec.col_wires[idx];
-                let zb = zbase(slab_of(w.lo));
-                let (g, tidx) = (w.track % groups, w.track / groups);
-                let (zh, zv) = (zb + 2 * g as i32, zb + 2 * g as i32 + 1);
-                let tx = gap_x0(w.col) + tidx as i64;
-                let (ax, ay) = term[&(ki, false)];
-                let (bx, by) = term[&(ki, true)];
-                layout.add_wire(
-                    spec.node(w.lo, w.col),
-                    spec.node(w.hi, w.col),
-                    WirePath::new(vec![
-                        p(ax, ay, zb),
-                        p(ax, ay, zh),
-                        p(tx, ay, zh),
-                        p(tx, ay, zv),
-                        p(tx, by, zv),
-                        p(tx, by, zh),
-                        p(bx, by, zh),
-                        p(bx, by, zb),
-                    ]),
-                );
-            }
-            Kind3::Jog { idx } => {
-                let w = &spec.jog_wires[idx];
-                let a = jog_assign[&idx];
-                let slab = slab_of(w.a.0);
-                let zb = zbase(slab);
-                let (zh, zv) = (zb + 2 * a.group as i32, zb + 2 * a.group as i32 + 1);
-                let tx = gap_x0(w.a.1)
-                    + (count_in_group(base_w[w.a.1], a.group, groups) + a.vcolor) as i64;
-                let ty = gap_y0(slot_of(w.b.0))
-                    + (count_in_group(base_h[w.b.0], a.group, groups) + a.hcolor) as i64;
-                let (ax, ay) = term[&(ki, false)];
-                let (bx, by) = term[&(ki, true)];
-                layout.add_wire(
-                    spec.node(w.a.0, w.a.1),
-                    spec.node(w.b.0, w.b.1),
-                    WirePath::new(vec![
-                        p(ax, ay, zb),
-                        p(ax, ay, zh),
-                        p(tx, ay, zh),
-                        p(tx, ay, zv),
-                        p(tx, ty, zv),
-                        p(tx, ty, zh),
-                        p(bx, ty, zh),
-                        p(bx, ty, zv),
-                        p(bx, by, zv),
-                        p(bx, by, zb),
-                    ]),
-                );
-            }
-            _ => {
-                let (ra, ca, rb, cb) = inter_ends(k).unwrap();
-                let ia = inter_assign[&ki];
-                let (za, zbb) = (zbase(slab_of(ra)), zbase(slab_of(rb)));
-                let zha = za + 2 * ia.ga as i32;
-                let zvb = zbb + 2 * ia.gb as i32 + 1;
-                let zhb = zvb - 1;
-                let riser_x = gap_x0(ca) + track_width[ca] + ia.riser as i64;
-                let ty = gap_y0(slot_of(rb))
-                    + (count_in_group(base_h[rb], ia.gb, groups) + ia.hcolor) as i64;
-                let (ax, ay) = term[&(ki, false)];
-                let (bx, by) = term[&(ki, true)];
-                layout.add_wire(
-                    spec.node(ra, ca),
-                    spec.node(rb, cb),
-                    WirePath::new(vec![
-                        p(ax, ay, za),
-                        p(ax, ay, zha),
-                        p(riser_x, ay, zha),
-                        p(riser_x, ay, zvb),
-                        p(riser_x, ty, zvb),
-                        p(riser_x, ty, zhb),
-                        p(bx, ty, zhb),
-                        p(bx, ty, zvb),
-                        p(bx, by, zvb),
-                        p(bx, by, zbb),
-                    ]),
-                );
-            }
-        }
-    }
-    layout
+    passes::run_pipeline(spec, &cfg)
 }
 
 #[cfg(test)]
@@ -643,6 +197,57 @@ mod tests {
         let m1 = check_3d(&fam, 16, 1, None);
         let m4 = check_3d(&fam, 16, 4, None);
         assert!(m4.height < m1.height / 2);
+    }
+
+    #[test]
+    fn validate_accepts_legal_budgets() {
+        for (l, la) in [(2usize, 1usize), (4, 1), (4, 2), (8, 2), (8, 4), (12, 3)] {
+            let opts = Realize3dOptions {
+                layers: l,
+                active_layers: la,
+                node_side: None,
+            };
+            assert!(opts.validate().is_ok(), "L={l} LA={la} should be legal");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_dividing_active_layers() {
+        let opts = Realize3dOptions {
+            layers: 8,
+            active_layers: 3,
+            node_side: None,
+        };
+        assert!(opts.validate().unwrap_err().contains("must divide"));
+    }
+
+    #[test]
+    fn validate_rejects_thin_slabs() {
+        // L/L_A = 1 < 2: no room for even one x/y layer pair per slab
+        let opts = Realize3dOptions {
+            layers: 4,
+            active_layers: 4,
+            node_side: None,
+        };
+        assert!(opts.validate().unwrap_err().contains("per slab"));
+    }
+
+    #[test]
+    fn validate_rejects_too_few_layers() {
+        for (l, la) in [(1usize, 1usize), (0, 1)] {
+            let opts = Realize3dOptions {
+                layers: l,
+                active_layers: la,
+                node_side: None,
+            };
+            assert!(opts.validate().is_err(), "L={l} LA={la} should be rejected");
+        }
+        let opts = Realize3dOptions {
+            layers: 8,
+            active_layers: 0,
+            node_side: None,
+        };
+        assert!(opts.validate().is_err(), "LA=0 should be rejected");
     }
 
     #[test]

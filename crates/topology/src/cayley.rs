@@ -115,9 +115,9 @@ pub fn transposition(n: usize) -> Graph {
     cayley(format!("transposition({n})"), n, &gens)
 }
 
-/// Macro-star network MS(ℓ, n) (Yeh & Varvarigos [29]): a low-degree
+/// Macro-star network MS(ℓ, n) (Yeh & Varvarigos \[29\]): a low-degree
 /// alternative to the star graph on `(ℓn+1)!` permutations of
-/// `ℓn + 1` symbols. Generators (reconstructed from [29]'s abstract —
+/// `ℓn + 1` symbols. Generators (reconstructed from \[29\]'s abstract —
 /// the full construction is behind the reference): the star-graph
 /// transpositions `t_2 … t_{n+1}` within the first block, plus `ℓ − 1`
 /// *block swaps* exchanging the first block (positions `2…n+1`) with
@@ -140,7 +140,7 @@ pub fn macro_star(l: usize, n: usize) -> Graph {
     cayley(format!("MS({l},{n})"), symbols, &gens)
 }
 
-/// Star-connected cycles SCC(n) (Latifi, de Azevedo & Bagherzadeh [15]):
+/// Star-connected cycles SCC(n) (Latifi, de Azevedo & Bagherzadeh \[15\]):
 /// each star-graph node becomes an (n−1)-node cycle; node `(π, p)` with
 /// `1 ≤ p ≤ n−1` has cycle links to its ring neighbours and one star link
 /// to `(π∘(0 p), p)`. `(n−1)·n!` nodes, degree ≤ 3.

@@ -1,5 +1,5 @@
 //! Product-network clusters (PN clusters), including k-ary n-cube
-//! cluster-c (Basak & Panda [4]).
+//! cluster-c (Basak & Panda \[4\]).
 //!
 //! A PN cluster replaces every node of a *quotient* product network with a
 //! c-node *cluster* graph; each inter-cluster link of the quotient is

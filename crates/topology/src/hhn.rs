@@ -1,4 +1,4 @@
-//! Hierarchical hypercube networks (Yun & Park [36]).
+//! Hierarchical hypercube networks (Yun & Park \[36\]).
 //!
 //! The paper treats HHNs as "a special case of HSNs where the basic
 //! modules are hypercubes" (§4.3) and lays them out identically, so we

@@ -1,6 +1,6 @@
-//! Indirect swap networks (Yeh, Parhami, Varvarigos & Lee [35]).
+//! Indirect swap networks (Yeh, Parhami, Varvarigos & Lee \[35\]).
 //!
-//! Reference [35] ("VLSI layout and packaging of butterfly networks",
+//! Reference \[35\] ("VLSI layout and packaging of butterfly networks",
 //! SPAA 2000) was *to appear* when the paper was published and is not
 //! available; we reconstruct the ISN from the structural facts §4.3
 //! states and uses:

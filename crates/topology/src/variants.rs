@@ -5,7 +5,7 @@ use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
 use mlv_core::rng::Rng;
 
-/// Folded hypercube (El-Amawy & Latifi / Adams & Siegel [1]): the n-cube
+/// Folded hypercube (El-Amawy & Latifi / Adams & Siegel \[1\]): the n-cube
 /// plus one *diameter link* per node joining each label to its bitwise
 /// complement — `N/2` extra links in total.
 pub fn folded_hypercube(n: usize) -> Graph {
@@ -28,7 +28,7 @@ pub fn folded_hypercube(n: usize) -> Graph {
     b.build()
 }
 
-/// Enhanced cube (Varvarigos [26]): the n-cube plus one additional
+/// Enhanced cube (Varvarigos \[26\]): the n-cube plus one additional
 /// outgoing link per node leading to a pseudo-random *other* node — `N`
 /// extra (possibly parallel) links. The paper treats the destinations as
 /// arbitrary; we draw them from a seeded RNG so layouts are reproducible.
@@ -56,7 +56,7 @@ pub fn enhanced_cube(n: usize, seed: u64) -> Graph {
     b.build()
 }
 
-/// Reduced hypercube RH (Ziavras [37]), the `RH(log₂n, log₂n)` family the
+/// Reduced hypercube RH (Ziavras \[37\]), the `RH(log₂n, log₂n)` family the
 /// paper cites: take CCC(n) and replace each n-node cycle by a
 /// `log₂n`-dimensional hypercube (requires `n = 2^s`). Node `(x, p)` has
 /// intra-cluster links to `(x, p ⊕ 2^t)` for all `t < log₂n` and one cube
