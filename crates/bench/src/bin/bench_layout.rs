@@ -1,57 +1,109 @@
 //! Realization micro-bench over the registry's lattice vocabulary.
 //!
 //! For every lattice-bearing family in [`mlv_layout::registry`], draws
-//! one fixed-seed configuration, realizes it through the staged pass
-//! pipeline at `L = 4`, and times the realization with
-//! [`mlv_core::bench::measure`]. Results go to stdout (one JSON line
-//! per family, the house bench format) and to `BENCH_layout.json` at
-//! the repo root so runs are diffable artifacts.
+//! one fixed-seed configuration, times its realization with
+//! [`mlv_core::bench::measure`], and then runs the whole set through
+//! one [`mlv_layout::engine`] batch — the same path `mlv sweep` and
+//! the conformance harness realize on — to attach the layout digest,
+//! the legality verdict, and the per-pass timing breakdown
+//! (placement / tracks / layers / emit) to each record. Results go to
+//! stdout (one JSON line per family, the house bench format) and to
+//! `BENCH_layout.json` at the repo root so runs are diffable
+//! artifacts.
+//!
+//! `--check-regression` compares fresh medians against the committed
+//! `BENCH_layout.json` instead of overwriting it: any family whose
+//! median regresses more than [`REGRESSION_BOUND`]× fails the run
+//! (exit 1). The bound is deliberately loose — CI machines are noisy
+//! and unoptimized passes are tens of microseconds — so only real
+//! complexity regressions trip it.
 //!
 //! `MLV_BENCH_SAMPLES` overrides the sample count (default 11); CI's
-//! smoke leg uses `3`.
+//! smoke and regression legs use small counts.
 
 use mlv_core::bench::{black_box, measure};
 use mlv_core::rng::Rng;
+use mlv_layout::engine::{Engine, EngineOptions, Job};
 use mlv_layout::registry;
 use std::path::Path;
+use std::process::ExitCode;
 
 const SEED: u64 = 2000;
 const LAYERS: usize = 4;
+/// Maximum tolerated `fresh_median / committed_median` per family.
+const REGRESSION_BOUND: f64 = 3.0;
 
-fn main() {
+fn main() -> ExitCode {
+    let check_regression = std::env::args().any(|a| a == "--check-regression");
     let samples = std::env::var("MLV_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .filter(|&n: &usize| n >= 1)
         .unwrap_or(11);
 
-    let mut lines = Vec::new();
+    // one deterministic draw per family: the draw stream is the same
+    // one the conformance lattice replays, so the shapes here are
+    // representative of what the harness exercises
+    let mut names = Vec::new();
+    let mut jobs = Vec::new();
+    let mut stats = Vec::new();
     for entry in registry::REGISTRY {
         let Some(lattice) = &entry.lattice else {
             continue;
         };
-        // one deterministic draw per family: the draw stream is the
-        // same one the conformance lattice replays, so the shapes here
-        // are representative of what the harness exercises
         let mut rng = Rng::seed_from_u64(SEED);
         let draw = (lattice.draw)(&mut rng);
-        let nodes = draw.family.graph.node_count();
-        let stats = measure(samples, || black_box(draw.family.realize(LAYERS)));
+        stats.push(measure(samples, || black_box(draw.family.realize(LAYERS))));
+        names.push(entry.name);
+        jobs.push(Job::new(&draw.label, draw.family, LAYERS));
+    }
+    // one engine batch attaches digest + check + pass breakdown
+    let batch = Engine::new(EngineOptions::default()).run(&jobs);
+
+    let mut lines = Vec::new();
+    for ((name, job), (s, r)) in names
+        .iter()
+        .zip(&jobs)
+        .zip(stats.iter().zip(&batch.results))
+    {
+        let o = &r.outcome;
+        let t = &o.timing;
         let line = format!(
-            "{{\"family\":\"{}\",\"label\":\"{} L={LAYERS}\",\"nodes\":{nodes},\
+            "{{\"family\":\"{name}\",\"label\":\"{}\",\"nodes\":{},\
              \"iters\":{},\"samples\":{},\"median_ns\":{},\"mean_ns\":{},\
-             \"min_ns\":{},\"max_ns\":{}}}",
-            entry.name,
-            draw.label,
-            stats.iters,
-            stats.samples,
-            stats.median_ns,
-            stats.mean_ns,
-            stats.min_ns,
-            stats.max_ns,
+             \"min_ns\":{},\"max_ns\":{},\"digest\":\"{:016x}\",\"legal\":{},\
+             \"placement_ns\":{},\"tracks_ns\":{},\"layers_ns\":{},\"emit_ns\":{}}}",
+            job.label,
+            job.family.graph.node_count(),
+            s.iters,
+            s.samples,
+            s.median_ns,
+            s.mean_ns,
+            s.min_ns,
+            s.max_ns,
+            o.digest,
+            o.check.as_bool().unwrap_or(false),
+            t.placement_ns,
+            t.tracks_ns,
+            t.layers_ns,
+            t.emit_ns,
         );
         println!("{line}");
         lines.push(line);
+    }
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_layout.json");
+    if check_regression {
+        return match check_against_baseline(&path, &names, &stats) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("REGRESSION: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let doc = format!(
@@ -59,8 +111,63 @@ fn main() {
          \"samples\":{samples},\"results\":[\n{}\n]}}\n",
         lines.join(",\n")
     );
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_layout.json");
     std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+/// Compare fresh medians against the committed baseline. Families
+/// missing from the baseline (newly added) are skipped with a note —
+/// they gain a bound once the baseline is regenerated.
+fn check_against_baseline(
+    path: &Path,
+    names: &[&str],
+    stats: &[mlv_core::bench::Stats],
+) -> Result<(), Vec<String>> {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("no baseline at {} ({e}); nothing to check", path.display());
+            return Ok(());
+        }
+    };
+    let mut failures = Vec::new();
+    for (name, s) in names.iter().zip(stats) {
+        let Some(old) = baseline_median(&doc, name) else {
+            eprintln!("note: '{name}' absent from baseline; skipped");
+            continue;
+        };
+        let ratio = s.median_ns as f64 / old.max(1) as f64;
+        let verdict = if ratio > REGRESSION_BOUND {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "{name:>12}: {old:>9} ns -> {:>9} ns  ({ratio:>5.2}x)  {verdict}",
+            s.median_ns
+        );
+        if ratio > REGRESSION_BOUND {
+            failures.push(format!(
+                "{name}: median {} ns vs baseline {} ns ({ratio:.2}x > {REGRESSION_BOUND}x)",
+                s.median_ns, old
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Extract `"median_ns":N` for `"family":"name"` from the baseline
+/// document (one result object per line — the format this bench
+/// itself writes; no JSON parser in the zero-dependency workspace).
+fn baseline_median(doc: &str, name: &str) -> Option<u64> {
+    let family_tag = format!("\"family\":\"{name}\"");
+    let line = doc.lines().find(|l| l.contains(&family_tag))?;
+    let tail = line.split("\"median_ns\":").nth(1)?;
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }

@@ -4,7 +4,8 @@
 //! ```text
 //! mlv families                                  list family specs
 //! mlv layout hypercube:8 --layers 4 [options]   build + report one layout
-//! mlv sweep karyn:8,2 --layers 2,4,8,16         metrics across layer counts
+//! mlv sweep karyn:8,2 --layers 2,4,8,16         engine batch, JSON per job
+//! mlv sweep --lattice --cases 8                 full registry lattice
 //! mlv figures [f1|f2|f3|f4]                     the paper's figures
 //! ```
 //!
@@ -55,7 +56,8 @@ USAGE:
   mlv layout <family-spec> --layers <L> [--active-layers <LA>] [--check]
              [--routed] [--node-side <S>] [--svg <path>] [--save <path>]
              [--ascii] [--json]
-  mlv sweep  <family-spec> --layers <L1,L2,...> [--check]
+  mlv sweep  <family-spec> --layers <L1,L2,...> [--no-check]
+  mlv sweep  --lattice [--seed <u64>] [--cases <n>] [--no-check]
   mlv check  <layout-file.mlv>
   mlv figures [f1|f2|f3|f4|folded|layout]
   mlv conformance [--seed <u64>] [--cases <n>] [--families a,b,...]
@@ -65,7 +67,17 @@ EXAMPLES:
   mlv layout hypercube:8 --layers 4 --check
   mlv layout karyn:8,2 --layers 8 --svg torus.svg
   mlv sweep ghc:16,16 --layers 2,4,8,16
+  mlv sweep --lattice --seed 2000 --cases 8
   mlv conformance --seed 2000 --cases 12
+
+`mlv sweep` drives the parallel batch-realization engine: one JSON
+line per (family, L) job on stdout (label, layout digest, metrics,
+check status, cache flag), in job order and byte-identical for any
+MLV_THREADS; cache counters and wall-clock go to stderr. `--lattice`
+enumerates the full registry parameter lattice (seeded; the same
+(family, params, L) grid the conformance harness walks). Legality
+checking is on by default; --no-check skips it. Exits nonzero if any
+checked job is illegal.
 
 `mlv conformance` fuzzes every family over a seeded lattice (checker,
 differential, and prediction oracles + fault injection), prints one
@@ -115,7 +127,11 @@ struct Flags {
     ascii: bool,
     json: bool,
     check: bool,
+    no_check: bool,
     routed: bool,
+    lattice: bool,
+    seed: Option<u64>,
+    cases: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -129,7 +145,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         ascii: false,
         json: false,
         check: false,
+        no_check: false,
         routed: false,
+        lattice: false,
+        seed: None,
+        cases: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -156,7 +176,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--ascii" => f.ascii = true,
             "--json" => f.json = true,
             "--check" => f.check = true,
+            "--no-check" => f.no_check = true,
             "--routed" => f.routed = true,
+            "--lattice" => f.lattice = true,
+            "--seed" => {
+                f.seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--seed needs an unsigned integer")?,
+                )
+            }
+            "--cases" => {
+                f.cases = Some(
+                    it.next()
+                        .ok_or("--cases needs a value")?
+                        .parse()
+                        .map_err(|_| "--cases needs a positive integer")?,
+                )
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => f.positional.push(other.to_string()),
         }
@@ -244,57 +282,73 @@ fn cmd_layout(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `mlv sweep`: realize a batch of `(family, L)` jobs through the
+/// engine ([`mlv_layout::engine`]) and print one JSON line per job, in
+/// job order. Stdout is deterministic — byte-identical for any
+/// `MLV_THREADS` — so sweep reports can be diffed across machines;
+/// wall-clock and cache counters go to stderr. Exits nonzero if any
+/// checked job is illegal.
 fn cmd_sweep(args: &[String]) -> ExitCode {
+    use mlv_layout::engine::{CheckStatus, Engine, EngineOptions, Job};
     let flags = match parse_flags(args) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
-    let Some(spec) = flags.positional.first() else {
-        return fail("missing <family-spec>");
-    };
-    let family = match parse_family(spec) {
-        Ok(f) => f,
-        Err(e) => return fail(e),
-    };
-    let layers = match flags.layers.as_deref().map(parse_layers) {
-        Some(Ok(ls)) => ls,
-        Some(Err(e)) => return fail(e),
-        None => vec![2, 4, 8],
-    };
-    println!(
-        "{} — {} nodes, {} links",
-        family.graph.name(),
-        family.graph.node_count(),
-        family.graph.edge_count()
-    );
-    println!("  L |     area |    volume | max wire | total wire | checked");
-    for l in layers {
-        let layout = family.realize(l);
-        let ok = if flags.check {
-            checker::check(&layout, Some(&family.graph)).is_legal()
-        } else {
-            true
-        };
-        let m = LayoutMetrics::of(&layout);
-        println!(
-            " {l:>2} | {:>8} | {:>9} | {:>8} | {:>10} | {}",
-            m.area,
-            m.volume,
-            m.max_wire_planar,
-            m.total_wire,
-            if flags.check {
-                if ok {
-                    "yes"
-                } else {
-                    "NO"
-                }
-            } else {
-                "-"
-            }
-        );
-        if flags.check && !ok {
-            return ExitCode::FAILURE;
+    let jobs: Vec<Job> = if flags.lattice {
+        if !flags.positional.is_empty() {
+            return fail("--lattice enumerates the registry; drop the <family-spec>");
         }
+        let seed = flags
+            .seed
+            .or_else(|| std::env::var("MLV_SEED").ok()?.parse().ok())
+            .unwrap_or(2000);
+        let cases = flags.cases.unwrap_or(8).max(1);
+        eprintln!("sweep: lattice seed={seed} cases/family={cases}");
+        mlv_layout::engine::lattice_jobs(seed, cases)
+    } else {
+        let Some(spec) = flags.positional.first() else {
+            return fail("missing <family-spec> (or use --lattice)");
+        };
+        let family = match parse_family(spec) {
+            Ok(f) => f,
+            Err(e) => return fail(e),
+        };
+        let layers = match flags.layers.as_deref().map(parse_layers) {
+            Some(Ok(ls)) => ls,
+            Some(Err(e)) => return fail(e),
+            None => vec![2, 4, 8],
+        };
+        layers
+            .into_iter()
+            .map(|l| Job::new(spec.as_str(), family.clone(), l))
+            .collect()
+    };
+    let mut engine = Engine::new(EngineOptions {
+        check: !flags.no_check,
+        ..EngineOptions::default()
+    });
+    let clock = std::time::Instant::now();
+    let report = engine.run(&jobs);
+    let elapsed = clock.elapsed();
+    let mut illegal = 0usize;
+    for r in &report.results {
+        if let CheckStatus::Illegal(why) = &r.outcome.check {
+            illegal += 1;
+            eprintln!("ILLEGAL [{}]: {why}", r.label);
+        }
+        println!("{}", r.json_line());
+    }
+    eprintln!(
+        "sweep: {} jobs in {:.1} ms — cache hits={} misses={} evictions={}",
+        report.results.len(),
+        elapsed.as_secs_f64() * 1e3,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+    );
+    if illegal > 0 {
+        eprintln!("sweep: {illegal} illegal layout(s)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

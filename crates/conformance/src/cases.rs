@@ -26,8 +26,7 @@ pub fn family_names() -> Vec<&'static str> {
     registry::lattice_names()
 }
 
-/// Layer budgets drawn per case (even, odd, and the degenerate L=2).
-const LAYER_POOL: [usize; 6] = [2, 3, 4, 5, 6, 8];
+use mlv_layout::registry::LAYER_POOL;
 
 /// Closed-form expectations for one case, where the paper provides them.
 #[derive(Clone, Debug)]

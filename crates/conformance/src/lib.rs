@@ -27,9 +27,9 @@ pub mod inject;
 pub mod oracles;
 
 use mlv_core::exec;
-use mlv_core::rng::{Rng, SplitMix64};
+use mlv_core::rng::Rng;
 use mlv_grid::checker::{self, CheckError};
-use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::engine::{CheckStatus, Engine, EngineOptions, Job, JobOutcome};
 use std::collections::BTreeSet;
 
 /// Run configuration (all knobs have env fallbacks, see
@@ -183,17 +183,7 @@ impl RunReport {
     }
 }
 
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = seed;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// FNV-1a offset basis (the standard initial state).
-const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+use mlv_grid::hasher::{fnv1a, FNV_BASIS};
 
 /// FNV-1a digest over case labels in order — the per-family lattice
 /// fingerprint [`FamilyResult::lattice`] reports. Exposed so fixture
@@ -205,19 +195,28 @@ pub fn lattice_digest<'a>(labels: impl IntoIterator<Item = &'a str>) -> u64 {
         .fold(FNV_BASIS, |h, l| fnv1a(h, l.as_bytes()))
 }
 
-/// Stable per-family sub-seed: master seed mixed with an FNV-1a hash of
-/// the family name through SplitMix64, so adding families or reordering
-/// the run never perturbs another family's lattice.
-pub fn family_seed(master: u64, family: &str) -> u64 {
-    SplitMix64(master ^ fnv1a(FNV_BASIS, family.as_bytes())).next_u64()
-}
+/// Stable per-family sub-seed (re-exported from the batch engine so
+/// the harness and `mlv sweep --lattice` derive identical per-family
+/// RNG streams from one formula).
+pub use mlv_layout::engine::family_seed;
 
 /// Execute the conformance run described by `config`.
+///
+/// Realizations go through one [`mlv_layout::engine::Engine`] shared
+/// across every family: each case's direct and Thompson layouts are
+/// one engine batch, so duplicate specs — every `L = 2` draw's
+/// Thompson twin, and re-drawn parameters from small pools — are
+/// realized once and served from the memo cache thereafter.
 pub fn run(config: &Config) -> RunReport {
+    let mut engine = Engine::new(EngineOptions {
+        check: true,
+        keep_layouts: true,
+        cache_capacity: 4096,
+    });
     let results = config
         .families
         .iter()
-        .map(|name| run_family(name, config))
+        .map(|name| run_family(name, config, &mut engine))
         .collect();
     RunReport {
         seed: config.seed,
@@ -225,20 +224,52 @@ pub fn run(config: &Config) -> RunReport {
     }
 }
 
-fn run_family(name: &str, config: &Config) -> FamilyResult {
+fn run_family(name: &str, config: &Config, engine: &mut Engine) -> FamilyResult {
     assert!(
         cases::family_names().contains(&name),
         "unknown family '{name}' (choose from {:?})",
         cases::family_names()
     );
-    // pre-draw one sub-seed per case, then evaluate in parallel: the
-    // outcome is a pure function of (family, sub-seed, case index), so
-    // the report is identical for every thread count
+    // pre-draw one sub-seed per case; each case is a pure function of
+    // (family, sub-seed, case index), so the report is identical for
+    // every thread count
     let mut rng = Rng::seed_from_u64(family_seed(config.seed, name));
     let seeds: Vec<u64> = (0..config.cases_per_family)
         .map(|_| rng.next_u64())
         .collect();
-    let outcomes = exec::par_map(&seeds, |i, &seed| run_case(name, seed, i, config));
+    // stage 1 — construct the cases (parallel: pure per-seed); keep
+    // each case's post-draw RNG for the injection stage so the drawn
+    // sequence matches the pre-engine harness exactly
+    let built: Vec<(cases::Case, Rng)> = exec::par_map(&seeds, |_, &seed| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let case = cases::build_case(name, &mut rng);
+        (case, rng)
+    });
+    // stage 2 — one engine batch realizes (and checks) every direct +
+    // Thompson layout; results come back in job order
+    let jobs: Vec<Job> = built
+        .iter()
+        .flat_map(|(case, _)| {
+            let at = |layers| Job {
+                label: case.label.clone(),
+                family: case.family.clone(),
+                layers,
+            };
+            [at(case.layers), at(2)]
+        })
+        .collect();
+    let batch = engine.run(&jobs);
+    // stage 3 — remaining oracles + fault injection per case
+    let outcomes = exec::par_map(&built, |i, (case, rng)| {
+        run_case(
+            case,
+            rng.clone(),
+            i,
+            config,
+            &batch.results[2 * i].outcome,
+            &batch.results[2 * i + 1].outcome,
+        )
+    });
 
     let mut result = FamilyResult {
         family: name.to_string(),
@@ -267,26 +298,46 @@ struct CaseOutcome {
     violations: Vec<String>,
 }
 
-fn run_case(family: &str, seed: u64, index: usize, config: &Config) -> CaseOutcome {
-    let mut rng = Rng::seed_from_u64(seed);
-    let case = cases::build_case(family, &mut rng);
-    let direct = case.family.realize(case.layers);
-    let thompson = case.family.realize(2);
-    let dm = LayoutMetrics::of(&direct);
-    let tm = LayoutMetrics::of(&thompson);
-
-    let mut violations = oracles::checker_oracle(&case, &direct, &thompson);
+fn run_case(
+    case: &cases::Case,
+    mut rng: Rng,
+    index: usize,
+    config: &Config,
+    direct: &JobOutcome,
+    thompson: &JobOutcome,
+) -> CaseOutcome {
+    // oracle 1 ran inside the engine (CheckStatus carries the same
+    // truncated error summary checker_oracle printed)
+    let mut violations = Vec::new();
+    for (which, outcome) in [("direct", direct), ("thompson", thompson)] {
+        if let CheckStatus::Illegal(summary) = &outcome.check {
+            violations.push(format!(
+                "[{}] {which} layout illegal: {summary}",
+                case.label
+            ));
+        }
+    }
+    let dl = direct.layout.as_ref().expect("engine run keeps layouts");
+    let tl = thompson.layout.as_ref().expect("engine run keeps layouts");
     violations.extend(oracles::differential_oracle(
-        &case, &direct, &dm, &thompson, &tm,
+        case,
+        dl,
+        &direct.metrics,
+        tl,
+        &thompson.metrics,
     ));
-    violations.extend(oracles::prediction_oracle(&case, &dm, &tm));
+    violations.extend(oracles::prediction_oracle(
+        case,
+        &direct.metrics,
+        &thompson.metrics,
+    ));
 
     let mut kinds = BTreeSet::new();
     let mut injected = false;
     if config.inject {
         // cycle so every strategy appears within any 10 consecutive cases
         let strategy = inject::Strategy::ALL[index % inject::Strategy::ALL.len()];
-        let mut mutated = direct.clone();
+        let mut mutated = dl.clone();
         if let Some(done) = inject::inject(&mut mutated, strategy, &mut rng) {
             injected = true;
             let report = checker::check(&mutated, Some(&case.family.graph));
@@ -305,7 +356,7 @@ fn run_case(family: &str, seed: u64, index: usize, config: &Config) -> CaseOutco
         }
     }
     CaseOutcome {
-        label: case.label,
+        label: case.label.clone(),
         predicted: case.predicted.is_some(),
         injected,
         kinds,
@@ -316,6 +367,7 @@ fn run_case(family: &str, seed: u64, index: usize, config: &Config) -> CaseOutco
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlv_grid::metrics::LayoutMetrics;
 
     #[test]
     fn family_seeds_are_stable_and_distinct() {

@@ -95,6 +95,53 @@ fn corrupted_records_return_errors() {
     }
 }
 
+/// Adversarial numeric and name faults: values that previously
+/// wrapped silently (negative ids cast through `as u32`, corner
+/// layers through `as i32`) or corrupted the round-trip (raw control
+/// characters in names) must surface as `ParseError`s with a line
+/// number — never a panic, never a wrong layout.
+#[test]
+fn adversarial_value_faults_are_parse_errors() {
+    let good = write_layout(&families::hypercube(3).realize(2));
+
+    // negative node id: -1 used to wrap to 4294967295 via `as u32`
+    let negative_id = good.replacen("node 0 ", "node -1 ", 1);
+    // negative wire endpoint, same wrap
+    let negative_endpoint = good.replacen("wire 0 1 ", "wire 0 -1 ", 1);
+    // corner layer beyond i32: used to wrap through `as i32`
+    let wrapping_z = good.replacen("0,2,0 ", "0,2,4294967296 ", 1);
+    let negative_wrap_z = good.replacen("0,2,0 ", "0,2,-4294967296 ", 1);
+    // a raw control character in the name: the old escaper passed it
+    // through, so the written text re-parsed as a different layout
+    let control_name = good.replacen("layout ", "layout a\nb", 1);
+    // malformed \xNN escapes must error, not truncate
+    let bad_escape = good.replacen("layout ", "layout a\\xzz", 1);
+    let truncated_escape = good.replacen("layout ", "layout a\\x2", 1);
+
+    for (text, what) in [
+        (&negative_id, "negative node id"),
+        (&negative_endpoint, "negative wire endpoint"),
+        (&wrapping_z, "corner layer beyond i32"),
+        (&negative_wrap_z, "corner layer below i32"),
+        (&control_name, "raw newline in name"),
+        (&bad_escape, "bad \\x escape in name"),
+        (&truncated_escape, "truncated \\x escape in name"),
+    ] {
+        assert_ne!(text, &good, "{what}: fault did not apply");
+        let e = read_layout(text).unwrap_err();
+        assert!(e.line >= 1, "{what}: error missing line number");
+    }
+
+    // and the fixed escaper makes hostile names round-trip instead:
+    // a name with every previously-corrupting character survives
+    let mut layout = families::hypercube(3).realize(2);
+    layout.name = "evil\nname\twith \x1b[0m and del\x7f".into();
+    let text = write_layout(&layout);
+    let back = read_layout(&text).expect("escaped control characters parse");
+    assert_eq!(back.name, layout.name);
+    assert_eq!(write_layout(&back), text);
+}
+
 #[test]
 fn empty_and_garbage_inputs() {
     assert!(read_layout("").is_err());

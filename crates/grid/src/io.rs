@@ -9,9 +9,10 @@
 //! wire <u> <v> <x>,<y>,<z> <x>,<y>,<z> ...
 //! ```
 //!
-//! One record per line; wire corners in path order. Whitespace in names
-//! is escaped as `\x20`. Round-trips exactly (see the tests and the
-//! proptest suite).
+//! One record per line; wire corners in path order. Backslashes,
+//! whitespace, and control characters in names are escaped as `\xNN`
+//! (two hex digits), so any name — including ones embedding newlines —
+//! round-trips exactly (see the tests and the proptest suite).
 
 use crate::geom::{Point3, Rect};
 use crate::layout::Layout;
@@ -78,7 +79,8 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
     if parts.next() != Some("layout") {
         return Err(err(i + 1, "expected 'layout <name> layers=<L>'"));
     }
-    let name = unescape(parts.next().ok_or_else(|| err(i + 1, "missing name"))?);
+    let name = unescape(parts.next().ok_or_else(|| err(i + 1, "missing name"))?)
+        .map_err(|m| err(i + 1, &m))?;
     let layers: usize = parts
         .next()
         .and_then(|t| t.strip_prefix("layers="))
@@ -102,7 +104,8 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| err(i + 1, &format!("bad node {what}")))
                 };
-                let id = num("id")? as u32;
+                let id = u32::try_from(num("id")?)
+                    .map_err(|_| err(i + 1, "node id out of range (must fit in u32)"))?;
                 let (x0, y0, x1, y1) = (num("x0")?, num("y0")?, num("x1")?, num("y1")?);
                 let layer: i32 = parts
                     .next()
@@ -131,7 +134,12 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
                     let mut fields = tok.split(',');
                     let mut num = || fields.next().and_then(|t| t.parse::<i64>().ok());
                     match (num(), num(), num()) {
-                        (Some(x), Some(y), Some(z)) => corners.push(Point3::new(x, y, z as i32)),
+                        (Some(x), Some(y), Some(z)) => {
+                            let z = i32::try_from(z).map_err(|_| {
+                                err(i + 1, &format!("corner layer out of range in '{tok}'"))
+                            })?;
+                            corners.push(Point3::new(x, y, z));
+                        }
                         _ => return Err(err(i + 1, &format!("bad corner '{tok}'"))),
                     }
                 }
@@ -149,12 +157,48 @@ pub fn read_layout(text: &str) -> Result<Layout, ParseError> {
     Ok(layout)
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\x5c").replace(' ', "\\x20")
+/// Characters that would break the line/token structure (or render
+/// invisibly) are written as `\xNN`: the backslash itself, ASCII
+/// whitespace, every control character, and DEL.
+fn needs_escape(c: char) -> bool {
+    c == '\\' || c == ' ' || (c as u32) < 0x20 || c == '\x7f'
 }
 
-fn unescape(s: &str) -> String {
-    s.replace("\\x20", " ").replace("\\x5c", "\\")
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if needs_escape(c) {
+            out.push_str(&format!("\\x{:02x}", c as u32));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        let (x, hi, lo) = (chars.next(), chars.next(), chars.next());
+        let byte = match (x, hi, lo) {
+            (Some('x'), Some(h), Some(l)) => {
+                let h = h.to_digit(16);
+                let l = l.to_digit(16);
+                match (h, l) {
+                    (Some(h), Some(l)) => h * 16 + l,
+                    _ => return Err(format!("bad escape sequence in name '{s}'")),
+                }
+            }
+            _ => return Err(format!("truncated escape sequence in name '{s}'")),
+        };
+        out.push(char::from_u32(byte).expect("two hex digits are always a valid char"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -199,6 +243,67 @@ mod tests {
         l.place_node(0, Rect::new(0, 0, 0, 0));
         let back = read_layout(&write_layout(&l)).unwrap();
         assert_eq!(back.name, "a b\\c");
+    }
+
+    #[test]
+    fn adversarial_names_round_trip() {
+        // control characters, whitespace, and escape-looking content
+        // must all survive the documented round-trip guarantee
+        for name in [
+            "a\nb",
+            "tab\there",
+            "bell\x07",
+            "esc\x1b[0m colours",
+            "del\x7f",
+            "looks escaped \\x20 already",
+            "trailing backslash \\",
+            "\r\n",
+        ] {
+            let mut l = Layout::new(name, 2);
+            l.place_node(0, Rect::new(0, 0, 0, 0));
+            let text = write_layout(&l);
+            // escaping keeps the format line-structured
+            assert_eq!(text.lines().count(), 3, "{name:?} broke line structure");
+            let back = read_layout(&text).unwrap_or_else(|e| panic!("{name:?}: {e}"));
+            assert_eq!(back.name, name);
+            assert_eq!(write_layout(&back), text);
+        }
+    }
+
+    #[test]
+    fn bad_name_escapes_error() {
+        for bad in ["a\\xzz", "a\\x2", "a\\x", "a\\", "a\\y20"] {
+            let text = format!("mlvlayout 1\nlayout {bad} layers=2\n");
+            let e = read_layout(&text).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}");
+        }
+    }
+
+    #[test]
+    fn negative_node_id_errors_instead_of_wrapping() {
+        let text = "mlvlayout 1\nlayout x layers=2\nnode -1 0 0 1 1 layer=0\n";
+        let e = read_layout(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("id"), "{}", e.message);
+        // and just past u32::MAX too
+        let text = "mlvlayout 1\nlayout x layers=2\nnode 4294967296 0 0 1 1 layer=0\n";
+        assert!(read_layout(text).is_err());
+    }
+
+    #[test]
+    fn corner_layer_out_of_i32_range_errors() {
+        for z in ["4294967296", "-4294967296", "2147483648"] {
+            let text = format!("mlvlayout 1\nlayout x layers=2\nwire 0 1 0,0,{z} 1,0,{z}\n");
+            let e = read_layout(&text).unwrap_err();
+            assert_eq!(e.line, 3, "z={z}");
+        }
+    }
+
+    #[test]
+    fn negative_wire_endpoint_errors() {
+        let text = "mlvlayout 1\nlayout x layers=2\nwire -1 0 0,0,0 1,0,0\n";
+        let e = read_layout(text).unwrap_err();
+        assert_eq!(e.line, 3);
     }
 
     #[test]

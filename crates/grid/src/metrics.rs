@@ -85,13 +85,14 @@ impl LayoutMetrics {
     /// any source–destination pair (paper §1 claim 4). Requires the
     /// reference graph whose edge order matches `layout.wires` — i.e.
     /// wire `i` realizes edge `i`. `None` if the graph is disconnected
-    /// (metric taken as undefined) or trivial.
+    /// or trivial (metric taken as undefined), or if the layout's wire
+    /// count does not match the graph's edge count — untrusted
+    /// (e.g. loaded-from-disk) layouts must not crash the caller, and a
+    /// mismatched pairing has no meaningful routed-path metric anyway.
     pub fn max_routed_path(layout: &Layout, graph: &Graph) -> Option<u64> {
-        assert_eq!(
-            layout.wires.len(),
-            graph.edge_count(),
-            "wire i must realize edge i"
-        );
+        if layout.wires.len() != graph.edge_count() {
+            return None;
+        }
         let lens: Vec<u64> = layout.wires.iter().map(|w| w.path.length()).collect();
         max_route_cost(graph, |e| lens[e as usize])
     }
@@ -151,6 +152,20 @@ mod tests {
         l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(5, 0, 0)]));
         l.add_wire(1, 2, WirePath::new(vec![p(5, 0, 0), p(12, 0, 0)]));
         assert_eq!(LayoutMetrics::max_routed_path(&l, &g), Some(12));
+    }
+
+    #[test]
+    fn routed_path_none_on_wire_edge_mismatch() {
+        // a layout whose wires do not pair 1:1 with the graph's edges
+        // (e.g. loaded from disk) must yield None, not a panic
+        let mut b = GraphBuilder::new("p3", 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(5, 0, 0)]));
+        assert_eq!(LayoutMetrics::max_routed_path(&l, &g), None);
     }
 
     #[test]

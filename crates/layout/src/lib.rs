@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod engine;
 pub mod families;
 pub mod passes;
 pub mod pncluster;

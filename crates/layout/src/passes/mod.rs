@@ -132,10 +132,52 @@ impl SlabMap {
     }
 }
 
+/// Wall-clock nanoseconds spent in each pass of one realization, as
+/// reported per job by the batch engine ([`crate::engine`]) and the
+/// `bench_layout` micro-bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassTimings {
+    /// Placement pass (wire classification + footprint sizing).
+    pub placement_ns: u64,
+    /// Tracks pass (bundling, jog colouring, gap widths).
+    pub tracks_ns: u64,
+    /// Layers pass (group-to-layer assignment).
+    pub layers_ns: u64,
+    /// Emit pass (prefix sums + geometry generation).
+    pub emit_ns: u64,
+}
+
+impl PassTimings {
+    /// Total nanoseconds across the four passes.
+    pub fn total_ns(&self) -> u64 {
+        self.placement_ns + self.tracks_ns + self.layers_ns + self.emit_ns
+    }
+}
+
 /// Run the full pipeline: placement → tracks → layers → emit.
 pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig) -> Layout {
+    run_pipeline_timed(spec, cfg).0
+}
+
+/// [`run_pipeline`] with per-pass wall-clock timing. The timing calls
+/// cost a handful of monotonic-clock reads per realization — noise
+/// next to the tens of microseconds a pass takes — so the untimed
+/// driver simply drops the numbers rather than duplicating the
+/// pipeline.
+pub(crate) fn run_pipeline_timed(spec: &OrthogonalSpec, cfg: &PassConfig) -> (Layout, PassTimings) {
+    use std::time::Instant;
+    let mut t = PassTimings::default();
+    let clock = Instant::now();
     let place = placement::run(spec, cfg);
+    t.placement_ns = clock.elapsed().as_nanos() as u64;
+    let clock = Instant::now();
     let track = tracks::run(spec, cfg, &place);
+    t.tracks_ns = clock.elapsed().as_nanos() as u64;
+    let clock = Instant::now();
     let layer = layers::run(spec, &place, &track);
-    emit::run(spec, cfg, &place, &track, &layer)
+    t.layers_ns = clock.elapsed().as_nanos() as u64;
+    let clock = Instant::now();
+    let layout = emit::run(spec, cfg, &place, &track, &layer);
+    t.emit_ns = clock.elapsed().as_nanos() as u64;
+    (layout, t)
 }

@@ -69,6 +69,19 @@ impl RealizeOptions {
 /// If the spec is invalid, `opts.layers < 2`, or `opts.node_side` is
 /// below the minimum terminal demand.
 pub fn realize(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
+    realize_timed(spec, opts).0
+}
+
+/// [`realize`], additionally reporting per-pass wall-clock timing —
+/// the instrumented entry point the batch engine ([`crate::engine`])
+/// and the realization micro-bench drive.
+///
+/// # Panics
+/// As [`realize`].
+pub fn realize_timed(
+    spec: &OrthogonalSpec,
+    opts: &RealizeOptions,
+) -> (Layout, passes::PassTimings) {
     spec.assert_valid();
     assert!(opts.layers >= 2, "need at least two layers");
     let cfg = PassConfig {
@@ -78,7 +91,7 @@ pub fn realize(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
         jog_strategy: opts.jog_strategy,
         layout_name: format!("{} @ L={}", spec.name, opts.layers),
     };
-    passes::run_pipeline(spec, &cfg)
+    passes::run_pipeline_timed(spec, &cfg)
 }
 
 /// Reorder a layout's wires so that wire `i` realizes edge `i` of the

@@ -86,6 +86,12 @@ pub struct FamilyEntry {
     pub lattice: Option<LatticeSpec>,
 }
 
+/// Layer budgets drawn per lattice case (even, odd, and the degenerate
+/// Thompson `L = 2`) — shared by the conformance harness's case builder
+/// and the batch engine's lattice enumeration, so both walk the same
+/// `(family, params, L)` grid.
+pub const LAYER_POOL: [usize; 6] = [2, 3, 4, 5, 6, 8];
+
 fn pick<T: Copy>(rng: &mut Rng, pool: &[T]) -> T {
     pool[rng.gen_range_usize(0..pool.len())]
 }
