@@ -20,6 +20,12 @@
 //!
 //! `MLV_BENCH_SAMPLES` overrides the sample count (default 11); CI's
 //! smoke and regression legs use small counts.
+//!
+//! `--trace` runs the engine batch under an [`mlv_core::trace`]
+//! recorder and embeds the span/counter/histogram breakdown as a
+//! `"trace"` array in `BENCH_layout.json`. The timed measurement loop
+//! itself always runs untraced, so the flag never perturbs the
+//! medians; the committed baseline is written without it.
 
 use mlv_core::bench::{black_box, measure};
 use mlv_core::rng::Rng;
@@ -35,6 +41,7 @@ const REGRESSION_BOUND: f64 = 3.0;
 
 fn main() -> ExitCode {
     let check_regression = std::env::args().any(|a| a == "--check-regression");
+    let with_trace = std::env::args().any(|a| a == "--trace");
     let samples = std::env::var("MLV_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.trim().parse().ok())
@@ -57,8 +64,14 @@ fn main() -> ExitCode {
         names.push(entry.name);
         jobs.push(Job::new(&draw.label, draw.family, LAYERS));
     }
-    // one engine batch attaches digest + check + pass breakdown
-    let batch = Engine::new(EngineOptions::default()).run(&jobs);
+    // one engine batch attaches digest + check + pass breakdown; only
+    // this batch is traced — the measurement loop above stays untraced
+    let trace = with_trace.then(mlv_core::trace::Trace::new);
+    let mut engine = Engine::new(EngineOptions::default());
+    let batch = match &trace {
+        Some(t) => t.collect(|| engine.run(&jobs)),
+        None => engine.run(&jobs),
+    };
 
     let mut lines = Vec::new();
     for ((name, job), (s, r)) in names
@@ -106,9 +119,20 @@ fn main() -> ExitCode {
         };
     }
 
+    let trace_block = match &trace {
+        Some(t) => {
+            let agg = t.aggregate();
+            format!(
+                ",\"trace_digest\":\"{:016x}\",\"trace\":[\n{}\n]",
+                agg.digest(),
+                agg.json_lines().join(",\n")
+            )
+        }
+        None => String::new(),
+    };
     let doc = format!(
         "{{\"bench\":\"layout-realize\",\"seed\":{SEED},\"layers\":{LAYERS},\
-         \"samples\":{samples},\"results\":[\n{}\n]}}\n",
+         \"samples\":{samples},\"results\":[\n{}\n]{trace_block}}}\n",
         lines.join(",\n")
     );
     std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

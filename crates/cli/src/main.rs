@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("families") => cmd_families(&args[1..]),
         Some("layout") => cmd_layout(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
@@ -56,8 +57,9 @@ USAGE:
   mlv layout <family-spec> --layers <L> [--active-layers <LA>] [--check]
              [--routed] [--node-side <S>] [--svg <path>] [--save <path>]
              [--ascii] [--json]
-  mlv sweep  <family-spec> --layers <L1,L2,...> [--no-check]
-  mlv sweep  --lattice [--seed <u64>] [--cases <n>] [--no-check]
+  mlv sweep  <family-spec> --layers <L1,L2,...> [--no-check] [--trace <path>]
+  mlv sweep  --lattice [--seed <u64>] [--cases <n>] [--no-check] [--trace <path>]
+  mlv profile <family> [<params>] [--layers <L>] [--no-check]
   mlv check  <layout-file.mlv>
   mlv figures [f1|f2|f3|f4|folded|layout]
   mlv conformance [--seed <u64>] [--cases <n>] [--families a,b,...]
@@ -67,7 +69,8 @@ EXAMPLES:
   mlv layout hypercube:8 --layers 4 --check
   mlv layout karyn:8,2 --layers 8 --svg torus.svg
   mlv sweep ghc:16,16 --layers 2,4,8,16
-  mlv sweep --lattice --seed 2000 --cases 8
+  mlv sweep --lattice --seed 2000 --cases 8 --trace sweep.trace
+  mlv profile hypercube 6 --layers 4
   mlv conformance --seed 2000 --cases 12
 
 `mlv sweep` drives the parallel batch-realization engine: one JSON
@@ -77,7 +80,14 @@ MLV_THREADS; cache counters and wall-clock go to stderr. `--lattice`
 enumerates the full registry parameter lattice (seeded; the same
 (family, params, L) grid the conformance harness walks). Legality
 checking is on by default; --no-check skips it. Exits nonzero if any
-checked job is illegal.
+checked job is illegal. --trace <path> writes the run's trace (one
+JSON object per span/counter/histogram plus a closing digest line);
+the digest covers only deterministic fields, so it is identical for
+any MLV_THREADS.
+
+`mlv profile` realizes one family through the engine under a trace
+and prints the trace to stdout: per-pass pipeline spans, engine and
+checker spans, counters, histograms, and the deterministic digest.
 
 `mlv conformance` fuzzes every family over a seeded lattice (checker,
 differential, and prediction oracles + fault injection), prints one
@@ -132,6 +142,7 @@ struct Flags {
     lattice: bool,
     seed: Option<u64>,
     cases: Option<usize>,
+    trace: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -150,6 +161,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         lattice: false,
         seed: None,
         cases: None,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -195,6 +207,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| "--cases needs a positive integer")?,
                 )
             }
+            "--trace" => f.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => f.positional.push(other.to_string()),
         }
@@ -328,8 +341,18 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         ..EngineOptions::default()
     });
     let clock = std::time::Instant::now();
-    let report = engine.run(&jobs);
+    let trace = flags.trace.as_ref().map(|_| mlv_core::trace::Trace::new());
+    let report = match &trace {
+        Some(t) => t.collect(|| engine.run(&jobs)),
+        None => engine.run(&jobs),
+    };
     let elapsed = clock.elapsed();
+    if let (Some(path), Some(t)) = (&flags.trace, &trace) {
+        if let Err(e) = std::fs::write(path, trace_document(&t.aggregate())) {
+            return fail(format!("writing {path}: {e}"));
+        }
+        eprintln!("trace written to {path}");
+    }
     let mut illegal = 0usize;
     for r in &report.results {
         if let CheckStatus::Illegal(why) = &r.outcome.check {
@@ -348,6 +371,79 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     );
     if illegal > 0 {
         eprintln!("sweep: {illegal} illegal layout(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Render an [`Aggregate`](mlv_core::trace::Aggregate) as the trace
+/// document format shared by `mlv profile`, `mlv sweep --trace`, and
+/// `bench_layout --trace`: one JSON object per span/counter/histogram
+/// (stable key order, io-escaped names) followed by a closing
+/// `{"type":"digest",...}` line over the deterministic subset.
+fn trace_document(agg: &mlv_core::trace::Aggregate) -> String {
+    let mut out = String::new();
+    for line in agg.json_lines() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{{\"type\":\"digest\",\"value\":\"{:016x}\"}}\n",
+        agg.digest()
+    ));
+    out
+}
+
+/// `mlv profile`: realize one `(family, L)` job through the engine
+/// under a trace and print the trace document to stdout — pipeline
+/// pass spans, engine/checker spans, counters, histograms, and the
+/// deterministic digest. Human-readable summary goes to stderr.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    use mlv_layout::engine::{CheckStatus, Engine, EngineOptions, Job};
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    if flags.positional.is_empty() {
+        return fail("missing <family-spec>; try `mlv profile hypercube 6 --layers 4`");
+    }
+    let spec = flags.positional.join(":");
+    let family = match parse_family(&spec) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let layers = match flags.layers.as_deref().map(parse_layers) {
+        Some(Ok(ls)) if ls.len() == 1 => ls[0],
+        Some(Ok(_)) => return fail("`mlv profile` takes one layer count"),
+        Some(Err(e)) => return fail(e),
+        None => 4,
+    };
+    let mut engine = Engine::new(EngineOptions {
+        check: !flags.no_check,
+        ..EngineOptions::default()
+    });
+    let jobs = vec![Job::new(spec.as_str(), family, layers)];
+    let clock = std::time::Instant::now();
+    let trace = mlv_core::trace::Trace::new();
+    let report = trace.collect(|| engine.run(&jobs));
+    let elapsed = clock.elapsed();
+    let agg = trace.aggregate();
+    print!("{}", trace_document(&agg));
+    let mut illegal = false;
+    for r in &report.results {
+        if let CheckStatus::Illegal(why) = &r.outcome.check {
+            illegal = true;
+            eprintln!("ILLEGAL [{}]: {why}", r.label);
+        }
+    }
+    eprintln!(
+        "profile: {spec} L={layers} in {:.1} ms — {} span(s), {} counter(s), {} histogram(s)",
+        elapsed.as_secs_f64() * 1e3,
+        agg.spans.len(),
+        agg.counters.len(),
+        agg.histograms.len(),
+    );
+    if illegal {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,122 @@
+//! Integration tests driving the `mlv` binary end to end: registry
+//! reachability through `mlv families --json`, and the trace surface
+//! (`mlv profile`, `mlv sweep --trace`) that CI's smoke leg parses.
+
+use std::process::Command;
+
+fn mlv(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mlv"))
+        .args(args)
+        .output()
+        .expect("spawn mlv")
+}
+
+/// Every registry family — lattice-bearing or not — is reachable from
+/// `mlv families --json`, with its keyword, grammar, and lattice flag
+/// intact. A family added to the registry without surfacing here fails.
+#[test]
+fn families_json_covers_registry() {
+    let out = mlv(&["families", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), mlv_layout::registry::REGISTRY.len());
+    for e in mlv_layout::registry::REGISTRY {
+        let line = lines
+            .iter()
+            .find(|l| l.contains(&format!("\"name\":\"{}\"", e.name)))
+            .unwrap_or_else(|| panic!("{}: missing from families --json", e.name));
+        assert!(
+            line.contains(&format!("\"keyword\":\"{}\"", e.keyword)),
+            "{line}"
+        );
+        assert!(
+            line.contains(&format!("\"spec\":\"{}\"", e.grammar)),
+            "{line}"
+        );
+        assert!(
+            line.contains(&format!("\"lattice\":{}", e.lattice.is_some())),
+            "{line}"
+        );
+        // the advertised example spec really builds a layout
+        let built = mlv(&["layout", e.example, "--json"]);
+        assert!(built.status.success(), "{} example failed", e.example);
+    }
+}
+
+/// `mlv profile` emits one JSON object per line, covers all four
+/// pipeline passes plus the engine spans, and closes with a digest.
+#[test]
+fn profile_emits_full_trace() {
+    let out = mlv(&["profile", "hypercube", "6", "--layers", "4"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    for span in [
+        "pass.placement",
+        "pass.tracks",
+        "pass.layers",
+        "pass.emit",
+        "pipeline",
+        "engine.batch",
+        "engine.job",
+        "checker.check",
+    ] {
+        assert!(
+            stdout.contains(&format!("\"type\":\"span\",\"name\":\"{span}\"")),
+            "span {span} missing from:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("\"name\":\"engine.cache.miss\",\"value\":1"));
+    let last = stdout.lines().last().unwrap();
+    assert!(
+        last.starts_with("{\"type\":\"digest\",\"value\":\""),
+        "no closing digest line: {last}"
+    );
+}
+
+/// The profile digest is stable run-over-run: wall-clock fields vary,
+/// the deterministic fingerprint does not.
+#[test]
+fn profile_digest_is_reproducible() {
+    let digest = |out: std::process::Output| -> String {
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .last()
+            .unwrap()
+            .to_string()
+    };
+    let a = digest(mlv(&["profile", "ccc", "3", "--layers", "4"]));
+    let b = digest(mlv(&["profile", "ccc", "3", "--layers", "4"]));
+    assert_eq!(a, b);
+}
+
+/// `mlv sweep --trace` writes the trace document next to the normal
+/// per-job stdout report, and the job lines stay byte-identical to a
+/// traceless run (tracing must not perturb sweep output).
+#[test]
+fn sweep_trace_file_and_stdout() {
+    let dir = std::env::temp_dir().join(format!("mlv-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.trace");
+    let args = ["sweep", "--lattice", "--seed", "2000", "--cases", "2"];
+    let traced = mlv(&[&args[..], &["--trace", path.to_str().unwrap()]].concat());
+    assert!(traced.status.success());
+    let plain = mlv(&args);
+    assert_eq!(plain.stdout, traced.stdout);
+    let doc = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(doc.contains("\"type\":\"span\",\"name\":\"pass.tracks\""));
+    assert!(doc.contains("\"type\":\"histogram\",\"name\":\"engine.job.queue_ns\""));
+    assert!(doc
+        .lines()
+        .last()
+        .unwrap()
+        .starts_with("{\"type\":\"digest\""));
+}

@@ -225,6 +225,7 @@ pub fn run(config: &Config) -> RunReport {
 }
 
 fn run_family(name: &str, config: &Config, engine: &mut Engine) -> FamilyResult {
+    let _span = mlv_core::span!("conformance.family", name = name);
     assert!(
         cases::family_names().contains(&name),
         "unknown family '{name}' (choose from {:?})",
@@ -306,6 +307,7 @@ fn run_case(
     direct: &JobOutcome,
     thompson: &JobOutcome,
 ) -> CaseOutcome {
+    let _span = mlv_core::span!("conformance.case");
     // oracle 1 ran inside the engine (CheckStatus carries the same
     // truncated error summary checker_oracle printed)
     let mut violations = Vec::new();
@@ -355,6 +357,8 @@ fn run_case(
             kinds.extend(seen);
         }
     }
+    mlv_core::counter!("conformance.injections", injected as u64);
+    mlv_core::counter!("conformance.violations", violations.len() as u64);
     CaseOutcome {
         label: case.label.clone(),
         predicted: case.predicted.is_some(),
@@ -423,6 +427,44 @@ mod tests {
                 println!("{name:10} (no closed-form prediction)");
             }
         }
+    }
+
+    #[test]
+    fn run_is_observable_under_a_trace() {
+        let config = Config {
+            seed: 1,
+            cases_per_family: 3,
+            families: vec!["hypercube".into(), "mesh".into()],
+            inject: true,
+        };
+        let trace = mlv_core::trace::Trace::new();
+        let report = trace.collect(|| run(&config));
+        let agg = trace.aggregate();
+        // one family span per family (keyed by name), one case span
+        // per evaluated case
+        for f in &config.families {
+            let key = format!("conformance.family{{name={f}}}");
+            let s = agg.span(&key).unwrap_or_else(|| panic!("missing {key}"));
+            assert_eq!(s.count, 1);
+        }
+        let cases = agg.span("conformance.case").expect("case span");
+        assert_eq!(cases.count as usize, config.families.len() * 3);
+        // counters reconcile with the report
+        let injected: u64 = report.results.iter().map(|r| r.injections as u64).sum();
+        assert!(injected > 0);
+        assert_eq!(agg.counter("conformance.injections"), injected);
+        let violations: u64 = report
+            .results
+            .iter()
+            .map(|r| r.violations.len() as u64)
+            .sum();
+        assert_eq!(agg.counter("conformance.violations"), violations);
+        // the harness realizes through the engine, so pipeline pass
+        // spans surface in the same aggregate
+        assert!(agg.span("pipeline").is_some());
+        // an identical untraced run is unaffected by observation
+        let replay = run(&config);
+        assert_eq!(report.results[0].json_line(), replay.results[0].json_line());
     }
 
     #[test]

@@ -10,7 +10,13 @@
 //!
 //! Inputs smaller than [`MIN_CHUNK`] items run inline on the calling
 //! thread — spawning is not worth it below that.
+//!
+//! Every fan-out entry point snapshots the calling thread's installed
+//! [`crate::trace`] stack and attaches it in each worker, so spans,
+//! counters, and histograms recorded inside parallel work land in the
+//! same trace aggregates as sequential execution.
 
+use crate::trace;
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::thread;
@@ -73,17 +79,21 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = chunk_len(items.len(), threads);
+    let tstack = trace::snapshot();
     let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(ci, c)| {
                 let f = &f;
+                let tstack = &tstack;
                 s.spawn(move || {
-                    c.iter()
-                        .enumerate()
-                        .map(|(i, t)| f(ci * chunk + i, t))
-                        .collect::<Vec<R>>()
+                    trace::attach(tstack, || {
+                        c.iter()
+                            .enumerate()
+                            .map(|(i, t)| f(ci * chunk + i, t))
+                            .collect::<Vec<R>>()
+                    })
                 })
             })
             .collect();
@@ -115,18 +125,22 @@ where
         return out;
     }
     let chunk = chunk_len(items.len(), threads);
+    let tstack = trace::snapshot();
     let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(ci, c)| {
                 let f = &f;
+                let tstack = &tstack;
                 s.spawn(move || {
-                    let mut buf = Vec::new();
-                    for (i, t) in c.iter().enumerate() {
-                        f(ci * chunk + i, t, &mut buf);
-                    }
-                    buf
+                    trace::attach(tstack, || {
+                        let mut buf = Vec::new();
+                        for (i, t) in c.iter().enumerate() {
+                            f(ci * chunk + i, t, &mut buf);
+                        }
+                        buf
+                    })
                 })
             })
             .collect();
@@ -157,13 +171,15 @@ where
         return items.iter().fold(identity, fold);
     }
     let chunk = chunk_len(items.len(), threads);
+    let tstack = trace::snapshot();
     let per_chunk: Vec<A> = thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|c| {
                 let f = &fold;
                 let id = identity.clone();
-                s.spawn(move || c.iter().fold(id, f))
+                let tstack = &tstack;
+                s.spawn(move || trace::attach(tstack, || c.iter().fold(id, f)))
             })
             .collect();
         handles.into_iter().map(join_worker).collect()

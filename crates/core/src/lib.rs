@@ -16,11 +16,17 @@
 //!   ranges/tuples/`vec`, configurable case counts, shrink-free failure
 //!   reports that print the generated inputs and the case seed;
 //! * [`mod@bench`] — a wall-clock micro-bench harness (warmup + calibration
-//!   + median-of-N, one JSON line per benchmark) replacing criterion.
+//!   + median-of-N, one JSON line per benchmark) replacing criterion;
+//! * [`trace`] — zero-dependency structured tracing + metrics (span
+//!   guards via [`span!`], counters via [`counter!`], log2 histograms
+//!   via [`histogram!`]), aggregated deterministically across threads
+//!   and propagated through the executor.
 //!
 //! Determinism is a design rule throughout: parallel results are
 //! combined in input order, so every parallel entry point returns
-//! byte-identical output to its sequential equivalent.
+//! byte-identical output to its sequential equivalent — and the trace
+//! subsystem's deterministic rendering is byte-identical for any
+//! thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,3 +35,4 @@ pub mod bench;
 pub mod exec;
 pub mod prop;
 pub mod rng;
+pub mod trace;

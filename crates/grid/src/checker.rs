@@ -161,6 +161,7 @@ impl CheckReport {
 /// assert!(checker::check(&l, None).is_legal());
 /// ```
 pub fn check(layout: &Layout, reference: Option<&Graph>) -> CheckReport {
+    let _span = mlv_core::span!("checker.check");
     let mut errors: Vec<CheckError> = Vec::new();
     let cap = CheckReport::ERROR_CAP;
 
@@ -313,6 +314,8 @@ fn finish(layout: &Layout, errors: Vec<CheckError>) -> CheckReport {
         |a, b| a + b,
     );
     let node_points: u64 = layout.nodes.iter().map(|n| n.rect.point_count()).sum();
+    mlv_core::counter!("checker.checks", 1);
+    mlv_core::counter!("checker.errors", errors.len() as u64);
     CheckReport {
         errors,
         wire_points,

@@ -164,7 +164,12 @@ fn needs_escape(c: char) -> bool {
     c == '\\' || c == ' ' || (c as u32) < 0x20 || c == '\x7f'
 }
 
-fn escape(s: &str) -> String {
+/// Escape a name for the text format: the backslash, ASCII whitespace,
+/// every control character, and DEL become `\xNN` (two hex digits).
+/// The same rules back `mlv_core::trace`'s key escaping, so trace
+/// output and layout files stay mutually greppable. Inverse of
+/// [`unescape`]: `unescape(&escape(s)) == Ok(s)` for every string.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         if needs_escape(c) {
@@ -176,7 +181,11 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, String> {
+/// Undo [`escape`]. Every malformed escape — a backslash not followed
+/// by `x` plus two hex digits, including truncations at end of input —
+/// is an `Err` (never a panic); [`read_layout`] surfaces it as a
+/// [`ParseError`] with the offending line number.
+pub fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

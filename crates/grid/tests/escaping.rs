@@ -1,0 +1,82 @@
+//! Property tests for the `mlv_grid::io` name-escaping rules over the
+//! full byte range: `unescape(escape(s)) == Ok(s)` for every byte
+//! string, every truncated or malformed escape is an `Err` (never a
+//! panic), and `mlv_core::trace::escape_key` agrees with `io::escape`
+//! byte for byte (the two subsystems share one escaping vocabulary).
+
+use mlv_core::prop;
+use mlv_core::{mlv_proptest, prop_assert, prop_assert_eq, prop_assume};
+use mlv_grid::io::{escape, read_layout, unescape};
+
+/// Map raw bytes onto the first 256 codepoints (Latin-1 style), so a
+/// generated `Vec<u8>` exercises every byte class the escaper
+/// distinguishes: controls, space, backslash, DEL, and high bytes.
+fn bytes_to_string(bytes: &[u16]) -> String {
+    bytes.iter().map(|&b| char::from(b as u8)).collect()
+}
+
+mlv_proptest! {
+    /// Round trip over the full u8 range.
+    #[test]
+    fn unescape_inverts_escape(bytes in prop::vec(0u16..256, 0..64)) {
+        let s = bytes_to_string(&bytes);
+        let escaped = escape(&s);
+        prop_assert!(
+            escaped.chars().all(|c| !c.is_ascii_whitespace() && !c.is_ascii_control()),
+            "escaped form still has structure-breaking chars: {:?}",
+            escaped
+        );
+        prop_assert_eq!(unescape(&escaped), Ok(s));
+    }
+
+    /// `trace::escape_key` and `io::escape` implement the same rules.
+    #[test]
+    fn trace_key_escaping_matches_io(bytes in prop::vec(0u16..256, 0..64)) {
+        let s = bytes_to_string(&bytes);
+        prop_assert_eq!(mlv_core::trace::escape_key(&s), escape(&s));
+    }
+
+    /// Truncating an escaped form anywhere inside a trailing `\xNN`
+    /// sequence yields an `Err` from `unescape` — never a panic — for
+    /// every possible truncation point (1, 2, or 3 chars short).
+    #[test]
+    fn truncated_escape_errors(
+        bytes in prop::vec(0u16..256, 0..32),
+        tail in 0u8..0x20,
+    ) {
+        let mut s = bytes_to_string(&bytes);
+        s.push(char::from(tail)); // force a trailing \xNN escape
+        let escaped = escape(&s);
+        for cut in 1..4 {
+            let truncated = &escaped[..escaped.len() - cut];
+            prop_assert!(
+                unescape(truncated).is_err(),
+                "cut {} of {:?} unescaped cleanly",
+                cut,
+                escaped
+            );
+        }
+    }
+
+    /// A lone backslash followed by anything other than `x` + two hex
+    /// digits is malformed.
+    #[test]
+    fn malformed_escape_errors(bytes in prop::vec(0u16..256, 2..8)) {
+        let s = bytes_to_string(&bytes);
+        prop_assume!(!s.starts_with("x") || !s[1..].chars().take(2).all(|c| c.is_ascii_hexdigit()));
+        let malformed = format!("\\{s}");
+        prop_assert!(unescape(&malformed).is_err(), "{:?} unescaped cleanly", malformed);
+    }
+}
+
+/// A malformed name escape inside a layout file surfaces as a
+/// [`mlv_grid::io::ParseError`] carrying the header's line number —
+/// `read_layout` never panics on it.
+#[test]
+fn read_layout_reports_bad_name_escape() {
+    for bad in ["\\", "\\x", "\\x4", "\\q", "\\xzz", "ok\\x2"] {
+        let text = format!("mlvlayout 1\nlayout {bad} layers=2\n");
+        let err = read_layout(&text).expect_err(bad);
+        assert_eq!(err.line, 2, "{bad}: {err}");
+    }
+}

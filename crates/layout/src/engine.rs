@@ -251,8 +251,12 @@ impl Engine {
     /// only the per-leader realizations fan out over
     /// [`mlv_core::exec`].
     pub fn run(&mut self, jobs: &[Job]) -> BatchReport {
+        let _batch = mlv_core::span!("engine.batch");
         let before = self.stats;
-        let keys: Vec<u64> = exec::par_map(jobs, |_, j| job_key(j));
+        let keys: Vec<u64> = {
+            let _s = mlv_core::span!("engine.classify");
+            exec::par_map(jobs, |_, j| job_key(j))
+        };
 
         // sequential classification: first occurrence of a new key
         // leads, everything else follows (deterministic counters)
@@ -278,17 +282,30 @@ impl Engine {
                 leaders.push(i);
             }
         }
+        mlv_core::counter!("engine.cache.hit", self.stats.hits - before.hits);
+        mlv_core::counter!("engine.cache.miss", self.stats.misses - before.misses);
 
-        // parallel fan-out over the distinct specs only
+        // parallel fan-out over the distinct specs only; each leader
+        // records its queue-to-start latency (enqueue = batch entry)
         let lead_jobs: Vec<&Job> = leaders.iter().map(|&i| &jobs[i]).collect();
         let opts = &self.opts;
-        let outcomes: Vec<Arc<JobOutcome>> =
-            exec::par_map(&lead_jobs, |_, j| Arc::new(compute(j, opts)));
+        let queued = std::time::Instant::now();
+        let outcomes: Vec<Arc<JobOutcome>> = exec::par_map(&lead_jobs, |_, j| {
+            mlv_core::histogram!(
+                "engine.job.queue_ns",
+                queued.elapsed().as_nanos().min(u64::MAX as u128) as u64
+            );
+            Arc::new(compute(j, opts))
+        });
 
         // memoize in leader order (deterministic eviction)
         for (&i, outcome) in leaders.iter().zip(&outcomes) {
             self.insert(keys[i], Arc::clone(outcome));
         }
+        mlv_core::counter!(
+            "engine.cache.eviction",
+            self.stats.evictions - before.evictions
+        );
 
         let results = jobs
             .iter()
@@ -334,10 +351,13 @@ impl Engine {
 /// One fresh realization: timed pipeline, metrics, content digest, and
 /// (when requested) the full legality check.
 fn compute(job: &Job, opts: &EngineOptions) -> JobOutcome {
+    let _job = mlv_core::span!("engine.job");
     let (layout, timing) =
         realize_timed(&job.family.spec, &RealizeOptions::with_layers(job.layers));
     let metrics = LayoutMetrics::of(&layout);
     let digest = layout_digest(&layout);
+    mlv_core::histogram!("engine.job.wires", metrics.wire_count as u64);
+    mlv_core::histogram!("engine.job.area", metrics.area);
     let check = if opts.check {
         let r = checker::check(&layout, Some(&job.family.graph));
         if r.is_legal() {
@@ -504,6 +524,112 @@ mod tests {
         // ...while the newest (4, 2) is still resident
         let newest = engine.run(&[job(4, 2)]);
         assert_eq!(newest.cache.hits, 1);
+    }
+
+    #[test]
+    fn capacity_zero_behaves_as_single_slot() {
+        // capacity 0 is clamped to one resident entry: the cache never
+        // grows past 1, every insert evicts the previous resident, and
+        // same-key reuse within a batch still dedups (batch-local
+        // follower detection is upstream of the cache).
+        let mut engine = Engine::new(EngineOptions {
+            cache_capacity: 0,
+            ..EngineOptions::default()
+        });
+        let first = engine.run(&[job(3, 2), job(3, 2), job(4, 2)]);
+        assert_eq!((first.cache.hits, first.cache.misses), (1, 2));
+        assert_eq!(first.cache.evictions, 1, "second leader evicts the first");
+        // only (4, 2) — the last insert — survives
+        let probe = engine.run(&[job(4, 2), job(3, 2)]);
+        assert_eq!((probe.cache.hits, probe.cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_one_fifo_eviction_order() {
+        let mut engine = Engine::new(EngineOptions {
+            cache_capacity: 1,
+            ..EngineOptions::default()
+        });
+        engine.run(&[job(3, 2)]);
+        assert_eq!(engine.stats().evictions, 0, "first insert fits");
+        engine.run(&[job(3, 4)]);
+        assert_eq!(engine.stats().evictions, 1, "second key displaces first");
+        // re-running the displaced key misses and displaces in turn
+        let displaced = engine.run(&[job(3, 2)]);
+        assert_eq!(displaced.cache.misses, 1);
+        assert_eq!(engine.stats().evictions, 2);
+        // the current resident hits without evicting
+        let resident = engine.run(&[job(3, 2)]);
+        assert_eq!((resident.cache.hits, resident.cache.evictions), (1, 0));
+        assert_eq!(engine.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lattice_counters_reconcile() {
+        // over a seeded lattice batch the counters must account for
+        // every job: each is either a hit or a miss, and evictions can
+        // never exceed inserts (= misses)
+        for capacity in [0, 1, 3, 1024] {
+            let jobs = lattice_jobs(2000, 2);
+            let mut engine = Engine::new(EngineOptions {
+                cache_capacity: capacity,
+                ..EngineOptions::default()
+            });
+            let trace = mlv_core::trace::Trace::new();
+            let report = trace.collect(|| engine.run(&jobs));
+            let c = &report.cache;
+            assert_eq!(
+                c.hits + c.misses,
+                jobs.len() as u64,
+                "capacity {capacity}: every job is a hit or a miss"
+            );
+            assert!(
+                c.evictions <= c.misses,
+                "capacity {capacity}: evictions {} > misses {}",
+                c.evictions,
+                c.misses
+            );
+            // the trace counters mirror the batch report exactly
+            let agg = trace.aggregate();
+            assert_eq!(agg.counter("engine.cache.hit"), c.hits);
+            assert_eq!(agg.counter("engine.cache.miss"), c.misses);
+            assert_eq!(agg.counter("engine.cache.eviction"), c.evictions);
+            // one engine.job span per leader, one queue-latency sample each
+            let jobs_run = agg.span("engine.job").expect("engine.job span").count;
+            assert_eq!(jobs_run, c.misses);
+            let queue = &agg.histograms["engine.job.queue_ns"];
+            assert_eq!(queue.count, c.misses);
+        }
+    }
+
+    #[test]
+    fn trace_digest_identical_across_thread_counts() {
+        // the aggregate trace of a lattice batch — span counts, cache
+        // counters, value histograms — is byte-identical for any
+        // MLV_THREADS; 13 families x 3 cases x 2 = 78 jobs, above
+        // exec's inline threshold, so the 8-thread run really fans out
+        let jobs = lattice_jobs(2000, 3);
+        assert!(jobs.len() > 64, "need enough jobs to exercise fan-out");
+        let run = |threads: usize| {
+            exec::with_thread_count(threads, || {
+                let mut engine = Engine::new(EngineOptions::default());
+                let trace = mlv_core::trace::Trace::new();
+                trace.collect(|| engine.run(&jobs));
+                trace.aggregate()
+            })
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq.deterministic_lines(), par.deterministic_lines());
+        assert_eq!(seq.digest(), par.digest());
+        // the deterministic view is not vacuous: it still carries the
+        // pipeline spans and the non-timing histograms
+        assert!(seq.span("pipeline").is_some());
+        assert!(seq.histograms.contains_key("engine.job.wires"));
+        assert!(!seq
+            .deterministic_lines()
+            .iter()
+            .any(|l| l.contains("queue_ns")));
     }
 
     #[test]

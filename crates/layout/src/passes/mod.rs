@@ -132,9 +132,15 @@ impl SlabMap {
     }
 }
 
-/// Wall-clock nanoseconds spent in each pass of one realization, as
-/// reported per job by the batch engine ([`crate::engine`]) and the
-/// `bench_layout` micro-bench.
+/// Span key of the whole pipeline (wraps the four pass spans).
+pub const SPAN_PIPELINE: &str = "pipeline";
+/// Span keys of the four passes, in pipeline order.
+pub const PASS_SPANS: [&str; 4] = ["pass.placement", "pass.tracks", "pass.layers", "pass.emit"];
+
+/// Wall-clock nanoseconds spent in each pass of one realization — a
+/// *view* over the trace the pipeline records (see
+/// [`PassTimings::from_trace`]), reported per job by the batch engine
+/// ([`crate::engine`]) and the `bench_layout` micro-bench.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PassTimings {
     /// Placement pass (wire classification + footprint sizing).
@@ -152,32 +158,50 @@ impl PassTimings {
     pub fn total_ns(&self) -> u64 {
         self.placement_ns + self.tracks_ns + self.layers_ns + self.emit_ns
     }
+
+    /// Extract the four pass totals from a trace aggregate (the
+    /// [`PASS_SPANS`] keys). With a per-realization trace this is the
+    /// per-job timing; with a run-wide trace it is the cumulative
+    /// per-pass breakdown.
+    pub fn from_trace(agg: &mlv_core::trace::Aggregate) -> PassTimings {
+        let ns = |key: &str| agg.span(key).map(|s| s.total_ns).unwrap_or(0);
+        PassTimings {
+            placement_ns: ns(PASS_SPANS[0]),
+            tracks_ns: ns(PASS_SPANS[1]),
+            layers_ns: ns(PASS_SPANS[2]),
+            emit_ns: ns(PASS_SPANS[3]),
+        }
+    }
 }
 
-/// Run the full pipeline: placement → tracks → layers → emit.
+/// Run the full pipeline: placement → tracks → layers → emit. Each
+/// stage runs under its [`PASS_SPANS`] span (inert unless a trace is
+/// installed), with the whole pipeline wrapped in [`SPAN_PIPELINE`].
 pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig) -> Layout {
-    run_pipeline_timed(spec, cfg).0
+    let _pipeline = mlv_core::span!(SPAN_PIPELINE);
+    let place = {
+        let _s = mlv_core::span!(PASS_SPANS[0]);
+        placement::run(spec, cfg)
+    };
+    let track = {
+        let _s = mlv_core::span!(PASS_SPANS[1]);
+        tracks::run(spec, cfg, &place)
+    };
+    let layer = {
+        let _s = mlv_core::span!(PASS_SPANS[2]);
+        layers::run(spec, &place, &track)
+    };
+    let _s = mlv_core::span!(PASS_SPANS[3]);
+    emit::run(spec, cfg, &place, &track, &layer)
 }
 
-/// [`run_pipeline`] with per-pass wall-clock timing. The timing calls
-/// cost a handful of monotonic-clock reads per realization — noise
-/// next to the tens of microseconds a pass takes — so the untimed
-/// driver simply drops the numbers rather than duplicating the
-/// pipeline.
+/// [`run_pipeline`] under a local [`mlv_core::trace::Trace`], with the
+/// per-pass span totals extracted into a [`PassTimings`]. Events also
+/// flow into any enclosing trace (nesting), so a run-wide trace still
+/// sees every pass span of every timed realization.
 pub(crate) fn run_pipeline_timed(spec: &OrthogonalSpec, cfg: &PassConfig) -> (Layout, PassTimings) {
-    use std::time::Instant;
-    let mut t = PassTimings::default();
-    let clock = Instant::now();
-    let place = placement::run(spec, cfg);
-    t.placement_ns = clock.elapsed().as_nanos() as u64;
-    let clock = Instant::now();
-    let track = tracks::run(spec, cfg, &place);
-    t.tracks_ns = clock.elapsed().as_nanos() as u64;
-    let clock = Instant::now();
-    let layer = layers::run(spec, &place, &track);
-    t.layers_ns = clock.elapsed().as_nanos() as u64;
-    let clock = Instant::now();
-    let layout = emit::run(spec, cfg, &place, &track, &layer);
-    t.emit_ns = clock.elapsed().as_nanos() as u64;
-    (layout, t)
+    let local = mlv_core::trace::Trace::new();
+    let layout = local.collect(|| run_pipeline(spec, cfg));
+    let timings = PassTimings::from_trace(&local.aggregate());
+    (layout, timings)
 }

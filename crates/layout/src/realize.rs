@@ -69,7 +69,7 @@ impl RealizeOptions {
 /// If the spec is invalid, `opts.layers < 2`, or `opts.node_side` is
 /// below the minimum terminal demand.
 pub fn realize(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
-    realize_timed(spec, opts).0
+    passes::run_pipeline(spec, &pass_config(spec, opts))
 }
 
 /// [`realize`], additionally reporting per-pass wall-clock timing —
@@ -82,16 +82,19 @@ pub fn realize_timed(
     spec: &OrthogonalSpec,
     opts: &RealizeOptions,
 ) -> (Layout, passes::PassTimings) {
+    passes::run_pipeline_timed(spec, &pass_config(spec, opts))
+}
+
+fn pass_config(spec: &OrthogonalSpec, opts: &RealizeOptions) -> PassConfig {
     spec.assert_valid();
     assert!(opts.layers >= 2, "need at least two layers");
-    let cfg = PassConfig {
+    PassConfig {
         layers: opts.layers,
         active_layers: 1,
         node_side: opts.node_side,
         jog_strategy: opts.jog_strategy,
         layout_name: format!("{} @ L={}", spec.name, opts.layers),
-    };
-    passes::run_pipeline_timed(spec, &cfg)
+    }
 }
 
 /// Reorder a layout's wires so that wire `i` realizes edge `i` of the

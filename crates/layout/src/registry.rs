@@ -776,6 +776,57 @@ mod tests {
     }
 
     #[test]
+    fn registry_is_complete_per_family() {
+        // Adding a family without wiring up the whole vocabulary —
+        // bench baseline, parameter pool, calibrated envelope — fails
+        // here rather than silently shrinking coverage.
+        let bench = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_layout.json"),
+        )
+        .expect("committed BENCH_layout.json at the repo root");
+        for e in REGISTRY {
+            let Some(lat) = &e.lattice else { continue };
+            // bench label: the committed baseline has a row for this
+            // family, so `bench_layout --check-regression` bounds it
+            assert!(
+                bench.contains(&format!("\"family\":\"{}\"", e.name)),
+                "{}: no row in BENCH_layout.json — regenerate the baseline",
+                e.name
+            );
+            // lattice pool: the draw stream actually varies, i.e. the
+            // family exposes a parameter pool rather than one point
+            let labels: std::collections::BTreeSet<String> = (0..32)
+                .map(|s| {
+                    let mut rng = Rng::seed_from_u64(s);
+                    (lat.draw)(&mut rng).label
+                })
+                .collect();
+            assert!(
+                labels.len() > 1,
+                "{}: 32 seeds drew a single label {:?} — empty pool?",
+                e.name,
+                labels
+            );
+            // calibrated envelope: sane, non-degenerate ratio bounds
+            if let Some(env) = &lat.envelope {
+                let (lo, hi) = env.area;
+                assert!(
+                    lo > 0.0 && lo < hi,
+                    "{}: uncalibrated area envelope ({lo}, {hi})",
+                    e.name
+                );
+                if let Some((wlo, whi)) = env.wire {
+                    assert!(
+                        wlo > 0.0 && wlo < whi,
+                        "{}: uncalibrated wire envelope ({wlo}, {whi})",
+                        e.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn lattice_labels_start_with_keyword() {
         for e in REGISTRY.iter().filter(|e| e.lattice.is_some()) {
             let mut rng = Rng::seed_from_u64(11);
