@@ -18,6 +18,17 @@
 //! and unoptimized passes are tens of microseconds — so only real
 //! complexity regressions trip it.
 //!
+//! `--check-regression=self` needs no baseline file at all: it times
+//! each family twice *in the same run* — the steady-state pooled loop
+//! (realize + recycle on the thread-local scratch) against
+//! fresh-allocation realization — and fails if pooling is slower than
+//! [`SELF_BOUND`]× fresh anywhere. Machine speed cancels out, so the
+//! gate holds on any runner, fast or slow.
+//!
+//! Under either check mode, when `GITHUB_STEP_SUMMARY` is set a
+//! per-family median delta table (markdown) is appended to it, so CI
+//! surfaces the perf trajectory without artifact spelunking.
+//!
 //! `MLV_BENCH_SAMPLES` overrides the sample count (default 11); CI's
 //! smoke and regression legs use small counts.
 //!
@@ -38,9 +49,16 @@ const SEED: u64 = 2000;
 const LAYERS: usize = 4;
 /// Maximum tolerated `fresh_median / committed_median` per family.
 const REGRESSION_BOUND: f64 = 3.0;
+/// Maximum tolerated `pooled / fresh_alloc` fastest-sample ratio per
+/// family in `--check-regression=self` mode. Pooling exists to be
+/// faster; the gate compares `min_ns` (robust against transient
+/// scheduler stalls that can inflate a median 5×) and the slack
+/// absorbs sampling noise on tiny (<10 µs) realizations.
+const SELF_BOUND: f64 = 1.5;
 
 fn main() -> ExitCode {
     let check_regression = std::env::args().any(|a| a == "--check-regression");
+    let check_self = std::env::args().any(|a| a == "--check-regression=self");
     let with_trace = std::env::args().any(|a| a == "--trace");
     let samples = std::env::var("MLV_BENCH_SAMPLES")
         .ok()
@@ -54,13 +72,28 @@ fn main() -> ExitCode {
     let mut names = Vec::new();
     let mut jobs = Vec::new();
     let mut stats = Vec::new();
+    let mut fresh_stats = Vec::new();
     for entry in registry::REGISTRY {
         let Some(lattice) = &entry.lattice else {
             continue;
         };
         let mut rng = Rng::seed_from_u64(SEED);
         let draw = (lattice.draw)(&mut rng);
-        stats.push(measure(samples, || black_box(draw.family.realize(LAYERS))));
+        // steady-state hot loop: realize on the thread-local scratch,
+        // then hand the layout's buffers back — the allocation-free
+        // cycle the engine's scratch pool runs per job
+        stats.push(measure(samples, || {
+            let layout = draw.family.realize(LAYERS);
+            black_box(&layout);
+            mlv_layout::recycle(layout);
+        }));
+        if check_self {
+            // the same realization, allocating everything from scratch
+            let opts = mlv_layout::RealizeOptions::with_layers(LAYERS);
+            fresh_stats.push(measure(samples, || {
+                black_box(mlv_layout::realize_fresh(&draw.family.spec, &opts))
+            }));
+        }
         names.push(entry.name);
         jobs.push(Job::new(&draw.label, draw.family, LAYERS));
     }
@@ -107,16 +140,11 @@ fn main() -> ExitCode {
 
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_layout.json");
+    if check_self {
+        return verdict(check_against_self(&names, &stats, &fresh_stats));
+    }
     if check_regression {
-        return match check_against_baseline(&path, &names, &stats) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(failures) => {
-                for f in failures {
-                    eprintln!("REGRESSION: {f}");
-                }
-                ExitCode::FAILURE
-            }
-        };
+        return verdict(check_against_baseline(&path, &names, &stats));
     }
 
     let trace_block = match &trace {
@@ -140,6 +168,92 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Exit with the check's result, printing every failure first.
+fn verdict(result: Result<(), Vec<String>>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            for f in failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One row of a median comparison: `new` against `old` under `bound`.
+struct Delta<'a> {
+    name: &'a str,
+    old_ns: u64,
+    new_ns: u64,
+    ratio: f64,
+    ok: bool,
+}
+
+impl Delta<'_> {
+    fn new(name: &str, old_ns: u64, new_ns: u64, bound: f64) -> Delta<'_> {
+        let ratio = new_ns as f64 / old_ns.max(1) as f64;
+        Delta {
+            name,
+            old_ns,
+            new_ns,
+            ratio,
+            ok: ratio <= bound,
+        }
+    }
+}
+
+/// Print the comparison table to stderr, mirror it as markdown into
+/// `$GITHUB_STEP_SUMMARY` when CI provides one, and collect failures.
+fn report_deltas(
+    title: &str,
+    old_label: &str,
+    new_label: &str,
+    bound: f64,
+    deltas: &[Delta<'_>],
+) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    for d in deltas {
+        let verdict = if d.ok { "ok" } else { "FAIL" };
+        eprintln!(
+            "{:>12}: {:>9} ns -> {:>9} ns  ({:>5.2}x)  {verdict}",
+            d.name, d.old_ns, d.new_ns, d.ratio
+        );
+        if !d.ok {
+            failures.push(format!(
+                "{}: median {} ns vs {} {} ns ({:.2}x > {bound}x)",
+                d.name, d.new_ns, old_label, d.old_ns, d.ratio
+            ));
+        }
+    }
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let mut md = format!(
+            "### {title}\n\n| family | {old_label} (ns) | {new_label} (ns) | ratio | ≤ {bound}x |\n\
+             |---|---:|---:|---:|:---:|\n"
+        );
+        for d in deltas {
+            md.push_str(&format!(
+                "| {} | {} | {} | {:.2}x | {} |\n",
+                d.name,
+                d.old_ns,
+                d.new_ns,
+                d.ratio,
+                if d.ok { "✅" } else { "❌" }
+            ));
+        }
+        md.push('\n');
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&summary) {
+            let _ = f.write_all(md.as_bytes());
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
 /// Compare fresh medians against the committed baseline. Families
 /// missing from the baseline (newly added) are skipped with a note —
 /// they gain a bound once the baseline is regenerated.
@@ -155,34 +269,44 @@ fn check_against_baseline(
             return Ok(());
         }
     };
-    let mut failures = Vec::new();
+    let mut deltas = Vec::new();
     for (name, s) in names.iter().zip(stats) {
         let Some(old) = baseline_median(&doc, name) else {
             eprintln!("note: '{name}' absent from baseline; skipped");
             continue;
         };
-        let ratio = s.median_ns as f64 / old.max(1) as f64;
-        let verdict = if ratio > REGRESSION_BOUND {
-            "FAIL"
-        } else {
-            "ok"
-        };
-        eprintln!(
-            "{name:>12}: {old:>9} ns -> {:>9} ns  ({ratio:>5.2}x)  {verdict}",
-            s.median_ns
-        );
-        if ratio > REGRESSION_BOUND {
-            failures.push(format!(
-                "{name}: median {} ns vs baseline {} ns ({ratio:.2}x > {REGRESSION_BOUND}x)",
-                s.median_ns, old
-            ));
-        }
+        deltas.push(Delta::new(name, old, s.median_ns, REGRESSION_BOUND));
     }
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(failures)
-    }
+    report_deltas(
+        "Realization medians vs. committed baseline",
+        "baseline",
+        "this run",
+        REGRESSION_BOUND,
+        &deltas,
+    )
+}
+
+/// Same-run relative mode: the steady-state pooled loop must not be
+/// slower than fresh allocation beyond [`SELF_BOUND`]. Both timings
+/// come from this run on this machine, so no baseline file (and no
+/// machine-speed assumption) is involved.
+fn check_against_self(
+    names: &[&str],
+    pooled: &[mlv_core::bench::Stats],
+    fresh: &[mlv_core::bench::Stats],
+) -> Result<(), Vec<String>> {
+    let deltas: Vec<Delta> = names
+        .iter()
+        .zip(pooled.iter().zip(fresh))
+        .map(|(name, (p, f))| Delta::new(name, f.min_ns, p.min_ns, SELF_BOUND))
+        .collect();
+    report_deltas(
+        "Pooled (realize + recycle) vs. fresh-allocation fastest samples, same run",
+        "fresh-alloc",
+        "pooled",
+        SELF_BOUND,
+        &deltas,
+    )
 }
 
 /// Extract `"median_ns":N` for `"family":"name"` from the baseline

@@ -212,6 +212,7 @@ pub fn run(config: &Config) -> RunReport {
         check: true,
         keep_layouts: true,
         cache_capacity: 4096,
+        ..EngineOptions::default()
     });
     let results = config
         .families

@@ -43,21 +43,29 @@ pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// Worker threads used by the executor on this thread.
 ///
 /// Priority: [`with_thread_count`] override, then `MLV_THREADS`, then
-/// [`std::thread::available_parallelism`] (1 if unknown).
+/// [`std::thread::available_parallelism`] (1 if unknown). The
+/// environment and parallelism probe are read **once per process** and
+/// cached: `available_parallelism` re-reads cgroup limits on Linux
+/// (tens of microseconds in containers), far too slow for the pipeline
+/// hot paths that gate on the thread count per realization. Tests
+/// vary the count via [`with_thread_count`], which bypasses the cache.
 pub fn thread_count() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n;
     }
-    if let Ok(v) = std::env::var("MLV_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("MLV_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
             }
         }
-    }
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 fn chunk_len(len: usize, threads: usize) -> usize {
@@ -142,6 +150,49 @@ where
                         buf
                     })
                 })
+            })
+            .collect();
+        handles.into_iter().map(join_worker).collect()
+    });
+    let mut out = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+    for mut v in per_chunk {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Parallel indexed **chunk** fan-out: `f` is called once per
+/// contiguous chunk with the chunk's starting index into `items`, and
+/// its output `Vec`s are concatenated **in chunk order**. The
+/// sequential fallback is a single call `f(0, items)`, so `f` must
+/// produce, for any chunking, the concatenation of its per-item
+/// outputs — i.e. chunk boundaries must not influence what any single
+/// item contributes. Compared to [`par_map`] this lets the worker keep
+/// per-chunk state (scratch buffers, batched allocation) across the
+/// items of its chunk.
+///
+/// `min_items` overrides the executor's [`MIN_CHUNK`] inline threshold
+/// for this call (callers tune it to the per-item cost).
+pub fn par_chunk_map<T, R, F>(items: &[T], min_items: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let threads = thread_count();
+    if threads <= 1 || items.len() <= min_items.max(1) {
+        return f(0, items);
+    }
+    let chunk = chunk_len(items.len(), threads);
+    let tstack = trace::snapshot();
+    let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, c)| {
+                let f = &f;
+                let tstack = &tstack;
+                s.spawn(move || trace::attach(tstack, || f(ci * chunk, c)))
             })
             .collect();
         handles.into_iter().map(join_worker).collect()
@@ -271,6 +322,44 @@ mod tests {
             par_flat_map(&items, |_, &x, out| out.extend([x, x + 1]))
         });
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunk_map_matches_sequential() {
+        let items: Vec<u64> = (0..9_999).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 7 + i as u64)
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let par = with_thread_count(threads, || {
+                par_chunk_map(&items, 64, |start, chunk| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(j, x)| x * 7 + (start + j) as u64)
+                        .collect()
+                })
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_inline_below_threshold() {
+        // below min_items the closure runs exactly once, inline
+        let items: Vec<u32> = (0..100).collect();
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let out = with_thread_count(4, || {
+            par_chunk_map(&items, 1000, |start, chunk| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                assert_eq!(start, 0);
+                chunk.to_vec()
+            })
+        });
+        assert_eq!(out, items);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -22,6 +22,16 @@ use std::fmt::Write as _;
 /// Serialize a layout to the text format.
 pub fn write_layout(layout: &Layout) -> String {
     let mut out = String::new();
+    write_layout_into(layout, &mut out);
+    out
+}
+
+/// [`write_layout`] into a caller-owned buffer: `out` is cleared and
+/// then filled with the exact same bytes `write_layout` returns, so
+/// digest/serialization hot loops (the batch engine hashes every
+/// realized layout) can reuse one allocation across layouts.
+pub fn write_layout_into(layout: &Layout, out: &mut String) {
+    out.clear();
     let _ = writeln!(out, "mlvlayout 1");
     let _ = writeln!(
         out,
@@ -43,7 +53,6 @@ pub fn write_layout(layout: &Layout) -> String {
         }
         out.push('\n');
     }
-    out
 }
 
 /// A parse failure, with the offending 1-based line number.
@@ -229,6 +238,14 @@ mod tests {
             ]),
         );
         l
+    }
+
+    #[test]
+    fn write_into_reuses_buffer_and_matches() {
+        let l = sample();
+        let mut buf = String::from("stale content from a previous layout");
+        write_layout_into(&l, &mut buf);
+        assert_eq!(buf, write_layout(&l));
     }
 
     #[test]

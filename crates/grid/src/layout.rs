@@ -80,7 +80,20 @@ impl Layout {
     /// The bounding rectangle of everything (nodes and wires) in the
     /// x–y plane, or `None` for an empty layout.
     pub fn bounding_box(&self) -> Option<Rect> {
+        self.extents().0
+    }
+
+    /// Highest layer index actually used by any wire (nodes sit at 0).
+    pub fn max_used_layer(&self) -> i32 {
+        self.extents().1
+    }
+
+    /// Fused single pass over nodes and wire corners: the planar
+    /// bounding box (as [`Layout::bounding_box`]) together with the
+    /// highest wire layer (as [`Layout::max_used_layer`]).
+    pub fn extents(&self) -> (Option<Rect>, i32) {
         let mut bb: Option<Rect> = None;
+        let mut max_z = 0i32;
         for n in &self.nodes {
             bb = Some(match bb {
                 Some(r) => r.union(&n.rect),
@@ -93,18 +106,10 @@ impl Layout {
                     Some(r) => r.expand_to(c.x, c.y),
                     None => bb = Some(Rect::new(c.x, c.y, c.x, c.y)),
                 }
+                max_z = max_z.max(c.z);
             }
         }
-        bb
-    }
-
-    /// Highest layer index actually used by any wire (nodes sit at 0).
-    pub fn max_used_layer(&self) -> i32 {
-        self.wires
-            .iter()
-            .flat_map(|w| w.path.corners().iter().map(|c| c.z))
-            .max()
-            .unwrap_or(0)
+        (bb, max_z)
     }
 
     /// The multiset of wire endpoint pairs (canonical order), for

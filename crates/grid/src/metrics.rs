@@ -47,7 +47,8 @@ pub struct LayoutMetrics {
 impl LayoutMetrics {
     /// Compute metrics for a layout. Empty layouts get all-zero metrics.
     pub fn of(layout: &Layout) -> Self {
-        let (width, height) = match layout.bounding_box() {
+        let (bb, max_used_layer) = layout.extents();
+        let (width, height) = match bb {
             Some(bb) => (bb.width(), bb.height()),
             None => (0, 0),
         };
@@ -56,13 +57,8 @@ impl LayoutMetrics {
             &layout.wires,
             (0, 0, 0, 0),
             |a, w| {
-                let full = w.path.length();
-                (
-                    a.0.max(w.path.planar_length()),
-                    a.1.max(full),
-                    a.2 + full,
-                    a.3 + w.path.via_count(),
-                )
+                let (planar, full, vias) = w.path.stats();
+                (a.0.max(planar), a.1.max(full), a.2 + full, a.3 + vias)
             },
             |a, b| (a.0.max(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3),
         );
@@ -72,7 +68,7 @@ impl LayoutMetrics {
             area,
             volume: layout.layers as u64 * area,
             layers: layout.layers,
-            max_used_layer: layout.max_used_layer(),
+            max_used_layer,
             max_wire_planar,
             max_wire_full,
             total_wire,

@@ -33,16 +33,19 @@ pub enum PathError {
 
 impl WirePath {
     /// Build a path from its corners. Zero-length "segments" (repeated
-    /// corners) are collapsed. Panics if empty.
-    pub fn new(corners: Vec<Point3>) -> Self {
+    /// corners) are collapsed **in place** — the vector's allocation is
+    /// kept, so callers recycling corner buffers pay no per-path
+    /// allocation. Panics if empty.
+    pub fn new(mut corners: Vec<Point3>) -> Self {
         assert!(!corners.is_empty(), "path needs at least one point");
-        let mut c = Vec::with_capacity(corners.len());
-        for p in corners {
-            if c.last() != Some(&p) {
-                c.push(p);
-            }
-        }
-        WirePath { corners: c }
+        corners.dedup();
+        WirePath { corners }
+    }
+
+    /// Take the corner buffer back out (for buffer recycling — the
+    /// inverse of [`WirePath::new`]).
+    pub fn into_corners(self) -> Vec<Point3> {
+        self.corners
     }
 
     /// The corner sequence (endpoints included).
@@ -82,6 +85,17 @@ impl WirePath {
             .windows(2)
             .map(|w| w[0].z.abs_diff(w[1].z) as u64)
             .sum()
+    }
+
+    /// Single-pass `(planar_length, length, via_count)` — one walk of
+    /// the corner windows instead of three, for metric hot paths.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let (mut planar, mut vias) = (0u64, 0u64);
+        for w in self.corners.windows(2) {
+            planar += w[0].x.abs_diff(w[1].x) + w[0].y.abs_diff(w[1].y);
+            vias += w[0].z.abs_diff(w[1].z) as u64;
+        }
+        (planar, planar + vias, vias)
     }
 
     /// Number of bends (corner points where direction changes).
@@ -171,6 +185,28 @@ mod tests {
     fn repeated_corners_collapsed() {
         let w = WirePath::new(vec![p(0, 0, 0), p(0, 0, 0), p(1, 0, 0)]);
         assert_eq!(w.corners().len(), 2);
+    }
+
+    #[test]
+    fn stats_agree_with_individual_metrics() {
+        let w = WirePath::new(vec![
+            p(0, 0, 0),
+            p(0, 0, 1),
+            p(3, 0, 1),
+            p(3, 2, 1),
+            p(3, 2, 0),
+        ]);
+        assert_eq!(w.stats(), (w.planar_length(), w.length(), w.via_count()));
+    }
+
+    #[test]
+    fn corner_buffer_round_trips_with_capacity() {
+        let mut buf = Vec::with_capacity(32);
+        buf.extend([p(0, 0, 0), p(0, 0, 0), p(2, 0, 0)]);
+        let w = WirePath::new(buf);
+        assert_eq!(w.corners(), &[p(0, 0, 0), p(2, 0, 0)]);
+        let back = w.into_corners();
+        assert!(back.capacity() >= 32, "recycled capacity must survive");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Reusable pass scratch: the struct-of-arrays layout IR plus every
+//! buffer the placement → tracks → layers → emit pipeline allocates.
+//!
+//! One [`Scratch`] holds the flat index vectors the passes fill
+//! (products *and* intermediates), the emit pass's recycled corner /
+//! node / wire storage, and the engine's serialization buffer. Reusing
+//! one `Scratch` across realizations removes essentially all steady
+//! state allocation from the hot path:
+//!
+//! * [`mod@crate::realize`] / [`crate::realize3d`] reuse a thread-local
+//!   `Scratch` per calling thread (disable with `MLV_FRESH_ALLOC=1`,
+//!   the fresh-allocation debug mode);
+//! * the batch engine ([`crate::engine`]) owns a [`ScratchPool`] so the
+//!   parallel fan-out recycles scratch across jobs — and recycles each
+//!   *discarded* layout's corner buffers back into the pool.
+//!
+//! Reuse is **panic-safe by construction**: a scratch is checked out of
+//! the pool by value and only returned after the job completes, so a
+//! panicking realization simply drops its (possibly half-filled)
+//! scratch instead of recycling it. Every pass unconditionally
+//! `clear()`s the vectors it writes, so even a scratch that *was*
+//! reused after an earlier panic cannot leak stale state into a later
+//! layout.
+
+use crate::passes::placement::TermSlot;
+use crate::passes::tracks::{IAssign, JAssign, TrackAssign};
+use crate::passes::SlabMap;
+use crate::passes::{layers::LayerAssign, WireKind};
+use mlv_grid::geom::Point3;
+use mlv_grid::layout::{NodePlacement, Wire};
+use std::sync::Mutex;
+
+/// Cap on recycled corner buffers held by one scratch — bounds pool
+/// memory at roughly `cap × 10 corners × 24 B` per scratch while still
+/// covering every layout the bench vocabulary produces.
+const PATH_POOL_CAP: usize = 1 << 14;
+
+/// Cap on pooled scratches held by an engine (the fan-out never has
+/// more live jobs than worker threads, so this is generous).
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// One flat terminal-item record, packed for sort speed:
+/// `(cell·8 | edge·4 | class, ki·2 | hi_end)`. Lexicographic order on
+/// the pair reproduces the AoS pipeline's per-cell stable sort by
+/// `(class, ki, hi_end)` exactly (cell and edge group the runs; the
+/// packed tails are unique, so unstable sorting is deterministic).
+pub(crate) type TermItem = (u64, u64);
+
+/// One closed interval awaiting greedy colouring:
+/// `(key, lo, hi, tag)`. Sorting reproduces the AoS pipeline's
+/// per-key *stable* sort by `(lo, hi)`: `tag` encodes insertion order
+/// (jog indices first, then `jog_len + inter_seq`), so ties break
+/// exactly as the BTreeMap-of-Vecs did.
+pub(crate) type IVal = (u64, u32, u32, u32);
+
+/// Reusable pass scratch: SoA products + intermediates + recycled
+/// emit storage. `Default` is an empty scratch; every field is sized
+/// and overwritten by the pass that owns it.
+#[derive(Debug)]
+pub(crate) struct Scratch {
+    // --- placement products ---------------------------------------
+    /// Row-block-to-slab mapping.
+    pub slabs: SlabMap,
+    /// Node footprint side.
+    pub side: i64,
+    /// Per-wire classification, in emission order.
+    pub kinds: Vec<WireKind>,
+    /// Terminal slots, indexed `2·ki + hi_end` (a-end at `2·ki`).
+    pub term: Vec<TermSlot>,
+    // --- tracks products ------------------------------------------
+    /// Per-wire track assignment, parallel to `kinds`.
+    pub assign: Vec<TrackAssign>,
+    /// Horizontal gap height above each planar row slot.
+    pub hpl_slot: Vec<i64>,
+    /// Vertical gap width right of each column (risers included).
+    pub wpl: Vec<i64>,
+    /// Construction + jog width of each column gap.
+    pub track_width: Vec<i64>,
+    // --- layers product -------------------------------------------
+    /// Per-wire layer assignment, parallel to `kinds`.
+    pub layer: Vec<LayerAssign>,
+    // --- placement intermediates ----------------------------------
+    /// Flat terminal items, globally sorted.
+    pub items: Vec<TermItem>,
+    /// Max intra right-edge demand per `(slot, col)` stack.
+    pub stack_intra_max: Vec<u32>,
+    /// Slab-crossing a-side terminals per `(slot, col)` stack.
+    pub inter_per_stack: Vec<u32>,
+    /// Stack-allocation cursor per `(slot, col)`.
+    pub stack_counter: Vec<u32>,
+    // --- tracks intermediates -------------------------------------
+    /// Jog assignment by jog-wire index (intra jogs only).
+    pub jassign: Vec<JAssign>,
+    /// Slab-crossing assignment by inter sequence number (ki order).
+    pub iassign: Vec<IAssign>,
+    /// Interval records for one colouring round (verticals, then
+    /// horizontals — the buffer is reused).
+    pub ivals: Vec<IVal>,
+    /// First-fit end-of-track state, cleared per colouring run.
+    pub track_end: Vec<u32>,
+    /// Construction track count per row bundle.
+    pub base_h: Vec<u32>,
+    /// Construction track count per column bundle.
+    pub base_w: Vec<u32>,
+    /// Per-row bundle height before the per-slot max.
+    pub hpl_row: Vec<i64>,
+    /// Jog vertical tracks used per `(col, group, slab)`.
+    pub jog_vtracks: Vec<u32>,
+    /// Jog + inter horizontal tracks used per `(row, group)`.
+    pub jog_htracks: Vec<u32>,
+    /// Risers appended to each column's gap.
+    pub riser_count: Vec<u32>,
+    // --- emit intermediates ---------------------------------------
+    /// Prefix-summed x origin per column (len `cols + 1`).
+    pub col_x0: Vec<i64>,
+    /// Prefix-summed y origin per planar row slot (len `slots + 1`).
+    pub slot_y0: Vec<i64>,
+    // --- recycled emit storage ------------------------------------
+    /// Corner buffers recycled from discarded layouts.
+    pub path_pool: Vec<Vec<Point3>>,
+    /// Recycled node vector for the next layout.
+    pub nodes_buf: Vec<NodePlacement>,
+    /// Recycled wire vector for the next layout.
+    pub wires_buf: Vec<Wire>,
+    /// Serialization buffer for digesting (engine only).
+    pub io_buf: String,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch {
+            slabs: SlabMap {
+                slots: 1,
+                slab_layers: 2,
+            },
+            side: 0,
+            kinds: Vec::new(),
+            term: Vec::new(),
+            assign: Vec::new(),
+            hpl_slot: Vec::new(),
+            wpl: Vec::new(),
+            track_width: Vec::new(),
+            layer: Vec::new(),
+            items: Vec::new(),
+            stack_intra_max: Vec::new(),
+            inter_per_stack: Vec::new(),
+            stack_counter: Vec::new(),
+            jassign: Vec::new(),
+            iassign: Vec::new(),
+            ivals: Vec::new(),
+            track_end: Vec::new(),
+            base_h: Vec::new(),
+            base_w: Vec::new(),
+            hpl_row: Vec::new(),
+            jog_vtracks: Vec::new(),
+            jog_htracks: Vec::new(),
+            riser_count: Vec::new(),
+            col_x0: Vec::new(),
+            slot_y0: Vec::new(),
+            path_pool: Vec::new(),
+            nodes_buf: Vec::new(),
+            wires_buf: Vec::new(),
+            io_buf: String::new(),
+        }
+    }
+}
+
+impl Scratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Hand out recycled node/wire vectors for the emit pass (empty,
+    /// capacity preserved).
+    pub fn take_layout_bufs(&mut self) -> (Vec<NodePlacement>, Vec<Wire>) {
+        let mut nodes = std::mem::take(&mut self.nodes_buf);
+        let mut wires = std::mem::take(&mut self.wires_buf);
+        nodes.clear();
+        wires.clear();
+        (nodes, wires)
+    }
+
+    /// Recycle a layout that is about to be discarded: its corner
+    /// buffers feed the emit pass's `path_pool` and its node/wire
+    /// vectors feed [`Scratch::take_layout_bufs`].
+    pub fn recycle_layout(&mut self, mut layout: mlv_grid::layout::Layout) {
+        for w in layout.wires.drain(..) {
+            if self.path_pool.len() >= PATH_POOL_CAP {
+                break;
+            }
+            self.path_pool.push(w.path.into_corners());
+        }
+        layout.nodes.clear();
+        self.nodes_buf = layout.nodes;
+        self.wires_buf = layout.wires;
+    }
+}
+
+/// A mutex-guarded stack of [`Scratch`]es owned by the batch engine.
+/// Checkout is by value: a job that panics never returns its scratch,
+/// so poisoned state cannot re-enter the pool.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    stack: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    /// Pop a pooled scratch, or create a fresh one.
+    pub fn take(&self) -> Scratch {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a scratch after a successful job (dropped if full).
+    pub fn put(&self, scratch: Scratch) {
+        let mut stack = self.lock();
+        if stack.len() < SCRATCH_POOL_CAP {
+            stack.push(scratch);
+        }
+    }
+
+    /// Pooled scratches currently resident (test observability).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Scratch>> {
+        // a poisoned mutex only means some thread panicked while the
+        // guard was live; the Vec of scratches is still structurally
+        // sound (worst case it holds a half-filled scratch, which the
+        // passes clear before use)
+        self.stack
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// `true` when `MLV_FRESH_ALLOC` requests the fresh-allocation debug
+/// mode: every realization builds a brand-new [`Scratch`] and nothing
+/// is pooled — the reference behavior the arena proptests compare
+/// against.
+pub(crate) fn fresh_alloc_requested() -> bool {
+    std::env::var_os("MLV_FRESH_ALLOC").is_some_and(|v| v != *"0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_take_put_roundtrip_and_cap() {
+        let pool = ScratchPool::default();
+        assert_eq!(pool.len(), 0);
+        // taking from an empty pool creates fresh scratches
+        let a = pool.take();
+        let b = pool.take();
+        assert_eq!(pool.len(), 0);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.len(), 2);
+        // LIFO reuse drains what was put back
+        let _c = pool.take();
+        assert_eq!(pool.len(), 1);
+        // the cap bounds residency: overflow is dropped, not stored
+        for _ in 0..2 * SCRATCH_POOL_CAP {
+            pool.put(Scratch::new());
+        }
+        assert_eq!(pool.len(), SCRATCH_POOL_CAP);
+    }
+
+    #[test]
+    fn recycle_layout_feeds_the_corner_pool() {
+        let mut s = Scratch::new();
+        let fam = crate::families::hypercube(3);
+        let layout = crate::realize::realize_fresh(
+            &fam.spec,
+            &crate::realize::RealizeOptions::with_layers(4),
+        );
+        let wires = layout.wires.len();
+        assert!(wires > 0);
+        s.recycle_layout(layout);
+        assert_eq!(s.path_pool.len(), wires.min(PATH_POOL_CAP));
+        // the node/wire vectors come back empty but with capacity
+        assert!(s.nodes_buf.is_empty() && s.wires_buf.is_empty());
+        assert!(s.nodes_buf.capacity() > 0 && s.wires_buf.capacity() > 0);
+    }
+}

@@ -33,9 +33,10 @@
 //! their realizations through it too, so the workspace has one
 //! concurrency path for batch realization instead of three.
 
+use crate::arena::{self, Scratch, ScratchPool};
 use crate::families::Family;
 use crate::passes::PassTimings;
-use crate::realize::{realize_timed, RealizeOptions};
+use crate::realize::{realize_timed_with, RealizeOptions};
 use crate::registry;
 use mlv_core::exec;
 use mlv_core::rng::{Rng, SplitMix64};
@@ -198,6 +199,11 @@ pub struct EngineOptions {
     /// Maximum memoized realizations; the oldest entry is evicted
     /// first (insertion order).
     pub cache_capacity: usize,
+    /// Recycle pass scratch (and discarded layouts' buffers) across
+    /// jobs through the engine's pool. Defaults to on unless the
+    /// `MLV_FRESH_ALLOC` debug mode is requested; results are
+    /// byte-identical either way.
+    pub reuse_scratch: bool,
 }
 
 impl Default for EngineOptions {
@@ -206,6 +212,7 @@ impl Default for EngineOptions {
             check: true,
             keep_layouts: false,
             cache_capacity: 1024,
+            reuse_scratch: !arena::fresh_alloc_requested(),
         }
     }
 }
@@ -227,6 +234,7 @@ pub struct Engine {
     map: HashMap<u64, Arc<JobOutcome>>,
     order: VecDeque<u64>,
     stats: CacheStats,
+    pool: ScratchPool,
 }
 
 impl Engine {
@@ -237,6 +245,7 @@ impl Engine {
             map: HashMap::new(),
             order: VecDeque::new(),
             stats: CacheStats::default(),
+            pool: ScratchPool::default(),
         }
     }
 
@@ -289,13 +298,14 @@ impl Engine {
         // records its queue-to-start latency (enqueue = batch entry)
         let lead_jobs: Vec<&Job> = leaders.iter().map(|&i| &jobs[i]).collect();
         let opts = &self.opts;
+        let pool = &self.pool;
         let queued = std::time::Instant::now();
         let outcomes: Vec<Arc<JobOutcome>> = exec::par_map(&lead_jobs, |_, j| {
             mlv_core::histogram!(
                 "engine.job.queue_ns",
                 queued.elapsed().as_nanos().min(u64::MAX as u128) as u64
             );
-            Arc::new(compute(j, opts))
+            Arc::new(compute(j, opts, pool))
         });
 
         // memoize in leader order (deterministic eviction)
@@ -350,12 +360,25 @@ impl Engine {
 
 /// One fresh realization: timed pipeline, metrics, content digest, and
 /// (when requested) the full legality check.
-fn compute(job: &Job, opts: &EngineOptions) -> JobOutcome {
+///
+/// The pass scratch is checked out of the pool *by value* and only
+/// returned after the whole job succeeds — a panicking realization
+/// drops its scratch instead of recycling it, so reuse is panic-safe.
+fn compute(job: &Job, opts: &EngineOptions, pool: &ScratchPool) -> JobOutcome {
     let _job = mlv_core::span!("engine.job");
-    let (layout, timing) =
-        realize_timed(&job.family.spec, &RealizeOptions::with_layers(job.layers));
+    let mut scratch = if opts.reuse_scratch {
+        pool.take()
+    } else {
+        Scratch::new()
+    };
+    let (layout, timing) = realize_timed_with(
+        &job.family.spec,
+        &RealizeOptions::with_layers(job.layers),
+        &mut scratch,
+    );
     let metrics = LayoutMetrics::of(&layout);
-    let digest = layout_digest(&layout);
+    mlv_grid::io::write_layout_into(&layout, &mut scratch.io_buf);
+    let digest = fnv1a(FNV_BASIS, scratch.io_buf.as_bytes());
     mlv_core::histogram!("engine.job.wires", metrics.wire_count as u64);
     mlv_core::histogram!("engine.job.area", metrics.area);
     let check = if opts.check {
@@ -368,12 +391,21 @@ fn compute(job: &Job, opts: &EngineOptions) -> JobOutcome {
     } else {
         CheckStatus::Skipped
     };
+    let layout = if opts.keep_layouts {
+        Some(layout)
+    } else {
+        scratch.recycle_layout(layout);
+        None
+    };
+    if opts.reuse_scratch {
+        pool.put(scratch);
+    }
     JobOutcome {
         digest,
         metrics,
         check,
         timing,
-        layout: opts.keep_layouts.then_some(layout),
+        layout,
     }
 }
 

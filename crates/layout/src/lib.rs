@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod arena;
 pub mod baseline;
 pub mod engine;
 pub mod families;
@@ -51,5 +52,5 @@ pub mod registry;
 pub mod scheme;
 pub mod spec;
 
-pub use realize::{realize, RealizeOptions};
+pub use realize::{realize, realize_fresh, recycle, RealizeOptions};
 pub use spec::{ColWire, JogWire, OrthogonalSpec, RowWire};

@@ -6,71 +6,101 @@
 //! it; planar row slot `sl` likewise in y. Nodes are `s × s` rectangles
 //! on their slab's bottom layer; every wire is one [`WirePath`] built
 //! from its terminal slots, track offsets, and layer assignment.
+//!
+//! Wire construction is embarrassingly parallel — each path depends
+//! only on its own wire's scratch columns — so above
+//! [`super::par_wire_threshold`] the pass fans the wire loop out over
+//! [`mlv_core::exec`] in index chunks and concatenates in order; the
+//! emitted geometry is byte-identical to the sequential path, which
+//! additionally recycles pooled corner buffers from the scratch.
 
 use super::{PassConfig, WireKind};
-use crate::passes::layers::{LayerAssign, LayerPlan};
-use crate::passes::placement::{Edge, Placement, TermSlot};
-use crate::passes::tracks::{TrackAssign, TrackPlan};
+use crate::arena::Scratch;
+use crate::passes::layers::LayerAssign;
+use crate::passes::placement::Edge;
+use crate::passes::tracks::TrackAssign;
 use crate::spec::OrthogonalSpec;
+use mlv_core::exec;
 use mlv_grid::geom::{Point3, Rect};
-use mlv_grid::layout::Layout;
+use mlv_grid::layout::{Layout, Wire};
 use mlv_grid::path::WirePath;
 
-/// Run the emit pass.
-pub(crate) fn run(
-    spec: &OrthogonalSpec,
-    cfg: &PassConfig,
-    place: &Placement,
-    track: &TrackPlan,
-    layer: &LayerPlan,
-) -> Layout {
+/// Run the emit pass, consuming the scratch's columns into a
+/// [`Layout`] (built on the scratch's recycled node/wire storage).
+pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> Layout {
     let (rows, cols) = (spec.rows, spec.cols);
-    let slabs = &place.slabs;
-    let s = place.side;
-    let prefix = |steps: &[i64]| -> Vec<i64> {
-        std::iter::once(0)
-            .chain(steps.iter().scan(0i64, |acc, &w| {
-                *acc += s + w;
-                Some(*acc)
-            }))
-            .collect()
-    };
-    let col_x0 = prefix(&track.wpl);
-    let slot_y0 = prefix(&track.hpl_slot);
-    let gap_x0 = |c: usize| col_x0[c] + s;
-    let gap_y0 = |sl: usize| slot_y0[sl] + s;
-    let abs = |t: &TermSlot| -> (i64, i64) {
-        let (x0, y0) = (col_x0[t.col], slot_y0[slabs.slot_of(t.row)]);
-        match t.edge {
-            Edge::Top => (x0 + t.off, y0 + s - 1),
-            Edge::Right => (x0 + s - 1, y0 + t.off),
-        }
-    };
+    let side = s.side;
 
-    let mut layout = Layout::new(cfg.layout_name.clone(), cfg.layers);
-    #[allow(clippy::needless_range_loop)]
+    // gap origins: column c starts at col_x0[c], its gap side later
+    s.col_x0.clear();
+    s.col_x0.push(0);
+    let mut acc = 0i64;
+    for &w in &s.wpl {
+        acc += side + w;
+        s.col_x0.push(acc);
+    }
+    s.slot_y0.clear();
+    s.slot_y0.push(0);
+    let mut acc = 0i64;
+    for &h in &s.hpl_slot {
+        acc += side + h;
+        s.slot_y0.push(acc);
+    }
+
+    let (nodes, wires) = s.take_layout_bufs();
+    // field-literal construction reuses the recycled vectors;
+    // cfg.layers ≥ 2 is asserted by both realizer drivers
+    let mut layout = Layout {
+        name: cfg.layout_name.clone(),
+        layers: cfg.layers,
+        nodes,
+        wires,
+    };
+    layout.nodes.reserve(rows * cols);
+    layout.wires.reserve(s.kinds.len());
+
+    let slabs = s.slabs;
     for r in 0..rows {
+        let y0 = s.slot_y0[slabs.slot_of(r)];
         for c in 0..cols {
+            let x0 = s.col_x0[c];
             layout.place_node_at(
                 spec.node(r, c),
-                Rect::new(
-                    col_x0[c],
-                    slot_y0[slabs.slot_of(r)],
-                    col_x0[c] + s - 1,
-                    slot_y0[slabs.slot_of(r)] + s - 1,
-                ),
+                Rect::new(x0, y0, x0 + side - 1, y0 + side - 1),
                 slabs.zbase(slabs.slab_of(r)),
             );
         }
     }
 
+    // split the scratch so the shared-ref wire builder and the mutable
+    // corner-buffer pool can coexist
+    let Scratch {
+        kinds,
+        term,
+        assign,
+        layer,
+        track_width,
+        col_x0,
+        slot_y0,
+        path_pool,
+        ..
+    } = s;
+    let gap_x0 = |c: usize| col_x0[c] + side;
+    let gap_y0 = |sl: usize| slot_y0[sl] + side;
+    let abs = |ki: usize, hi_end: usize| -> (i64, i64) {
+        let t = &term[2 * ki + hi_end];
+        let (x0, y0) = (col_x0[t.col], slot_y0[slabs.slot_of(t.row)]);
+        match t.edge {
+            Edge::Top => (x0 + t.off, y0 + side - 1),
+            Edge::Right => (x0 + side - 1, y0 + t.off),
+        }
+    };
     let p = Point3::new;
-    for (ki, k) in place.kinds.iter().enumerate() {
-        let t = &track.assign[ki];
-        let z = &layer.assign[ki];
-        let (ax, ay) = abs(&place.term[&(ki, false)]);
-        let (bx, by) = abs(&place.term[&(ki, true)]);
-        match (*k, *t, *z) {
+    let build = |ki: usize, mut corners: Vec<Point3>| -> Wire {
+        let k = &kinds[ki];
+        let (ax, ay) = abs(ki, 0);
+        let (bx, by) = abs(ki, 1);
+        let (u, v) = match (*k, assign[ki], layer[ki]) {
             (
                 WireKind::Row { idx },
                 TrackAssign::Construction { track: tidx, .. },
@@ -78,20 +108,17 @@ pub(crate) fn run(
             ) => {
                 let w = &spec.row_wires[idx];
                 let ty = gap_y0(slabs.slot_of(w.row)) + tidx;
-                layout.add_wire(
-                    spec.node(w.row, w.lo),
-                    spec.node(w.row, w.hi),
-                    WirePath::new(vec![
-                        p(ax, ay, zb),
-                        p(ax, ay, zv),
-                        p(ax, ty, zv),
-                        p(ax, ty, zh),
-                        p(bx, ty, zh),
-                        p(bx, ty, zv),
-                        p(bx, by, zv),
-                        p(bx, by, zb),
-                    ]),
-                );
+                corners.extend([
+                    p(ax, ay, zb),
+                    p(ax, ay, zv),
+                    p(ax, ty, zv),
+                    p(ax, ty, zh),
+                    p(bx, ty, zh),
+                    p(bx, ty, zv),
+                    p(bx, by, zv),
+                    p(bx, by, zb),
+                ]);
+                (spec.node(w.row, w.lo), spec.node(w.row, w.hi))
             }
             (
                 WireKind::Col { idx },
@@ -100,20 +127,17 @@ pub(crate) fn run(
             ) => {
                 let w = &spec.col_wires[idx];
                 let tx = gap_x0(w.col) + tidx;
-                layout.add_wire(
-                    spec.node(w.lo, w.col),
-                    spec.node(w.hi, w.col),
-                    WirePath::new(vec![
-                        p(ax, ay, zb),
-                        p(ax, ay, zh),
-                        p(tx, ay, zh),
-                        p(tx, ay, zv),
-                        p(tx, by, zv),
-                        p(tx, by, zh),
-                        p(bx, by, zh),
-                        p(bx, by, zb),
-                    ]),
-                );
+                corners.extend([
+                    p(ax, ay, zb),
+                    p(ax, ay, zh),
+                    p(tx, ay, zh),
+                    p(tx, ay, zv),
+                    p(tx, by, zv),
+                    p(tx, by, zh),
+                    p(bx, by, zh),
+                    p(bx, by, zb),
+                ]);
+                (spec.node(w.lo, w.col), spec.node(w.hi, w.col))
             }
             (
                 WireKind::Jog { idx },
@@ -123,22 +147,19 @@ pub(crate) fn run(
                 let w = &spec.jog_wires[idx];
                 let tx = gap_x0(w.a.1) + tx;
                 let ty = gap_y0(slabs.slot_of(w.b.0)) + ty;
-                layout.add_wire(
-                    spec.node(w.a.0, w.a.1),
-                    spec.node(w.b.0, w.b.1),
-                    WirePath::new(vec![
-                        p(ax, ay, zb),
-                        p(ax, ay, zh),
-                        p(tx, ay, zh),
-                        p(tx, ay, zv),
-                        p(tx, ty, zv),
-                        p(tx, ty, zh),
-                        p(bx, ty, zh),
-                        p(bx, ty, zv),
-                        p(bx, by, zv),
-                        p(bx, by, zb),
-                    ]),
-                );
+                corners.extend([
+                    p(ax, ay, zb),
+                    p(ax, ay, zh),
+                    p(tx, ay, zh),
+                    p(tx, ay, zv),
+                    p(tx, ty, zv),
+                    p(tx, ty, zh),
+                    p(bx, ty, zh),
+                    p(bx, ty, zv),
+                    p(bx, by, zv),
+                    p(bx, by, zb),
+                ]);
+                (spec.node(w.a.0, w.a.1), spec.node(w.b.0, w.b.1))
             }
             (
                 _,
@@ -152,26 +173,48 @@ pub(crate) fn run(
                 },
             ) => {
                 let (ra, ca, rb, cb) = k.inter_ends(spec).unwrap();
-                let riser_x = gap_x0(ca) + track.track_width[ca] + riser;
+                let riser_x = gap_x0(ca) + track_width[ca] + riser;
                 let ty = gap_y0(slabs.slot_of(rb)) + ty;
-                layout.add_wire(
-                    spec.node(ra, ca),
-                    spec.node(rb, cb),
-                    WirePath::new(vec![
-                        p(ax, ay, za),
-                        p(ax, ay, zha),
-                        p(riser_x, ay, zha),
-                        p(riser_x, ay, zvb),
-                        p(riser_x, ty, zvb),
-                        p(riser_x, ty, zhb),
-                        p(bx, ty, zhb),
-                        p(bx, ty, zvb),
-                        p(bx, by, zvb),
-                        p(bx, by, zb),
-                    ]),
-                );
+                corners.extend([
+                    p(ax, ay, za),
+                    p(ax, ay, zha),
+                    p(riser_x, ay, zha),
+                    p(riser_x, ay, zvb),
+                    p(riser_x, ty, zvb),
+                    p(riser_x, ty, zhb),
+                    p(bx, ty, zhb),
+                    p(bx, ty, zvb),
+                    p(bx, by, zvb),
+                    p(bx, by, zb),
+                ]);
+                (spec.node(ra, ca), spec.node(rb, cb))
             }
             _ => unreachable!("wire kind / track / layer assignment mismatch"),
+        };
+        Wire {
+            u,
+            v,
+            path: WirePath::new(corners),
+        }
+    };
+
+    if kinds.len() >= super::par_wire_threshold() && exec::thread_count() > 1 {
+        let built = exec::par_chunk_map(kinds, 1, |start, chunk| {
+            (0..chunk.len())
+                .map(|j| build(start + j, Vec::with_capacity(10)))
+                .collect()
+        });
+        layout.wires.extend(built);
+    } else {
+        for ki in 0..kinds.len() {
+            let corners = match path_pool.pop() {
+                Some(mut v) => {
+                    v.clear();
+                    v
+                }
+                None => Vec::with_capacity(10),
+            };
+            layout.wires.push(build(ki, corners));
         }
     }
     layout

@@ -13,8 +13,8 @@
 //! group; the riser climbs between the two in `z`.
 
 use super::WireKind;
-use crate::passes::placement::Placement;
-use crate::passes::tracks::{TrackAssign, TrackPlan};
+use crate::arena::Scratch;
+use crate::passes::tracks::TrackAssign;
 use crate::spec::OrthogonalSpec;
 
 /// Layer assignment for one wire.
@@ -22,64 +22,68 @@ use crate::spec::OrthogonalSpec;
 pub(crate) enum LayerAssign {
     /// Intra-slab wire: terminal layer `zb`, x-run layer `zh`, y-run
     /// layer `zv`.
-    Intra { zb: i32, zh: i32, zv: i32 },
+    Intra {
+        /// Terminal (slab base) layer.
+        zb: i32,
+        /// x-run layer.
+        zh: i32,
+        /// y-run layer.
+        zv: i32,
+    },
     /// Slab-crossing wire: source terminal/x-run layers (`za`, `zha`)
     /// and destination terminal/x-run/y-run layers (`zb`, `zhb`, `zvb`).
     Inter {
+        /// Source terminal layer.
         za: i32,
+        /// Source-slab x-run layer.
         zha: i32,
+        /// Destination terminal layer.
         zb: i32,
+        /// Destination-slab x-run layer.
         zhb: i32,
+        /// Destination-slab y-run layer.
         zvb: i32,
     },
 }
 
-/// The layers pass product: per-wire assignment, parallel to
-/// `Placement::kinds`.
-pub(crate) struct LayerPlan {
-    pub assign: Vec<LayerAssign>,
-}
-
-/// Run the layers pass.
-pub(crate) fn run(spec: &OrthogonalSpec, place: &Placement, track: &TrackPlan) -> LayerPlan {
-    let slabs = &place.slabs;
-    let assign = place
-        .kinds
-        .iter()
-        .zip(&track.assign)
-        .map(|(k, t)| {
-            let home_row = match *k {
-                WireKind::Row { idx } => spec.row_wires[idx].row,
-                WireKind::Col { idx } => spec.col_wires[idx].lo,
-                WireKind::Jog { idx } => spec.jog_wires[idx].a.0,
-                _ => {
-                    let (ra, _, rb, _) = k.inter_ends(spec).unwrap();
-                    let TrackAssign::Inter {
-                        group_a, group_b, ..
-                    } = *t
-                    else {
-                        unreachable!("inter wire without inter track assignment")
-                    };
-                    let za = slabs.zbase(slabs.slab_of(ra));
-                    let zb = slabs.zbase(slabs.slab_of(rb));
-                    let zvb = zb + 2 * group_b as i32 + 1;
-                    return LayerAssign::Inter {
-                        za,
-                        zha: za + 2 * group_a as i32,
-                        zb,
-                        zhb: zvb - 1,
-                        zvb,
-                    };
-                }
-            };
-            let zb = slabs.zbase(slabs.slab_of(home_row));
-            let g = t.home_group() as i32;
-            LayerAssign::Intra {
-                zb,
-                zh: zb + 2 * g,
-                zv: zb + 2 * g + 1,
+/// Run the layers pass, filling the scratch's `layer` column (parallel
+/// to `kinds`).
+pub(crate) fn run(spec: &OrthogonalSpec, s: &mut Scratch) {
+    let slabs = s.slabs;
+    s.layer.clear();
+    s.layer.reserve(s.kinds.len());
+    for (k, t) in s.kinds.iter().zip(&s.assign) {
+        let home_row = match *k {
+            WireKind::Row { idx } => spec.row_wires[idx].row,
+            WireKind::Col { idx } => spec.col_wires[idx].lo,
+            WireKind::Jog { idx } => spec.jog_wires[idx].a.0,
+            _ => {
+                let (ra, _, rb, _) = k.inter_ends(spec).unwrap();
+                let TrackAssign::Inter {
+                    group_a, group_b, ..
+                } = *t
+                else {
+                    unreachable!("inter wire without inter track assignment")
+                };
+                let za = slabs.zbase(slabs.slab_of(ra));
+                let zb = slabs.zbase(slabs.slab_of(rb));
+                let zvb = zb + 2 * group_b as i32 + 1;
+                s.layer.push(LayerAssign::Inter {
+                    za,
+                    zha: za + 2 * group_a as i32,
+                    zb,
+                    zhb: zvb - 1,
+                    zvb,
+                });
+                continue;
             }
-        })
-        .collect();
-    LayerPlan { assign }
+        };
+        let zb = slabs.zbase(slabs.slab_of(home_row));
+        let g = t.home_group() as i32;
+        s.layer.push(LayerAssign::Intra {
+            zb,
+            zh: zb + 2 * g,
+            zv: zb + 2 * g + 1,
+        });
+    }
 }

@@ -26,19 +26,40 @@
 //! [`mod@crate::realize`] runs it with a single slab (`L_A = 1`) and
 //! [`crate::realize3d`] with `L_A ≥ 1` slabs — the 2-D scheme *is* the
 //! 1-slab special case, so the two no longer duplicate the track and
-//! terminal machinery. Each pass produces one IR product
-//! (`Placement`, `TrackPlan`, `LayerPlan`), which keeps the per-stage
-//! track accounting explicit so alternative track-assignment passes can
-//! be swapped in per stage.
+//! terminal machinery.
+//!
+//! The IR is **struct-of-arrays**: every pass reads and writes flat
+//! index vectors inside one reusable `crate::arena::Scratch`
+//! (terminal slots indexed `2·ki + hi_end`, track/layer assignments
+//! parallel to `kinds`, packed sort records for the terminal and
+//! colouring disciplines). Per-stage products stay explicit — they are
+//! just columns of the scratch instead of per-pass structs — so
+//! alternative track-assignment passes can still be swapped in, while
+//! a reused scratch makes the steady-state pipeline allocation-free.
 
 pub(crate) mod emit;
 pub(crate) mod layers;
 pub(crate) mod placement;
 pub(crate) mod tracks;
 
+use crate::arena::Scratch;
 use crate::realize::JogStrategy;
 use crate::spec::OrthogonalSpec;
 use mlv_grid::layout::Layout;
+
+/// Wire count above which the placement/emit passes fan out
+/// intra-layout over `mlv_core::exec` (sorting terminal items and
+/// interval records, building wire paths per chunk). Below it the
+/// sequential paths — which also recycle pooled buffers — win.
+/// `MLV_PAR_WIRES` overrides (CI sets `MLV_PAR_WIRES=1` to force the
+/// parallel paths and `cmp` their output against sequential runs).
+pub(crate) fn par_wire_threshold() -> usize {
+    std::env::var("MLV_PAR_WIRES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(10_000)
+}
 
 /// Pipeline configuration shared by every pass.
 #[derive(Clone, Debug)]
@@ -174,34 +195,39 @@ impl PassTimings {
     }
 }
 
-/// Run the full pipeline: placement → tracks → layers → emit. Each
-/// stage runs under its [`PASS_SPANS`] span (inert unless a trace is
-/// installed), with the whole pipeline wrapped in [`SPAN_PIPELINE`].
-pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig) -> Layout {
+/// Run the full pipeline: placement → tracks → layers → emit, filling
+/// (and reusing) the caller's [`Scratch`]. Each stage runs under its
+/// [`PASS_SPANS`] span (inert unless a trace is installed), with the
+/// whole pipeline wrapped in [`SPAN_PIPELINE`].
+pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> Layout {
     let _pipeline = mlv_core::span!(SPAN_PIPELINE);
-    let place = {
+    {
         let _s = mlv_core::span!(PASS_SPANS[0]);
-        placement::run(spec, cfg)
-    };
-    let track = {
+        placement::run(spec, cfg, s);
+    }
+    {
         let _s = mlv_core::span!(PASS_SPANS[1]);
-        tracks::run(spec, cfg, &place)
-    };
-    let layer = {
+        tracks::run(spec, cfg, s);
+    }
+    {
         let _s = mlv_core::span!(PASS_SPANS[2]);
-        layers::run(spec, &place, &track)
-    };
+        layers::run(spec, s);
+    }
     let _s = mlv_core::span!(PASS_SPANS[3]);
-    emit::run(spec, cfg, &place, &track, &layer)
+    emit::run(spec, cfg, s)
 }
 
 /// [`run_pipeline`] under a local [`mlv_core::trace::Trace`], with the
 /// per-pass span totals extracted into a [`PassTimings`]. Events also
 /// flow into any enclosing trace (nesting), so a run-wide trace still
 /// sees every pass span of every timed realization.
-pub(crate) fn run_pipeline_timed(spec: &OrthogonalSpec, cfg: &PassConfig) -> (Layout, PassTimings) {
+pub(crate) fn run_pipeline_timed(
+    spec: &OrthogonalSpec,
+    cfg: &PassConfig,
+    s: &mut Scratch,
+) -> (Layout, PassTimings) {
     let local = mlv_core::trace::Trace::new();
-    let layout = local.collect(|| run_pipeline(spec, cfg));
+    let layout = local.collect(|| run_pipeline(spec, cfg, s));
     let timings = PassTimings::from_trace(&local.aggregate());
     (layout, timings)
 }

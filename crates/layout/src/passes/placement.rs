@@ -16,15 +16,25 @@
 //! same offset would hit it. They are therefore allocated from a
 //! per-(slot, col) counter that starts above every stack member's
 //! intra-wire demand.
+//!
+//! The terminal discipline is implemented as **one flat sorted array**
+//! instead of per-cell vectors: every terminal becomes a packed
+//! [`crate::arena::TermItem`] keyed `(cell, edge, class, ki, hi_end)`,
+//! one global (parallel) sort groups each node edge into a contiguous
+//! run, and a terminal's offset is its position within its run — the
+//! exact offsets the per-cell stable sorts produced, at a fraction of
+//! the allocation and branching.
 
 use super::{PassConfig, SlabMap, WireKind};
+use crate::arena::{Scratch, TermItem};
 use crate::spec::OrthogonalSpec;
-use std::collections::BTreeMap;
+use mlv_core::exec;
 
 /// Which node edge a terminal sits on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub(crate) enum Edge {
     /// Top edge: offset is in x from the node's left side.
+    #[default]
     Top,
     /// Right edge: offset is in y from the node's bottom side.
     Right,
@@ -32,7 +42,7 @@ pub(crate) enum Edge {
 
 /// A terminal's node-local slot; the emit pass turns it into absolute
 /// coordinates once gap widths are known.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct TermSlot {
     /// Grid row of the owning node.
     pub row: usize,
@@ -44,106 +54,129 @@ pub(crate) struct TermSlot {
     pub off: i64,
 }
 
-/// The placement pass product.
-pub(crate) struct Placement {
-    /// Row-block-to-slab mapping.
-    pub slabs: SlabMap,
-    /// Per-wire classification, in emission order (rows, cols, jogs).
-    pub kinds: Vec<WireKind>,
-    /// Node footprint side `s` (max terminal demand + 1, or the
-    /// caller's larger override).
-    pub side: i64,
-    /// Terminal slot per `(kinds index, is_hi_or_b_end)`.
-    pub term: BTreeMap<(usize, bool), TermSlot>,
+// TermItem packing: (cell·8 | edge·4 | class, ki·2 | hi_end)
+const EDGE_TOP: u64 = 0;
+const EDGE_RIGHT: u64 = 1;
+
+fn pack(cell: usize, edge: u64, class: u64, ki: usize, hi_end: bool) -> TermItem {
+    (
+        ((cell as u64) << 3) | (edge << 2) | class,
+        ((ki as u64) << 1) | hi_end as u64,
+    )
 }
 
-/// Run the placement pass.
+/// Run the placement pass, filling the scratch's placement columns
+/// (`slabs`, `kinds`, `side`, `term`).
 ///
 /// # Panics
 /// If `cfg.node_side` is below the computed terminal demand.
-pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig) -> Placement {
+pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) {
     let (rows, cols) = (spec.rows, spec.cols);
     let slabs = SlabMap {
         slots: rows.div_ceil(cfg.active_layers),
         slab_layers: cfg.slab_layers(),
     };
+    s.slabs = slabs;
 
     // --- classify wires ------------------------------------------------
-    let mut kinds: Vec<WireKind> = Vec::with_capacity(spec.wire_count());
+    s.kinds.clear();
+    s.kinds.reserve(spec.wire_count());
     for (i, _) in spec.row_wires.iter().enumerate() {
-        kinds.push(WireKind::Row { idx: i });
+        s.kinds.push(WireKind::Row { idx: i });
     }
     for (i, w) in spec.col_wires.iter().enumerate() {
         if slabs.slab_of(w.lo) == slabs.slab_of(w.hi) {
-            kinds.push(WireKind::Col { idx: i });
+            s.kinds.push(WireKind::Col { idx: i });
         } else {
-            kinds.push(WireKind::InterCol { idx: i });
+            s.kinds.push(WireKind::InterCol { idx: i });
         }
     }
     for (i, w) in spec.jog_wires.iter().enumerate() {
         if slabs.slab_of(w.a.0) == slabs.slab_of(w.b.0) {
-            kinds.push(WireKind::Jog { idx: i });
+            s.kinds.push(WireKind::Jog { idx: i });
         } else {
-            kinds.push(WireKind::InterJog { idx: i });
+            s.kinds.push(WireKind::InterJog { idx: i });
         }
     }
 
-    // --- terminal demand ------------------------------------------------
-    let mut top_count = vec![0usize; rows * cols];
-    let mut right_count = vec![0usize; rows * cols];
-    for w in &spec.row_wires {
-        top_count[w.row * cols + w.lo] += 1;
-        top_count[w.row * cols + w.hi] += 1;
-    }
-    for k in &kinds {
+    // --- flat terminal items --------------------------------------------
+    // class 0: arrives (from left / from below), 1: jogs, 2: departs
+    s.items.clear();
+    s.items.reserve(2 * s.kinds.len());
+    for (ki, k) in s.kinds.iter().enumerate() {
         match *k {
+            WireKind::Row { idx } => {
+                let w = &spec.row_wires[idx];
+                // at the hi end the wire arrives from the left (class 0);
+                // at the lo end it departs rightward (class 2)
+                s.items
+                    .push(pack(w.row * cols + w.hi, EDGE_TOP, 0, ki, true));
+                s.items
+                    .push(pack(w.row * cols + w.lo, EDGE_TOP, 2, ki, false));
+            }
             WireKind::Col { idx } => {
                 let w = &spec.col_wires[idx];
-                right_count[w.lo * cols + w.col] += 1;
-                right_count[w.hi * cols + w.col] += 1;
+                s.items
+                    .push(pack(w.hi * cols + w.col, EDGE_RIGHT, 0, ki, true));
+                s.items
+                    .push(pack(w.lo * cols + w.col, EDGE_RIGHT, 2, ki, false));
             }
             WireKind::Jog { idx } => {
                 let w = &spec.jog_wires[idx];
-                right_count[w.a.0 * cols + w.a.1] += 1;
-                top_count[w.b.0 * cols + w.b.1] += 1;
+                s.items
+                    .push(pack(w.a.0 * cols + w.a.1, EDGE_RIGHT, 1, ki, false));
+                s.items
+                    .push(pack(w.b.0 * cols + w.b.1, EDGE_TOP, 1, ki, true));
             }
-            WireKind::Row { .. } => {}
             _ => {
-                if let Some((ra, ca, rb, cb)) = k.inter_ends(spec) {
-                    right_count[ra * cols + ca] += 1;
-                    top_count[rb * cols + cb] += 1;
-                }
+                let (_, _, rb, cb) = k.inter_ends(spec).unwrap();
+                // the a-side terminal is stack-allocated below
+                s.items.push(pack(rb * cols + cb, EDGE_TOP, 1, ki, true));
             }
         }
     }
-    // split intra vs stack-allocated inter demand on the right edge
-    let mut intra_right = right_count.clone();
-    let mut inter_per_stack: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for k in &kinds {
+    exec::par_sort_unstable(&mut s.items);
+
+    // --- terminal demand --------------------------------------------------
+    // top demand is the longest top-edge run; intra right-edge demand is
+    // per-cell run length, maxed over each (slot, col) stack
+    let stacks = slabs.slots * cols;
+    s.stack_intra_max.clear();
+    s.stack_intra_max.resize(stacks, 0);
+    s.inter_per_stack.clear();
+    s.inter_per_stack.resize(stacks, 0);
+    let mut top_max = 0usize;
+    let mut i = 0;
+    while i < s.items.len() {
+        let gkey = s.items[i].0 >> 2; // (cell, edge)
+        let mut j = i + 1;
+        while j < s.items.len() && s.items[j].0 >> 2 == gkey {
+            j += 1;
+        }
+        let run = j - i;
+        if gkey & 1 == EDGE_TOP {
+            top_max = top_max.max(run);
+        } else {
+            let cell = (gkey >> 1) as usize;
+            let idx = slabs.slot_of(cell / cols) * cols + cell % cols;
+            s.stack_intra_max[idx] = s.stack_intra_max[idx].max(run as u32);
+        }
+        i = j;
+    }
+    for k in &s.kinds {
         if let Some((ra, ca, _, _)) = k.inter_ends(spec) {
-            intra_right[ra * cols + ca] -= 1;
-            *inter_per_stack.entry((slabs.slot_of(ra), ca)).or_insert(0) += 1;
+            s.inter_per_stack[slabs.slot_of(ra) * cols + ca] += 1;
         }
     }
-    let mut stack_intra_max: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            let e = stack_intra_max.entry((slabs.slot_of(r), c)).or_insert(0);
-            *e = (*e).max(intra_right[r * cols + c]);
-        }
-    }
-    let right_demand = stack_intra_max
+    let right_demand = s
+        .stack_intra_max
         .iter()
-        .map(|(key, &intra)| intra + inter_per_stack.get(key).copied().unwrap_or(0))
+        .zip(&s.inter_per_stack)
+        .map(|(&intra, &inter)| (intra + inter) as usize)
         .max()
         .unwrap_or(0);
-    let min_side = 1 + top_count
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0)
-        .max(right_demand) as i64;
-    let side = match cfg.node_side {
+    let min_side = 1 + top_max.max(right_demand) as i64;
+    s.side = match cfg.node_side {
         Some(side) => {
             assert!(
                 side as i64 >= min_side,
@@ -155,92 +188,49 @@ pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig) -> Placement {
     };
 
     // --- terminal slots ---------------------------------------------------
-    // class 0: arrives (from left / from below), 1: jogs, 2: departs
-    let mut top_items: Vec<Vec<(u8, usize, bool)>> = vec![Vec::new(); rows * cols];
-    let mut right_items: Vec<Vec<(u8, usize, bool)>> = vec![Vec::new(); rows * cols];
-    for (ki, k) in kinds.iter().enumerate() {
-        match *k {
-            WireKind::Row { idx } => {
-                let w = &spec.row_wires[idx];
-                // at the hi end the wire arrives from the left (class 0);
-                // at the lo end it departs rightward (class 2)
-                top_items[w.row * cols + w.hi].push((0, ki, true));
-                top_items[w.row * cols + w.lo].push((2, ki, false));
-            }
-            WireKind::Col { idx } => {
-                let w = &spec.col_wires[idx];
-                right_items[w.hi * cols + w.col].push((0, ki, true));
-                right_items[w.lo * cols + w.col].push((2, ki, false));
-            }
-            WireKind::Jog { idx } => {
-                let w = &spec.jog_wires[idx];
-                right_items[w.a.0 * cols + w.a.1].push((1, ki, false));
-                top_items[w.b.0 * cols + w.b.1].push((1, ki, true));
-            }
-            _ => {
-                let (_, _, rb, cb) = k.inter_ends(spec).unwrap();
-                // the a-side terminal is stack-allocated below
-                top_items[rb * cols + cb].push((1, ki, true));
-            }
-        }
-    }
-    let mut term: BTreeMap<(usize, bool), TermSlot> = BTreeMap::new();
-    let mut stack_counter: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for (ki, k) in kinds.iter().enumerate() {
+    s.term.clear();
+    s.term.resize(2 * s.kinds.len(), TermSlot::default());
+    // slab-crossing a-side terminals: stack-allocated past the stack's
+    // intra demand, in kinds order
+    s.stack_counter.clear();
+    s.stack_counter.resize(stacks, 0);
+    for (ki, k) in s.kinds.iter().enumerate() {
         if let Some((ra, ca, _, _)) = k.inter_ends(spec) {
-            let key = (slabs.slot_of(ra), ca);
-            let base = stack_intra_max[&key];
-            let cnt = stack_counter.entry(key).or_insert(0);
-            let off = (base + *cnt) as i64;
-            *cnt += 1;
-            term.insert(
-                (ki, false),
-                TermSlot {
-                    row: ra,
-                    col: ca,
-                    edge: Edge::Right,
-                    off,
-                },
-            );
+            let idx = slabs.slot_of(ra) * cols + ca;
+            let off = (s.stack_intra_max[idx] + s.stack_counter[idx]) as i64;
+            s.stack_counter[idx] += 1;
+            s.term[2 * ki] = TermSlot {
+                row: ra,
+                col: ca,
+                edge: Edge::Right,
+                off,
+            };
         }
     }
-    #[allow(clippy::needless_range_loop)]
-    for r in 0..rows {
-        for c in 0..cols {
-            let pos = r * cols + c;
-            let mut items = std::mem::take(&mut top_items[pos]);
-            items.sort();
-            for (off, &(_, ki, hi_end)) in items.iter().enumerate() {
-                term.insert(
-                    (ki, hi_end),
-                    TermSlot {
-                        row: r,
-                        col: c,
-                        edge: Edge::Top,
-                        off: off as i64,
-                    },
-                );
-            }
-            let mut items = std::mem::take(&mut right_items[pos]);
-            items.sort();
-            for (off, &(_, ki, hi_end)) in items.iter().enumerate() {
-                term.insert(
-                    (ki, hi_end),
-                    TermSlot {
-                        row: r,
-                        col: c,
-                        edge: Edge::Right,
-                        off: off as i64,
-                    },
-                );
-            }
+    // everything else: offset = position within the sorted (cell, edge)
+    // run, which equals the per-cell (class, ki, hi_end) sort position
+    let mut i = 0;
+    while i < s.items.len() {
+        let gkey = s.items[i].0 >> 2;
+        let cell = (gkey >> 1) as usize;
+        let (row, col) = (cell / cols, cell % cols);
+        let edge = if gkey & 1 == EDGE_TOP {
+            Edge::Top
+        } else {
+            Edge::Right
+        };
+        let mut j = i;
+        while j < s.items.len() && s.items[j].0 >> 2 == gkey {
+            let tail = s.items[j].1;
+            let (ki, hi_end) = ((tail >> 1) as usize, (tail & 1) as usize);
+            s.term[2 * ki + hi_end] = TermSlot {
+                row,
+                col,
+                edge,
+                off: (j - i) as i64,
+            };
+            j += 1;
         }
-    }
-
-    Placement {
-        slabs,
-        kinds,
-        side,
-        term,
+        i = j;
     }
 }

@@ -19,11 +19,33 @@
 //!
 //! [`WirePath`]: mlv_grid::path::WirePath
 
+use crate::arena::{self, Scratch};
 use crate::passes::{self, PassConfig};
 use crate::spec::OrthogonalSpec;
 use mlv_grid::layout::Layout;
 use mlv_topology::{Graph, NodeId};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+thread_local! {
+    /// Per-thread pass scratch reused across realizations (the batch
+    /// engine pools its own scratches instead; see `crate::arena`).
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Run `f` with this thread's reusable scratch — or a fresh one when
+/// `MLV_FRESH_ALLOC` requests the fresh-allocation debug mode or the
+/// thread-local is already borrowed (re-entrant realization from
+/// inside a pass would be a bug, but must not abort).
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    if arena::fresh_alloc_requested() {
+        return f(&mut Scratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut Scratch::new()),
+    })
+}
 
 /// How jog wires are distributed over the `⌊L/2⌋` layer groups.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -69,7 +91,17 @@ impl RealizeOptions {
 /// If the spec is invalid, `opts.layers < 2`, or `opts.node_side` is
 /// below the minimum terminal demand.
 pub fn realize(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
-    passes::run_pipeline(spec, &pass_config(spec, opts))
+    with_scratch(|s| passes::run_pipeline(spec, &pass_config(spec, opts), s))
+}
+
+/// [`realize`] with a brand-new scratch, bypassing the thread-local
+/// reuse entirely — the fresh-allocation reference the arena proptests
+/// and `bench_layout --check-regression=self` compare against.
+///
+/// # Panics
+/// As [`realize`].
+pub fn realize_fresh(spec: &OrthogonalSpec, opts: &RealizeOptions) -> Layout {
+    passes::run_pipeline(spec, &pass_config(spec, opts), &mut Scratch::new())
 }
 
 /// [`realize`], additionally reporting per-pass wall-clock timing —
@@ -82,7 +114,36 @@ pub fn realize_timed(
     spec: &OrthogonalSpec,
     opts: &RealizeOptions,
 ) -> (Layout, passes::PassTimings) {
-    passes::run_pipeline_timed(spec, &pass_config(spec, opts))
+    with_scratch(|s| passes::run_pipeline_timed(spec, &pass_config(spec, opts), s))
+}
+
+/// Return a finished [`Layout`] 's buffers to this thread's reusable
+/// scratch: its corner buffers feed the next realization's wire paths
+/// and its node/wire vectors are handed back verbatim. Call it from
+/// steady-state hot loops (realize → consume → recycle) to make
+/// repeated realization on one thread allocation-free; the batch
+/// engine does the equivalent through its scratch pool. A no-op under
+/// `MLV_FRESH_ALLOC`. Never required for correctness — dropping the
+/// layout instead merely allocates afresh next time.
+pub fn recycle(layout: Layout) {
+    if arena::fresh_alloc_requested() {
+        return;
+    }
+    SCRATCH.with(|cell| {
+        if let Ok(mut s) = cell.try_borrow_mut() {
+            s.recycle_layout(layout);
+        }
+    });
+}
+
+/// [`realize_timed`] on a caller-provided scratch — the batch engine's
+/// entry point, fed from its [`crate::arena::ScratchPool`].
+pub(crate) fn realize_timed_with(
+    spec: &OrthogonalSpec,
+    opts: &RealizeOptions,
+    s: &mut Scratch,
+) -> (Layout, passes::PassTimings) {
+    passes::run_pipeline_timed(spec, &pass_config(spec, opts), s)
 }
 
 fn pass_config(spec: &OrthogonalSpec, opts: &RealizeOptions) -> PassConfig {

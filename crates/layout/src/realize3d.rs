@@ -102,7 +102,7 @@ pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
             spec.name, opts.layers, opts.active_layers
         ),
     };
-    passes::run_pipeline(spec, &cfg)
+    crate::realize::with_scratch(|s| passes::run_pipeline(spec, &cfg, s))
 }
 
 #[cfg(test)]
