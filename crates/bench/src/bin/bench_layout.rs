@@ -207,6 +207,7 @@ impl Delta<'_> {
 /// `$GITHUB_STEP_SUMMARY` when CI provides one, and collect failures.
 fn report_deltas(
     title: &str,
+    metric: &str,
     old_label: &str,
     new_label: &str,
     bound: f64,
@@ -221,8 +222,13 @@ fn report_deltas(
         );
         if !d.ok {
             failures.push(format!(
-                "{}: median {} ns vs {} {} ns ({:.2}x > {bound}x)",
-                d.name, d.new_ns, old_label, d.old_ns, d.ratio
+                "family '{}': {metric} {} ns vs {} {} ns (+{} ns, {:.2}x > {bound}x)",
+                d.name,
+                d.new_ns,
+                old_label,
+                d.old_ns,
+                d.new_ns.saturating_sub(d.old_ns),
+                d.ratio
             ));
         }
     }
@@ -279,6 +285,7 @@ fn check_against_baseline(
     }
     report_deltas(
         "Realization medians vs. committed baseline",
+        "median",
         "baseline",
         "this run",
         REGRESSION_BOUND,
@@ -302,6 +309,7 @@ fn check_against_self(
         .collect();
     report_deltas(
         "Pooled (realize + recycle) vs. fresh-allocation fastest samples, same run",
+        "min",
         "fresh-alloc",
         "pooled",
         SELF_BOUND,

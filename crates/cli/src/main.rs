@@ -56,11 +56,11 @@ USAGE:
   mlv families [--json]
   mlv layout <family-spec> --layers <L> [--active-layers <LA>] [--check]
              [--routed] [--node-side <S>] [--svg <path>] [--save <path>]
-             [--ascii] [--json]
+             [--ascii] [--json] [--tiled]
   mlv sweep  <family-spec> --layers <L1,L2,...> [--no-check] [--trace <path>]
   mlv sweep  --lattice [--seed <u64>] [--cases <n>] [--no-check] [--trace <path>]
   mlv profile <family> [<params>] [--layers <L>] [--no-check]
-  mlv check  <layout-file.mlv>
+  mlv check  <layout-file.mlv> [--tiled]
   mlv figures [f1|f2|f3|f4|folded|layout]
   mlv conformance [--seed <u64>] [--cases <n>] [--families a,b,...]
                   [--no-inject]
@@ -84,6 +84,13 @@ checked job is illegal. --trace <path> writes the run's trace (one
 JSON object per span/counter/histogram plus a closing digest line);
 the digest covers only deterministic fields, so it is identical for
 any MLV_THREADS.
+
+`mlv layout --tiled` realizes into the hierarchical tile IR instead of
+flat geometry: a small tile table plus one instance record per wire.
+The report (and `--check`) runs through the streaming walkers, so the
+full grid is never materialized; `--save` materializes on demand —
+byte-identical to the flat realization. `mlv check --tiled` runs the
+streaming checker/metrics over a saved layout.
 
 `mlv profile` realizes one family through the engine under a trace
 and prints the trace to stdout: per-pass pipeline spans, engine and
@@ -139,6 +146,7 @@ struct Flags {
     check: bool,
     no_check: bool,
     routed: bool,
+    tiled: bool,
     lattice: bool,
     seed: Option<u64>,
     cases: Option<usize>,
@@ -158,6 +166,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         check: false,
         no_check: false,
         routed: false,
+        tiled: false,
         lattice: false,
         seed: None,
         cases: None,
@@ -190,6 +199,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--check" => f.check = true,
             "--no-check" => f.no_check = true,
             "--routed" => f.routed = true,
+            "--tiled" => f.tiled = true,
             "--lattice" => f.lattice = true,
             "--seed" => {
                 f.seed = Some(
@@ -238,6 +248,9 @@ fn cmd_layout(args: &[String]) -> ExitCode {
         Some(Err(e)) => return fail(e),
         None => 2,
     };
+    if flags.tiled {
+        return cmd_layout_tiled(&family, layers, &flags);
+    }
     let mut layout = match flags.active_layers {
         Some(la) if la > 1 => realize_3d(
             &family.spec,
@@ -290,6 +303,106 @@ fn cmd_layout(args: &[String]) -> ExitCode {
         eprintln!("wrote {path}");
     }
     if rep.checked == Some(false) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `mlv layout --tiled`: realize into the hierarchical tile IR and
+/// report through the streaming walkers — the flat grid is never
+/// materialized unless `--save` asks for it.
+fn cmd_layout_tiled(
+    family: &mlv_layout::families::Family,
+    layers: usize,
+    flags: &Flags,
+) -> ExitCode {
+    use mlv_grid::streaming::StreamSource;
+    if flags.svg.is_some() || flags.ascii || flags.routed {
+        return fail("--svg/--ascii/--routed need flat geometry; drop --tiled");
+    }
+    let tiled = match flags.active_layers {
+        Some(la) if la > 1 => mlv_layout::realize_tiled_3d(
+            &family.spec,
+            &Realize3dOptions {
+                layers,
+                active_layers: la,
+                node_side: flags.node_side,
+            },
+        ),
+        _ => mlv_layout::realize_tiled(
+            &family.spec,
+            &RealizeOptions {
+                layers,
+                node_side: flags.node_side,
+                jog_strategy: Default::default(),
+            },
+        ),
+    };
+    let m = mlv_grid::streaming::metrics_stream(&tiled);
+    let mut legal: Option<bool> = None;
+    if flags.check {
+        let r = mlv_grid::check_stream(&tiled, Some(&family.graph));
+        legal = Some(r.is_legal());
+        if !r.is_legal() {
+            eprintln!(
+                "streaming legality check FAILED: {:?}",
+                &r.errors[..r.errors.len().min(3)]
+            );
+        }
+    }
+    if flags.json {
+        println!(
+            "{{\"name\":\"{}\",\"layers\":{},\"nodes\":{},\"wires\":{},\"tiles\":{},\"digest\":\"{:#018x}\",\"width\":{},\"height\":{},\"area\":{},\"volume\":{},\"max_wire\":{},\"vias\":{}{}}}",
+            tiled.name,
+            tiled.layers,
+            tiled.node_count(),
+            tiled.wire_count(),
+            tiled.tiles.len(),
+            tiled.digest(),
+            m.width,
+            m.height,
+            m.area,
+            m.volume,
+            m.max_wire_full,
+            m.via_count,
+            match legal {
+                Some(ok) => format!(",\"legal\":{ok}"),
+                None => String::new(),
+            }
+        );
+    } else {
+        println!("{}", tiled.name);
+        println!(
+            "  tiled IR: {} tile shapes, {} instances",
+            tiled.tiles.len(),
+            tiled.instances.len()
+        );
+        println!(
+            "  nodes {}  wires {}  layers {}",
+            tiled.node_count(),
+            tiled.wire_count(),
+            tiled.layers
+        );
+        println!(
+            "  streaming metrics: {}x{} area {} volume {} max-wire {} vias {}",
+            m.width, m.height, m.area, m.volume, m.max_wire_full, m.via_count
+        );
+        println!("  tiled digest {:#018x}", tiled.digest());
+        if let Some(ok) = legal {
+            println!(
+                "  streaming legality: {}",
+                if ok { "VERIFIED" } else { "FAILED" }
+            );
+        }
+    }
+    if let Some(path) = &flags.save {
+        let layout = tiled.materialize();
+        if let Err(e) = std::fs::write(path, mlv_grid::io::write_layout(&layout)) {
+            return fail(format!("writing {path}: {e}"));
+        }
+        eprintln!("saved {path} (materialized)");
+    }
+    if legal == Some(false) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -452,7 +565,16 @@ fn cmd_profile(args: &[String]) -> ExitCode {
 /// `mlv check <file>`: load a saved layout and re-run the structural
 /// legality checks (no topology reference).
 fn cmd_check(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+    let mut tiled = false;
+    let mut path: Option<&String> = None;
+    for a in args {
+        match a.as_str() {
+            "--tiled" => tiled = true,
+            other if other.starts_with("--") => return fail(format!("unknown flag '{other}'")),
+            _ => path = Some(a),
+        }
+    }
+    let Some(path) = path else {
         return fail("missing <layout-file.mlv>");
     };
     let text = match std::fs::read_to_string(path) {
@@ -463,8 +585,16 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Ok(l) => l,
         Err(e) => return fail(format!("{path}: {e}")),
     };
-    let r = checker::check(&layout, None);
-    let m = LayoutMetrics::of(&layout);
+    // --tiled drives the streaming checker/metrics over the layout as a
+    // stream source (constant occupancy memory) instead of the full grid
+    let (r, m) = if tiled {
+        (
+            mlv_grid::check_stream(&layout, None),
+            mlv_grid::metrics_stream(&layout),
+        )
+    } else {
+        (checker::check(&layout, None), LayoutMetrics::of(&layout))
+    };
     println!(
         "{}: {} nodes, {} wires, area {}, layers {}",
         layout.name,

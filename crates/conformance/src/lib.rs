@@ -1,5 +1,5 @@
 //! Cross-family conformance harness: deterministic fuzzing of the full
-//! layout pipeline over a seeded parameter lattice, three oracles per
+//! layout pipeline over a seeded parameter lattice, four oracles per
 //! case, plus fault injection that must be caught by the checker.
 //!
 //! A run draws `cases_per_family` seeded configurations for each of the
@@ -11,6 +11,9 @@
 //!    shared invariants;
 //! 3. [`oracles::prediction_oracle`] — `mlv-formulas` leading-constant
 //!    envelopes;
+//! 4. [`oracles::tiled_oracle`] — tiled-vs-flat differential: the tiled
+//!    IR materializes byte-identically to the flat layout and its
+//!    streaming checker/metrics agree with the full-grid versions;
 //!
 //! and then one [`inject::Strategy`] per case (cycling so every
 //! strategy — and hence every `CheckError` kind — is exercised) to a
@@ -334,6 +337,7 @@ fn run_case(
         &direct.metrics,
         &thompson.metrics,
     ));
+    violations.extend(oracles::tiled_oracle(case, direct));
 
     let mut kinds = BTreeSet::new();
     let mut injected = false;

@@ -1,4 +1,4 @@
-//! The three conformance oracles, each returning human-readable
+//! The four conformance oracles, each returning human-readable
 //! violation strings (empty = pass).
 //!
 //! 1. [`checker_oracle`] — the grid legality checker with the source
@@ -13,6 +13,10 @@
 //!    volume or max wire).
 //! 3. [`prediction_oracle`] — measured area/volume/max-wire stay inside
 //!    the leading-constant envelopes derived from `mlv-formulas`.
+//! 4. [`tiled_oracle`] — the tiled IR differential: materializing the
+//!    tiled realization is byte-identical to the flat layout, and the
+//!    streaming checker/metrics walking the tile instances agree with
+//!    the full-grid checker/metrics.
 
 use crate::cases::Case;
 use mlv_grid::checker;
@@ -213,6 +217,60 @@ pub fn prediction_oracle(case: &Case, dm: &LayoutMetrics, tm: &LayoutMetrics) ->
             wlo,
             whi * wire_saturation,
         );
+    }
+    v
+}
+
+/// Oracle 4: tiled-vs-flat differential. Realizes the case's spec into
+/// the tiled IR and pins three equivalences against the flat direct
+/// realization the engine produced:
+///
+/// 1. `materialize(tiled)` is **byte-identical** to the flat layout
+///    (same FNV digest over the canonical serialization);
+/// 2. streaming metrics over the tile instances equal the full-grid
+///    [`LayoutMetrics`];
+/// 3. the streaming checker's report (errors, order, point totals)
+///    equals the full-grid checker's.
+pub fn tiled_oracle(case: &Case, direct: &mlv_layout::engine::JobOutcome) -> Vec<String> {
+    let mut v = Vec::new();
+    let l = case.label.as_str();
+    let Some(dl) = &direct.layout else {
+        return v;
+    };
+    let tiled = mlv_layout::realize_tiled(
+        &case.family.spec,
+        &mlv_layout::RealizeOptions::with_layers(case.layers),
+    );
+    let tiled_digest = mlv_layout::engine::layout_digest(&tiled.materialize());
+    if tiled_digest != direct.digest {
+        v.push(format!(
+            "[{l}] tiled materialization digest {tiled_digest:#018x} != flat {:#018x}",
+            direct.digest
+        ));
+    }
+    let sm = mlv_grid::streaming::metrics_stream(&tiled);
+    if sm != direct.metrics {
+        v.push(format!(
+            "[{l}] streaming metrics diverge: tiled {sm:?} vs flat {:?}",
+            direct.metrics
+        ));
+    }
+    let full = checker::check(dl, Some(&case.family.graph));
+    let stream = mlv_grid::streaming::check_stream(&tiled, Some(&case.family.graph));
+    if stream.errors != full.errors {
+        v.push(format!(
+            "[{l}] streaming checker errors diverge: {} streaming vs {} full (first: {:?} vs {:?})",
+            stream.errors.len(),
+            full.errors.len(),
+            stream.errors.first(),
+            full.errors.first(),
+        ));
+    }
+    if (stream.wire_points, stream.node_points) != (full.wire_points, full.node_points) {
+        v.push(format!(
+            "[{l}] streaming point totals diverge: wires {} vs {}, nodes {} vs {}",
+            stream.wire_points, full.wire_points, stream.node_points, full.node_points
+        ));
     }
     v
 }

@@ -1,0 +1,88 @@
+//! Streaming-vs-full checker differential over the reference corpus.
+//!
+//! The reference corpus is every registry example spec realized at the
+//! layer budgets {2, 3, 4, 8} — legal and illegal alike, the streaming
+//! checker walking a layout as a [`mlv_grid::StreamSource`] must
+//! produce *exactly* the report the full-grid checker does: same error
+//! list (values and order), same point totals, same metrics. On top of
+//! the clean corpus, every [`inject::Strategy`] fault is applied to a
+//! known-legal layout and must be caught through the streaming path
+//! with the same `CheckError` kind — and, stronger, the identical
+//! report.
+
+use mlv_conformance::inject;
+use mlv_core::rng::Rng;
+use mlv_grid::checker;
+use mlv_grid::layout::Layout;
+use mlv_grid::metrics::LayoutMetrics;
+use mlv_layout::{families, registry};
+use mlv_topology::Graph;
+
+/// Assert the streaming report equals the full-grid report on `layout`
+/// (`CheckReport` carries no `PartialEq`; compare field by field).
+fn assert_reports_agree(tag: &str, layout: &Layout, graph: Option<&Graph>) {
+    let full = checker::check(layout, graph);
+    let stream = mlv_grid::check_stream(layout, graph);
+    assert_eq!(
+        stream.errors, full.errors,
+        "{tag}: streaming error list diverged from full checker"
+    );
+    assert_eq!(stream.wire_points, full.wire_points, "{tag}: wire points");
+    assert_eq!(stream.node_points, full.node_points, "{tag}: node points");
+    assert_eq!(
+        mlv_grid::metrics_stream(layout),
+        LayoutMetrics::of(layout),
+        "{tag}: streaming metrics diverged"
+    );
+}
+
+#[test]
+fn streaming_checker_matches_full_on_reference_corpus() {
+    let mut corpus = 0;
+    for entry in registry::REGISTRY {
+        let family = registry::parse(entry.example)
+            .unwrap_or_else(|e| panic!("{}: bad example: {e}", entry.name));
+        for layers in [2usize, 3, 4, 8] {
+            let layout = family.realize(layers);
+            assert_reports_agree(
+                &format!("{} @ L={layers}", entry.example),
+                &layout,
+                Some(&family.graph),
+            );
+            corpus += 1;
+        }
+    }
+    assert!(corpus >= 80, "reference corpus shrank: {corpus} layouts");
+}
+
+#[test]
+fn every_injected_fault_caught_identically_through_streaming() {
+    let fam = families::hypercube(4);
+    let base = fam.realize(4);
+    checker::assert_legal(&base, Some(&fam.graph));
+
+    let mut rng = Rng::seed_from_u64(0x7157_11ED);
+    for strategy in inject::Strategy::ALL {
+        let mut mutated = base.clone();
+        let Some(done) = inject::inject(&mut mutated, strategy, &mut rng) else {
+            panic!(
+                "{}: strategy not applicable to hypercube(4)",
+                strategy.name()
+            );
+        };
+        let stream = mlv_grid::check_stream(&mutated, Some(&fam.graph));
+        let kinds: Vec<&'static str> = stream.errors.iter().map(|e| e.kind()).collect();
+        assert!(
+            kinds.contains(&strategy.expected_kind()),
+            "{} ({}): streaming checker missed {}, saw {kinds:?}",
+            strategy.name(),
+            done.detail,
+            strategy.expected_kind()
+        );
+        assert_reports_agree(
+            &format!("inject {} ({})", strategy.name(), done.detail),
+            &mutated,
+            Some(&fam.graph),
+        );
+    }
+}

@@ -35,6 +35,7 @@ pub mod layout;
 pub mod metrics;
 pub mod path;
 pub mod render;
+pub mod streaming;
 pub mod svg;
 
 pub use checker::{check, CheckError, CheckReport};
@@ -42,3 +43,4 @@ pub use geom::{Point3, Rect};
 pub use layout::{Layout, NodePlacement, Wire};
 pub use metrics::LayoutMetrics;
 pub use path::WirePath;
+pub use streaming::{check_stream, metrics_stream, StreamSource};

@@ -1,0 +1,653 @@
+//! Streaming legality checking and metrics over abstract layout
+//! sources.
+//!
+//! The full checker ([`crate::checker::check`]) indexes every footprint
+//! grid point in a hash map and sorts every occupied wire point at
+//! once — O(cells) memory, hopeless at 2²⁰ nodes. This module walks a
+//! [`StreamSource`] instead: any producer that can enumerate node
+//! placements and wire corner sequences on demand (the flat
+//! [`Layout`], or a tiled IR that expands each tile instance into a
+//! ~10-corner buffer as it goes). Peak memory is
+//! O(nodes + one occupancy stripe), never O(grid cells):
+//!
+//! * the per-point footprint hash map is replaced by a per-layer rect
+//!   index (sorted by `x0`, prefix-max over `x1` for early exit) whose
+//!   later-placement-wins rule reproduces the hash map's
+//!   later-insert-wins semantics point for point;
+//! * cross-wire occupancy is checked in **x-stripes**: the x-range is
+//!   partitioned so each stripe holds a bounded number of points, each
+//!   stripe is collected/sorted/scanned independently, and — because
+//!   [`Point3`]'s lexicographic order sorts on `x` first — the stripe
+//!   concatenation *is* the full checker's globally sorted occupancy
+//!   sequence, so conflicts surface in the identical order.
+//!
+//! The produced [`CheckReport`] (error list, order, truncation at
+//! [`CheckReport::ERROR_CAP`], point totals) is field-for-field equal
+//! to the full checker's on the same geometry; the conformance
+//! harness's tiled-vs-flat differential oracle pins this equivalence
+//! across the seeded lattice.
+
+use crate::checker::{CheckError, CheckReport};
+use crate::geom::{Point3, Rect};
+use crate::hasher::FxBuildHasher;
+use crate::layout::{Layout, NodePlacement};
+use crate::metrics::LayoutMetrics;
+use crate::path::WirePath;
+use mlv_core::exec;
+use mlv_topology::{Graph, NodeId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Points collected per occupancy stripe before the stripe count grows
+/// (~4M points ≈ 100 MB of `(Point3, u32)` records).
+const STRIPE_POINTS: u64 = 1 << 22;
+
+/// Upper bound on occupancy stripes (each stripe is one pass over the
+/// source's wires).
+const MAX_STRIPES: i64 = 4096;
+
+/// An abstract layout that can be walked without materializing it.
+///
+/// Implementors enumerate node placements and wire geometry through
+/// callbacks, in the same order a materialized [`Layout`] would store
+/// them — the streaming checker's reports are only byte-identical to
+/// the full checker's when the iteration order matches. Wire corner
+/// slices may be backed by a buffer reused between callback
+/// invocations; callers must not retain them.
+pub trait StreamSource {
+    /// Layout name (diagnostics only).
+    fn name(&self) -> &str;
+    /// Layer budget `L`.
+    fn layers(&self) -> usize;
+    /// Number of node placements [`StreamSource::visit_nodes`] yields.
+    fn node_count(&self) -> usize;
+    /// Number of wires [`StreamSource::visit_wires`] yields.
+    fn wire_count(&self) -> usize;
+    /// Enumerate every node placement, in layout order.
+    fn visit_nodes(&self, f: &mut dyn FnMut(NodePlacement));
+    /// Enumerate every wire — endpoints plus the raw corner sequence —
+    /// in layout order.
+    fn visit_wires(&self, f: &mut dyn FnMut(NodeId, NodeId, &[Point3]));
+}
+
+impl StreamSource for Layout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layers(&self) -> usize {
+        self.layers
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn wire_count(&self) -> usize {
+        self.wires.len()
+    }
+
+    fn visit_nodes(&self, f: &mut dyn FnMut(NodePlacement)) {
+        for n in &self.nodes {
+            f(n.clone());
+        }
+    }
+
+    fn visit_wires(&self, f: &mut dyn FnMut(NodeId, NodeId, &[Point3])) {
+        for w in &self.wires {
+            f(w.u, w.v, w.path.corners());
+        }
+    }
+}
+
+/// Per-layer footprint index: rects sorted by `x0` with a running
+/// prefix maximum of `x1`, so a point query scans only the rects whose
+/// x-span can still reach it. Ties (overlapping rects — themselves a
+/// reported violation) resolve to the **latest** placement, matching
+/// the full checker's per-point hash-map inserts where later nodes
+/// overwrite earlier ones.
+struct FpIndex {
+    by_layer: HashMap<i32, LayerRects, FxBuildHasher>,
+}
+
+struct LayerRects {
+    /// `(rect, placement index, node)`, sorted by `(x0, index)`.
+    entries: Vec<(Rect, u32, NodeId)>,
+    /// `prefix_max_x1[j] = max(entries[..=j].x1)`.
+    prefix_max_x1: Vec<i64>,
+}
+
+impl FpIndex {
+    fn build(placements: &[NodePlacement]) -> FpIndex {
+        let mut by_layer: HashMap<i32, LayerRects, FxBuildHasher> = HashMap::default();
+        for (i, n) in placements.iter().enumerate() {
+            by_layer
+                .entry(n.layer)
+                .or_insert_with(|| LayerRects {
+                    entries: Vec::new(),
+                    prefix_max_x1: Vec::new(),
+                })
+                .entries
+                .push((n.rect, i as u32, n.node));
+        }
+        for lr in by_layer.values_mut() {
+            lr.entries.sort_unstable_by_key(|&(r, i, _)| (r.x0, i));
+            let mut max_x1 = i64::MIN;
+            lr.prefix_max_x1 = lr
+                .entries
+                .iter()
+                .map(|&(r, _, _)| {
+                    max_x1 = max_x1.max(r.x1);
+                    max_x1
+                })
+                .collect();
+        }
+        FpIndex { by_layer }
+    }
+
+    /// The node owning grid point `(x, y)` on `layer`, if any —
+    /// the latest-placed among all containing footprints.
+    fn query(&self, x: i64, y: i64, layer: i32) -> Option<NodeId> {
+        let lr = self.by_layer.get(&layer)?;
+        let mut j = lr.entries.partition_point(|&(r, _, _)| r.x0 <= x);
+        let mut best: Option<(u32, NodeId)> = None;
+        while j > 0 {
+            j -= 1;
+            if lr.prefix_max_x1[j] < x {
+                break;
+            }
+            let (r, idx, node) = lr.entries[j];
+            if r.contains_xy(x, y) && best.is_none_or(|(b, _)| idx > b) {
+                best = Some((idx, node));
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+}
+
+/// Per-wire structural validation — the exact error sequence the full
+/// checker's parallel per-wire closure produces for wire `i`.
+#[allow(clippy::too_many_arguments)]
+fn scan_wire(
+    i: usize,
+    u: NodeId,
+    v: NodeId,
+    path: &WirePath,
+    layers: i32,
+    fp: &FpIndex,
+    placed: &HashMap<NodeId, i32, FxBuildHasher>,
+    errors: &mut Vec<CheckError>,
+) {
+    if let Err(e) = path.validate() {
+        errors.push(CheckError::BadPath {
+            wire: i,
+            reason: format!("{e:?}"),
+        });
+        return; // point iteration unsafe on broken paths
+    }
+    for c in path.corners() {
+        if c.z < 0 || c.z >= layers {
+            errors.push(CheckError::LayerOutOfRange { wire: i, point: *c });
+        }
+    }
+    for (node, pt) in [(u, path.start()), (v, path.end())] {
+        match placed.get(&node) {
+            None => errors.push(CheckError::MissingNode { node }),
+            Some(&layer) => {
+                if pt.z != layer || fp.query(pt.x, pt.y, layer) != Some(node) {
+                    errors.push(CheckError::BadTerminal {
+                        wire: i,
+                        node,
+                        point: pt,
+                    });
+                }
+            }
+        }
+    }
+    for p in path.points() {
+        if let Some(owner) = fp.query(p.x, p.y, p.z) {
+            if owner != u && owner != v {
+                errors.push(CheckError::WireThroughNode {
+                    wire: i,
+                    node: owner,
+                    point: p,
+                });
+            }
+        }
+    }
+}
+
+/// Emit the wire's occupied grid points whose `x` falls in `[lo, hi)`,
+/// tagged with the wire index — the same point sequence
+/// [`WirePath::points`] enumerates, sub-ranged per segment so the cost
+/// is O(corners + emitted points) rather than O(all points).
+fn emit_stripe_points(
+    corners: &[Point3],
+    wire: u32,
+    lo: i64,
+    hi: i64,
+    out: &mut Vec<(Point3, u32)>,
+) {
+    let Some(&p0) = corners.first() else { return };
+    if p0.x >= lo && p0.x < hi {
+        out.push((p0, wire));
+    }
+    for w in corners.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let steps = a.manhattan(&b) as i64;
+        if steps == 0 {
+            continue;
+        }
+        let dx = (b.x - a.x).signum();
+        let dy = (b.y - a.y).signum();
+        let dz = (b.z - a.z).signum();
+        let (t0, t1) = if dx == 0 {
+            if a.x >= lo && a.x < hi {
+                (1, steps)
+            } else {
+                continue;
+            }
+        } else if dx > 0 {
+            ((lo - a.x).max(1), (hi - 1 - a.x).min(steps))
+        } else {
+            ((a.x - (hi - 1)).max(1), (a.x - lo).min(steps))
+        };
+        for t in t0..=t1 {
+            out.push((
+                Point3 {
+                    x: a.x + dx * t,
+                    y: a.y + dy * t,
+                    z: a.z + dz * t as i32,
+                },
+                wire,
+            ));
+        }
+    }
+}
+
+/// Streaming legality check: the full checker's verdict — same errors,
+/// same order, same [`CheckReport::ERROR_CAP`] truncation, same point
+/// totals — computed without materializing the source.
+pub fn check_stream<S: StreamSource + ?Sized>(src: &S, reference: Option<&Graph>) -> CheckReport {
+    let _span = mlv_core::span!("checker.stream.check");
+    let mut errors: Vec<CheckError> = Vec::new();
+    let cap = CheckReport::ERROR_CAP;
+
+    let mut placements: Vec<NodePlacement> = Vec::with_capacity(src.node_count());
+    src.visit_nodes(&mut |n| placements.push(n));
+
+    // --- node footprints: pairwise disjoint ---
+    let mut rects: Vec<(usize, &NodePlacement)> = placements.iter().enumerate().collect();
+    rects.sort_by_key(|(_, n)| (n.layer, n.rect.x0));
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            if rects[j].1.layer != rects[i].1.layer || rects[j].1.rect.x0 > rects[i].1.rect.x1 {
+                break;
+            }
+            if rects[i].1.rect.intersects(&rects[j].1.rect) {
+                errors.push(CheckError::NodeOverlap {
+                    a: rects[i].1.node,
+                    b: rects[j].1.node,
+                });
+                if errors.len() >= cap {
+                    return finish_stream(src, &placements, errors);
+                }
+            }
+        }
+    }
+    drop(rects);
+
+    let fp = FpIndex::build(&placements);
+    let placed: HashMap<NodeId, i32, FxBuildHasher> =
+        placements.iter().map(|n| (n.node, n.layer)).collect();
+
+    // --- per-wire validation (sequential; error order matches the
+    // full checker's in-order chunk recombination) ---
+    let layers = src.layers() as i32;
+    let mut buf: Vec<Point3> = Vec::with_capacity(16);
+    let mut widx = 0usize;
+    let (mut min_x, mut max_x) = (i64::MAX, i64::MIN);
+    let mut total_points: u64 = 0;
+    let mut multiset: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
+    let mut capped = false;
+    src.visit_wires(&mut |u, v, corners| {
+        let i = widx;
+        widx += 1;
+        if capped {
+            return;
+        }
+        for c in corners {
+            min_x = min_x.min(c.x);
+            max_x = max_x.max(c.x);
+        }
+        if reference.is_some() {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            *multiset.entry(key).or_insert(0) += 1;
+        }
+        let mut b = std::mem::take(&mut buf);
+        b.clear();
+        b.extend_from_slice(corners);
+        let path = WirePath::new(b);
+        total_points += path.length() + 1;
+        scan_wire(i, u, v, &path, layers, &fp, &placed, &mut errors);
+        buf = path.into_corners();
+        if errors.len() >= cap {
+            errors.truncate(cap);
+            capped = true;
+        }
+    });
+    if capped {
+        return finish_stream(src, &placements, errors);
+    }
+
+    // --- cross-wire point disjointness (x-striped) ---
+    if widx > 0 && total_points > 0 {
+        let stripes = (total_points.div_ceil(STRIPE_POINTS) as i64).min(MAX_STRIPES);
+        let span = max_x - min_x + 1;
+        let width = ((span + stripes - 1) / stripes).max(1);
+        let mut occ: Vec<(Point3, u32)> = Vec::new();
+        let mut stripe_lo = min_x;
+        while stripe_lo <= max_x {
+            let stripe_hi = stripe_lo.saturating_add(width).min(max_x + 1);
+            occ.clear();
+            let mut wi = 0u32;
+            src.visit_wires(&mut |_, _, corners| {
+                emit_stripe_points(corners, wi, stripe_lo, stripe_hi, &mut occ);
+                wi += 1;
+            });
+            exec::par_sort_unstable(&mut occ);
+            for pair in occ.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    errors.push(CheckError::WireConflict {
+                        a: pair[0].1 as usize,
+                        b: pair[1].1 as usize,
+                        point: pair[0].0,
+                    });
+                    if errors.len() >= cap {
+                        return finish_stream(src, &placements, errors);
+                    }
+                }
+            }
+            stripe_lo = stripe_hi;
+        }
+    }
+
+    // --- topology verification ---
+    if let Some(g) = reference {
+        if placements.len() != g.node_count() {
+            errors.push(CheckError::TopologyMismatch {
+                detail: format!(
+                    "{} nodes placed, graph has {}",
+                    placements.len(),
+                    g.node_count()
+                ),
+            });
+        }
+        let edges = g.edge_multiset();
+        if multiset != edges {
+            let detail = multiset
+                .iter()
+                .find(|(k, v)| edges.get(k) != Some(v))
+                .map(|(k, v)| {
+                    format!(
+                        "pair {k:?}: {v} wire(s) vs {} edge(s)",
+                        edges.get(k).copied().unwrap_or(0)
+                    )
+                })
+                .or_else(|| {
+                    edges
+                        .iter()
+                        .find(|(k, _)| !multiset.contains_key(k))
+                        .map(|(k, v)| format!("pair {k:?}: 0 wires vs {v} edge(s)"))
+                })
+                .unwrap_or_else(|| "multiset mismatch".to_string());
+            errors.push(CheckError::TopologyMismatch { detail });
+        }
+    }
+
+    finish_stream(src, &placements, errors)
+}
+
+fn finish_stream<S: StreamSource + ?Sized>(
+    src: &S,
+    placements: &[NodePlacement],
+    errors: Vec<CheckError>,
+) -> CheckReport {
+    // raw corner windows: zero-length segments contribute 0, so the sum
+    // equals the deduplicated WirePath length the full checker totals
+    let mut wire_points: u64 = 0;
+    src.visit_wires(&mut |_, _, corners| {
+        if corners.is_empty() {
+            return;
+        }
+        let len: u64 = corners.windows(2).map(|w| w[0].manhattan(&w[1])).sum();
+        wire_points += len + 1;
+    });
+    let node_points: u64 = placements.iter().map(|n| n.rect.point_count()).sum();
+    mlv_core::counter!("checker.stream.checks", 1);
+    mlv_core::counter!("checker.stream.errors", errors.len() as u64);
+    CheckReport {
+        errors,
+        wire_points,
+        node_points,
+    }
+}
+
+/// Streaming metrics: [`LayoutMetrics::of`] computed from one walk of
+/// the source's nodes and wires, never holding more than one wire's
+/// corners.
+pub fn metrics_stream<S: StreamSource + ?Sized>(src: &S) -> LayoutMetrics {
+    let mut bb: Option<Rect> = None;
+    let mut max_used_layer = 0i32;
+    src.visit_nodes(&mut |n| {
+        bb = Some(match bb {
+            Some(r) => r.union(&n.rect),
+            None => n.rect,
+        });
+    });
+    let (mut max_wire_planar, mut max_wire_full) = (0u64, 0u64);
+    let (mut total_wire, mut via_count) = (0u64, 0u64);
+    src.visit_wires(&mut |_, _, corners| {
+        let (mut planar, mut vias) = (0u64, 0u64);
+        for c in corners {
+            match &mut bb {
+                Some(r) => r.expand_to(c.x, c.y),
+                None => bb = Some(Rect::new(c.x, c.y, c.x, c.y)),
+            }
+            max_used_layer = max_used_layer.max(c.z);
+        }
+        for w in corners.windows(2) {
+            planar += w[0].x.abs_diff(w[1].x) + w[0].y.abs_diff(w[1].y);
+            vias += w[0].z.abs_diff(w[1].z) as u64;
+        }
+        let full = planar + vias;
+        max_wire_planar = max_wire_planar.max(planar);
+        max_wire_full = max_wire_full.max(full);
+        total_wire += full;
+        via_count += vias;
+    });
+    let (width, height) = match bb {
+        Some(bb) => (bb.width(), bb.height()),
+        None => (0, 0),
+    };
+    let area = width * height;
+    LayoutMetrics {
+        width,
+        height,
+        area,
+        volume: src.layers() as u64 * area,
+        layers: src.layers(),
+        max_used_layer,
+        max_wire_planar,
+        max_wire_full,
+        total_wire,
+        wire_count: src.wire_count(),
+        via_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker;
+    use crate::path::WirePath;
+    use mlv_topology::GraphBuilder;
+
+    fn p(x: i64, y: i64, z: i32) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    fn two_nodes() -> Layout {
+        let mut l = Layout::new("pair", 2);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(5, 0, 6, 1));
+        l
+    }
+
+    fn assert_reports_equal(l: &Layout, reference: Option<&Graph>) {
+        let full = checker::check(l, reference);
+        let stream = check_stream(l, reference);
+        assert_eq!(stream.errors, full.errors);
+        assert_eq!(stream.wire_points, full.wire_points);
+        assert_eq!(stream.node_points, full.node_points);
+    }
+
+    #[test]
+    fn legal_layout_agrees_with_full_checker() {
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        assert_reports_equal(&l, None);
+        assert!(check_stream(&l, None).is_legal());
+    }
+
+    #[test]
+    fn every_defect_class_agrees_with_full_checker() {
+        // one layout per defect class, streaming vs full report equality
+        let mut overlap = two_nodes();
+        overlap.place_node(2, Rect::new(1, 1, 2, 2));
+        assert_reports_equal(&overlap, None);
+
+        let mut escape = two_nodes();
+        escape.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 0, 0), p(1, 0, 5), p(5, 0, 5), p(5, 0, 0)]),
+        );
+        assert_reports_equal(&escape, None);
+
+        let mut bad_term = two_nodes();
+        bad_term.add_wire(0, 1, WirePath::new(vec![p(2, 0, 0), p(5, 0, 0)]));
+        assert_reports_equal(&bad_term, None);
+
+        let mut conflict = two_nodes();
+        conflict.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        conflict.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 1, 0), p(3, 1, 0), p(3, 0, 0), p(5, 0, 0)]),
+        );
+        assert_reports_equal(&conflict, None);
+
+        let mut through = two_nodes();
+        through.place_node(2, Rect::new(3, 0, 3, 3));
+        through.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        assert_reports_equal(&through, None);
+
+        let mut missing = two_nodes();
+        missing.add_wire(0, 9, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        assert_reports_equal(&missing, None);
+
+        let mut diagonal = two_nodes();
+        diagonal.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 1, 0)]));
+        assert_reports_equal(&diagonal, None);
+    }
+
+    #[test]
+    fn topology_mismatch_agrees_with_full_checker() {
+        let mut b = GraphBuilder::new("edge", 2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        assert_reports_equal(&l, Some(&g));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 1, 0), p(0, 3, 0), p(6, 3, 0), p(6, 1, 0)]),
+        );
+        assert_reports_equal(&l, Some(&g));
+    }
+
+    #[test]
+    fn error_cap_truncation_matches() {
+        // dozens of pairwise-overlapping nodes overflow the cap in the
+        // overlap phase; streaming must truncate at the same boundary
+        let mut l = Layout::new("cap", 2);
+        for i in 0..20 {
+            l.place_node(i, Rect::new(0, 0, 3, 3));
+        }
+        let full = checker::check(&l, None);
+        let stream = check_stream(&l, None);
+        assert_eq!(full.errors.len(), CheckReport::ERROR_CAP);
+        assert_eq!(stream.errors, full.errors);
+    }
+
+    #[test]
+    fn stripe_emission_covers_all_points() {
+        // a path with x-runs in both directions plus y/z runs; stripes
+        // of width 1 must reproduce the full point enumeration
+        let path = WirePath::new(vec![
+            p(0, 0, 0),
+            p(4, 0, 0),
+            p(4, 3, 0),
+            p(4, 3, 1),
+            p(1, 3, 1),
+        ]);
+        let all: Vec<(Point3, u32)> = path.points().map(|q| (q, 7)).collect();
+        let mut striped = Vec::new();
+        for lo in 0..=4 {
+            emit_stripe_points(path.corners(), 7, lo, lo + 1, &mut striped);
+        }
+        let mut all_sorted = all.clone();
+        all_sorted.sort_unstable();
+        striped.sort_unstable();
+        assert_eq!(striped, all_sorted);
+        assert_eq!(striped.len(), path.length() as usize + 1);
+    }
+
+    #[test]
+    fn fp_index_later_placement_wins() {
+        let placements = vec![
+            NodePlacement {
+                node: 3,
+                rect: Rect::new(0, 0, 4, 4),
+                layer: 0,
+            },
+            NodePlacement {
+                node: 9,
+                rect: Rect::new(2, 2, 6, 6),
+                layer: 0,
+            },
+        ];
+        let fp = FpIndex::build(&placements);
+        assert_eq!(fp.query(1, 1, 0), Some(3));
+        assert_eq!(fp.query(3, 3, 0), Some(9)); // overlap: later wins
+        assert_eq!(fp.query(5, 5, 0), Some(9));
+        assert_eq!(fp.query(3, 3, 1), None);
+        assert_eq!(fp.query(7, 3, 0), None);
+    }
+
+    #[test]
+    fn metrics_stream_matches_full_metrics() {
+        let mut l = Layout::new("m", 4);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(8, 0, 9, 1));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 1, 0), p(1, 1, 1), p(8, 1, 1), p(8, 1, 0)]),
+        );
+        assert_eq!(metrics_stream(&l), LayoutMetrics::of(&l));
+        let empty = Layout::new("e", 2);
+        assert_eq!(metrics_stream(&empty), LayoutMetrics::of(&empty));
+    }
+}

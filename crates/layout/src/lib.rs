@@ -51,6 +51,8 @@ pub mod realize3d;
 pub mod registry;
 pub mod scheme;
 pub mod spec;
+pub mod tiled;
 
 pub use realize::{realize, realize_fresh, recycle, RealizeOptions};
 pub use spec::{ColWire, JogWire, OrthogonalSpec, RowWire};
+pub use tiled::{realize_tiled, realize_tiled_3d, TileInstance, TileShape, TiledLayout};

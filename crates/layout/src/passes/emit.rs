@@ -7,6 +7,10 @@
 //! on their slab's bottom layer; every wire is one [`WirePath`] built
 //! from its terminal slots, track offsets, and layer assignment.
 //!
+//! The per-wire corner arithmetic lives in [`super::geometry`] — shared
+//! with the tiled-IR producer ([`run_tiled`]), so the flat and tiled
+//! backends are byte-identical by construction.
+//!
 //! Wire construction is embarrassingly parallel — each path depends
 //! only on its own wire's scratch columns — so above
 //! [`super::par_wire_threshold`] the pass fans the wire loop out over
@@ -14,24 +18,20 @@
 //! emitted geometry is byte-identical to the sequential path, which
 //! additionally recycles pooled corner buffers from the scratch.
 
-use super::{PassConfig, WireKind};
+use super::geometry::Resolver;
+use super::PassConfig;
 use crate::arena::Scratch;
-use crate::passes::layers::LayerAssign;
-use crate::passes::placement::Edge;
-use crate::passes::tracks::TrackAssign;
 use crate::spec::OrthogonalSpec;
+use crate::tiled::{TileInstance, TiledLayout};
 use mlv_core::exec;
 use mlv_grid::geom::{Point3, Rect};
 use mlv_grid::layout::{Layout, Wire};
 use mlv_grid::path::WirePath;
 
-/// Run the emit pass, consuming the scratch's columns into a
-/// [`Layout`] (built on the scratch's recycled node/wire storage).
-pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> Layout {
-    let (rows, cols) = (spec.rows, spec.cols);
+/// Fill the scratch's prefix-summed gap origins (`col_x0`, `slot_y0`)
+/// from the per-gap widths — shared by the flat and tiled emitters.
+fn fill_origins(s: &mut Scratch) {
     let side = s.side;
-
-    // gap origins: column c starts at col_x0[c], its gap side later
     s.col_x0.clear();
     s.col_x0.push(0);
     let mut acc = 0i64;
@@ -46,6 +46,14 @@ pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> L
         acc += side + h;
         s.slot_y0.push(acc);
     }
+}
+
+/// Run the emit pass, consuming the scratch's columns into a
+/// [`Layout`] (built on the scratch's recycled node/wire storage).
+pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> Layout {
+    let (rows, cols) = (spec.rows, spec.cols);
+    let side = s.side;
+    fill_origins(s);
 
     let (nodes, wires) = s.take_layout_bufs();
     // field-literal construction reuses the recycled vectors;
@@ -85,115 +93,25 @@ pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> L
         path_pool,
         ..
     } = s;
-    let gap_x0 = |c: usize| col_x0[c] + side;
-    let gap_y0 = |sl: usize| slot_y0[sl] + side;
-    let abs = |ki: usize, hi_end: usize| -> (i64, i64) {
-        let t = &term[2 * ki + hi_end];
-        let (x0, y0) = (col_x0[t.col], slot_y0[slabs.slot_of(t.row)]);
-        match t.edge {
-            Edge::Top => (x0 + t.off, y0 + side - 1),
-            Edge::Right => (x0 + side - 1, y0 + t.off),
-        }
+    let resolver = Resolver {
+        spec,
+        side,
+        slabs,
+        kinds,
+        term,
+        assign,
+        layer,
+        track_width,
+        col_x0,
+        slot_y0,
     };
-    let p = Point3::new;
     let build = |ki: usize, mut corners: Vec<Point3>| -> Wire {
-        let k = &kinds[ki];
-        let (ax, ay) = abs(ki, 0);
-        let (bx, by) = abs(ki, 1);
-        let (u, v) = match (*k, assign[ki], layer[ki]) {
-            (
-                WireKind::Row { idx },
-                TrackAssign::Construction { track: tidx, .. },
-                LayerAssign::Intra { zb, zh, zv },
-            ) => {
-                let w = &spec.row_wires[idx];
-                let ty = gap_y0(slabs.slot_of(w.row)) + tidx;
-                corners.extend([
-                    p(ax, ay, zb),
-                    p(ax, ay, zv),
-                    p(ax, ty, zv),
-                    p(ax, ty, zh),
-                    p(bx, ty, zh),
-                    p(bx, ty, zv),
-                    p(bx, by, zv),
-                    p(bx, by, zb),
-                ]);
-                (spec.node(w.row, w.lo), spec.node(w.row, w.hi))
-            }
-            (
-                WireKind::Col { idx },
-                TrackAssign::Construction { track: tidx, .. },
-                LayerAssign::Intra { zb, zh, zv },
-            ) => {
-                let w = &spec.col_wires[idx];
-                let tx = gap_x0(w.col) + tidx;
-                corners.extend([
-                    p(ax, ay, zb),
-                    p(ax, ay, zh),
-                    p(tx, ay, zh),
-                    p(tx, ay, zv),
-                    p(tx, by, zv),
-                    p(tx, by, zh),
-                    p(bx, by, zh),
-                    p(bx, by, zb),
-                ]);
-                (spec.node(w.lo, w.col), spec.node(w.hi, w.col))
-            }
-            (
-                WireKind::Jog { idx },
-                TrackAssign::Jog { tx, ty, .. },
-                LayerAssign::Intra { zb, zh, zv },
-            ) => {
-                let w = &spec.jog_wires[idx];
-                let tx = gap_x0(w.a.1) + tx;
-                let ty = gap_y0(slabs.slot_of(w.b.0)) + ty;
-                corners.extend([
-                    p(ax, ay, zb),
-                    p(ax, ay, zh),
-                    p(tx, ay, zh),
-                    p(tx, ay, zv),
-                    p(tx, ty, zv),
-                    p(tx, ty, zh),
-                    p(bx, ty, zh),
-                    p(bx, ty, zv),
-                    p(bx, by, zv),
-                    p(bx, by, zb),
-                ]);
-                (spec.node(w.a.0, w.a.1), spec.node(w.b.0, w.b.1))
-            }
-            (
-                _,
-                TrackAssign::Inter { riser, ty, .. },
-                LayerAssign::Inter {
-                    za,
-                    zha,
-                    zb,
-                    zhb,
-                    zvb,
-                },
-            ) => {
-                let (ra, ca, rb, cb) = k.inter_ends(spec).unwrap();
-                let riser_x = gap_x0(ca) + track_width[ca] + riser;
-                let ty = gap_y0(slabs.slot_of(rb)) + ty;
-                corners.extend([
-                    p(ax, ay, za),
-                    p(ax, ay, zha),
-                    p(riser_x, ay, zha),
-                    p(riser_x, ay, zvb),
-                    p(riser_x, ty, zvb),
-                    p(riser_x, ty, zhb),
-                    p(bx, ty, zhb),
-                    p(bx, ty, zvb),
-                    p(bx, by, zvb),
-                    p(bx, by, zb),
-                ]);
-                (spec.node(ra, ca), spec.node(rb, cb))
-            }
-            _ => unreachable!("wire kind / track / layer assignment mismatch"),
-        };
+        let g = resolver.resolve(ki);
+        g.shape
+            .extend_corners(g.ax, g.ay, g.bx, g.by, g.t1, g.t2, &mut corners);
         Wire {
-            u,
-            v,
+            u: g.u,
+            v: g.v,
             path: WirePath::new(corners),
         }
     };
@@ -218,4 +136,66 @@ pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> L
         }
     }
     layout
+}
+
+/// Run the emit pass into the tiled IR: resolve every wire's geometry
+/// through the same [`Resolver`] arithmetic as [`run`], interning
+/// distinct shapes into the tile table (first-use order) instead of
+/// expanding corners. Nodes stay implicit — the grid metadata is
+/// copied, not the placements.
+pub(crate) fn run_tiled(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> TiledLayout {
+    fill_origins(s);
+    let slabs = s.slabs;
+    let side = s.side;
+    let resolver = Resolver {
+        spec,
+        side,
+        slabs,
+        kinds: &s.kinds,
+        term: &s.term,
+        assign: &s.assign,
+        layer: &s.layer,
+        track_width: &s.track_width,
+        col_x0: &s.col_x0,
+        slot_y0: &s.slot_y0,
+    };
+    let mut tiles: Vec<crate::tiled::TileShape> = Vec::new();
+    let mut instances: Vec<TileInstance> = Vec::with_capacity(s.kinds.len());
+    for ki in 0..s.kinds.len() {
+        let g = resolver.resolve(ki);
+        // the table stays tiny (one entry per kind × layer-assignment
+        // combination), so a linear probe beats hashing
+        let tile = match tiles.iter().position(|&t| t == g.shape) {
+            Some(i) => i as u32,
+            None => {
+                tiles.push(g.shape);
+                (tiles.len() - 1) as u32
+            }
+        };
+        instances.push(TileInstance {
+            tile,
+            u: g.u,
+            v: g.v,
+            ax: g.ax,
+            ay: g.ay,
+            bx: g.bx,
+            by: g.by,
+            t1: g.t1,
+            t2: g.t2,
+        });
+    }
+    TiledLayout {
+        name: cfg.layout_name.clone(),
+        layers: cfg.layers,
+        rows: spec.rows,
+        cols: spec.cols,
+        side,
+        slots: slabs.slots,
+        slab_layers: slabs.slab_layers,
+        node_at: spec.node_at.clone(),
+        col_x0: s.col_x0.clone(),
+        slot_y0: s.slot_y0.clone(),
+        tiles,
+        instances,
+    }
 }

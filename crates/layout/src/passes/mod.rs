@@ -38,6 +38,7 @@
 //! a reused scratch makes the steady-state pipeline allocation-free.
 
 pub(crate) mod emit;
+pub(crate) mod geometry;
 pub(crate) mod layers;
 pub(crate) mod placement;
 pub(crate) mod tracks;
@@ -215,6 +216,31 @@ pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scra
     }
     let _s = mlv_core::span!(PASS_SPANS[3]);
     emit::run(spec, cfg, s)
+}
+
+/// Run the full pipeline into the **tiled IR**: the same placement →
+/// tracks → layers stages (same spans) with the emit stage producing a
+/// [`crate::tiled::TiledLayout`] instead of flat geometry.
+pub(crate) fn run_pipeline_tiled(
+    spec: &OrthogonalSpec,
+    cfg: &PassConfig,
+    s: &mut Scratch,
+) -> crate::tiled::TiledLayout {
+    let _pipeline = mlv_core::span!(SPAN_PIPELINE);
+    {
+        let _s = mlv_core::span!(PASS_SPANS[0]);
+        placement::run(spec, cfg, s);
+    }
+    {
+        let _s = mlv_core::span!(PASS_SPANS[1]);
+        tracks::run(spec, cfg, s);
+    }
+    {
+        let _s = mlv_core::span!(PASS_SPANS[2]);
+        layers::run(spec, s);
+    }
+    let _s = mlv_core::span!(PASS_SPANS[3]);
+    emit::run_tiled(spec, cfg, s)
 }
 
 /// [`run_pipeline`] under a local [`mlv_core::trace::Trace`], with the

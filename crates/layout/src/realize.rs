@@ -146,7 +146,7 @@ pub(crate) fn realize_timed_with(
     passes::run_pipeline_timed(spec, &pass_config(spec, opts), s)
 }
 
-fn pass_config(spec: &OrthogonalSpec, opts: &RealizeOptions) -> PassConfig {
+pub(crate) fn pass_config(spec: &OrthogonalSpec, opts: &RealizeOptions) -> PassConfig {
     spec.assert_valid();
     assert!(opts.layers >= 2, "need at least two layers");
     PassConfig {

@@ -1,0 +1,36 @@
+//! The tiled-vs-flat lattice identity sweep under the
+//! fresh-allocation debug mode. `MLV_FRESH_ALLOC` is read per
+//! realization but is process-global state, so this sweep lives in its
+//! own test binary (one test, no parallel siblings to race with) and
+//! sets the variable before any layout work.
+
+use mlv_core::rng::Rng;
+use mlv_layout::engine::layout_digest;
+use mlv_layout::registry::{self, LAYER_POOL};
+use mlv_layout::RealizeOptions;
+
+#[test]
+fn lattice_materialize_matches_flat_fresh_alloc() {
+    std::env::set_var("MLV_FRESH_ALLOC", "1");
+    let mut checked = 0;
+    for entry in registry::REGISTRY {
+        let Some(lattice) = &entry.lattice else {
+            continue;
+        };
+        let mut rng = Rng::seed_from_u64(2000);
+        let draw = (lattice.draw)(&mut rng);
+        for &layers in &LAYER_POOL {
+            let opts = RealizeOptions::with_layers(layers);
+            let flat = mlv_layout::realize_fresh(&draw.family.spec, &opts);
+            let tiled = mlv_layout::realize_tiled(&draw.family.spec, &opts);
+            assert_eq!(
+                layout_digest(&tiled.materialize()),
+                layout_digest(&flat),
+                "{} @ L={layers}: tiled materialization diverged under fresh alloc",
+                draw.label
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= LAYER_POOL.len(), "lattice sweep was empty");
+}
