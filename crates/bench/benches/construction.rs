@@ -59,6 +59,7 @@ fn bench_realization_3d() {
                         layers: 8,
                         active_layers: la,
                         node_side: Some(16),
+                        pdk: None,
                     },
                 )
                 .wires

@@ -37,6 +37,11 @@
 //! `"trace"` array in `BENCH_layout.json`. The timed measurement loop
 //! itself always runs untraced, so the flag never perturbs the
 //! medians; the committed baseline is written without it.
+//!
+//! `--pdk hv6` times realization onto the built-in non-uniform
+//! technology stack instead of the unit grid and attaches
+//! pitch-weighted physical metrics to every row. The committed
+//! baseline is always the uniform (`"pdk":"uniform"`) run.
 
 use mlv_core::bench::{black_box, measure};
 use mlv_core::rng::Rng;
@@ -60,6 +65,23 @@ fn main() -> ExitCode {
     let check_regression = std::env::args().any(|a| a == "--check-regression");
     let check_self = std::env::args().any(|a| a == "--check-regression=self");
     let with_trace = std::env::args().any(|a| a == "--trace");
+    // `--pdk hv6` times realization onto the built-in non-uniform
+    // stack and attaches physical metrics to every row; the default
+    // (uniform) keeps the committed baseline byte-comparable
+    let pdk = {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--pdk") {
+            None => None,
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("uniform") => None,
+                Some("hv6") => Some(mlv_grid::Pdk::hv6()),
+                other => {
+                    eprintln!("--pdk needs 'uniform' or 'hv6', got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    };
     let samples = std::env::var("MLV_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.trim().parse().ok())
@@ -79,23 +101,29 @@ fn main() -> ExitCode {
         };
         let mut rng = Rng::seed_from_u64(SEED);
         let draw = (lattice.draw)(&mut rng);
+        let opts = match &pdk {
+            Some(p) => mlv_layout::RealizeOptions::with_pdk(LAYERS, p.clone()),
+            None => mlv_layout::RealizeOptions::with_layers(LAYERS),
+        };
         // steady-state hot loop: realize on the thread-local scratch,
         // then hand the layout's buffers back — the allocation-free
         // cycle the engine's scratch pool runs per job
         stats.push(measure(samples, || {
-            let layout = draw.family.realize(LAYERS);
+            let layout = draw.family.realize_with(&opts);
             black_box(&layout);
             mlv_layout::recycle(layout);
         }));
         if check_self {
             // the same realization, allocating everything from scratch
-            let opts = mlv_layout::RealizeOptions::with_layers(LAYERS);
             fresh_stats.push(measure(samples, || {
                 black_box(mlv_layout::realize_fresh(&draw.family.spec, &opts))
             }));
         }
         names.push(entry.name);
-        jobs.push(Job::new(&draw.label, draw.family, LAYERS));
+        jobs.push(match &pdk {
+            Some(p) => Job::with_pdk(&draw.label, draw.family, LAYERS, p.clone()),
+            None => Job::new(&draw.label, draw.family, LAYERS),
+        });
     }
     // one engine batch attaches digest + check + pass breakdown; only
     // this batch is traced — the measurement loop above stays untraced
@@ -114,11 +142,11 @@ fn main() -> ExitCode {
     {
         let o = &r.outcome;
         let t = &o.timing;
-        let line = format!(
+        let mut line = format!(
             "{{\"family\":\"{name}\",\"label\":\"{}\",\"nodes\":{},\
              \"iters\":{},\"samples\":{},\"median_ns\":{},\"mean_ns\":{},\
              \"min_ns\":{},\"max_ns\":{},\"digest\":\"{:016x}\",\"legal\":{},\
-             \"placement_ns\":{},\"tracks_ns\":{},\"layers_ns\":{},\"emit_ns\":{}}}",
+             \"placement_ns\":{},\"tracks_ns\":{},\"layers_ns\":{},\"emit_ns\":{}",
             job.label,
             job.family.graph.node_count(),
             s.iters,
@@ -134,6 +162,13 @@ fn main() -> ExitCode {
             t.layers_ns,
             t.emit_ns,
         );
+        if let Some(ph) = &o.physical {
+            line.push_str(&format!(
+                ",\"phys_area\":{},\"phys_wirelength\":{},\"phys_via_cost\":{}",
+                ph.area, ph.wirelength, ph.via_cost
+            ));
+        }
+        line.push('}');
         println!("{line}");
         lines.push(line);
     }
@@ -158,9 +193,10 @@ fn main() -> ExitCode {
         }
         None => String::new(),
     };
+    let pdk_name = pdk.as_ref().map(|p| p.name.as_str()).unwrap_or("uniform");
     let doc = format!(
         "{{\"bench\":\"layout-realize\",\"seed\":{SEED},\"layers\":{LAYERS},\
-         \"samples\":{samples},\"results\":[\n{}\n]{trace_block}}}\n",
+         \"samples\":{samples},\"pdk\":\"{pdk_name}\",\"results\":[\n{}\n]{trace_block}}}\n",
         lines.join(",\n")
     );
     std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

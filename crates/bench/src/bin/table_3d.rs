@@ -23,6 +23,7 @@ fn measure_3d(fam: &Family, l: usize, la: usize, side: Option<usize>) -> LayoutM
             layers: l,
             active_layers: la,
             node_side: side,
+            pdk: None,
         },
     );
     checker::assert_legal(&layout, Some(&fam.graph));

@@ -104,6 +104,7 @@ fn main() {
                 layers: 2,
                 node_side: Some(side),
                 jog_strategy: Default::default(),
+                pdk: None,
             },
             false,
         );

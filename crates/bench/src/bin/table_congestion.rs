@@ -78,6 +78,7 @@ fn main() {
                 layers: 8,
                 node_side: None,
                 jog_strategy: JogStrategy::RoundRobin,
+                pdk: None,
             },
         ));
         let single = LayoutMetrics::of(&realize(
@@ -86,6 +87,7 @@ fn main() {
                 layers: 8,
                 node_side: None,
                 jog_strategy: JogStrategy::SingleGroup,
+                pdk: None,
             },
         ));
         t.row(vec![

@@ -56,22 +56,26 @@ USAGE:
   mlv families [--json]
   mlv layout <family-spec> --layers <L> [--active-layers <LA>] [--check]
              [--routed] [--node-side <S>] [--svg <path>] [--save <path>]
-             [--ascii] [--json] [--tiled]
+             [--ascii] [--json] [--tiled] [--pdk uniform|hv6|@file.pdk]
   mlv sweep  <family-spec> --layers <L1,L2,...> [--no-check] [--trace <path>]
+             [--pdk uniform|hv6|@file.pdk]
   mlv sweep  --lattice [--seed <u64>] [--cases <n>] [--no-check] [--trace <path>]
+             [--pdk uniform|hv6|@file.pdk]
   mlv profile <family> [<params>] [--layers <L>] [--no-check]
-  mlv check  <layout-file.mlv> [--tiled]
+             [--pdk uniform|hv6|@file.pdk]
+  mlv check  <layout-file.mlv> [--tiled] [--pdk uniform|hv6|@file.pdk]
   mlv figures [f1|f2|f3|f4|folded|layout]
   mlv conformance [--seed <u64>] [--cases <n>] [--families a,b,...]
-                  [--no-inject]
+                  [--no-inject] [--pdk-axis]
 
 EXAMPLES:
   mlv layout hypercube:8 --layers 4 --check
   mlv layout karyn:8,2 --layers 8 --svg torus.svg
+  mlv layout hypercube:8 --layers 6 --pdk hv6 --check
   mlv sweep ghc:16,16 --layers 2,4,8,16
   mlv sweep --lattice --seed 2000 --cases 8 --trace sweep.trace
   mlv profile hypercube 6 --layers 4
-  mlv conformance --seed 2000 --cases 12
+  mlv conformance --seed 2000 --cases 12 --pdk-axis
 
 `mlv sweep` drives the parallel batch-realization engine: one JSON
 line per (family, L) job on stdout (label, layout digest, metrics,
@@ -99,8 +103,19 @@ checker spans, counters, histograms, and the deterministic digest.
 `mlv conformance` fuzzes every family over a seeded lattice (checker,
 differential, and prediction oracles + fault injection), prints one
 JSON line per family, and exits nonzero on any violation. Env
-fallbacks: MLV_SEED, MLV_CONFORMANCE_CASES; MLV_THREADS sizes the
-executor (the report is byte-identical for any thread count).
+fallbacks: MLV_SEED, MLV_CONFORMANCE_CASES, MLV_PDK_AXIS; MLV_THREADS
+sizes the executor (the report is byte-identical for any thread count).
+
+`--pdk` threads a technology stack through the pipeline: per-layer
+preferred directions steer the layer-assignment pass, per-layer pitches
+widen wiring gaps and track spacing, and reports gain pitch-weighted
+physical area/wirelength. `uniform` is the paper's unit grid — the
+identity; with it (or no flag) every output stays byte-identical.
+`hv6` is a built-in 6-layer alternating-HV stack; `@file.pdk` loads a
+text stack (see mlv-grid's pdk module docs for the format). With a
+non-uniform stack `--check` verifies direction/pitch legality too.
+`mlv conformance --pdk-axis` adds the technology differential oracle
+and the direction/pitch fault-injection strategies.
 ";
 
 fn cmd_families(args: &[String]) -> ExitCode {
@@ -151,6 +166,7 @@ struct Flags {
     seed: Option<u64>,
     cases: Option<usize>,
     trace: Option<String>,
+    pdk: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -171,6 +187,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         seed: None,
         cases: None,
         trace: None,
+        pdk: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -218,6 +235,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 )
             }
             "--trace" => f.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            "--pdk" => {
+                f.pdk = Some(
+                    it.next()
+                        .ok_or("--pdk needs a value (uniform, hv6, or @file.pdk)")?
+                        .clone(),
+                )
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             other => f.positional.push(other.to_string()),
         }
@@ -228,6 +252,26 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::FAILURE
+}
+
+/// Resolve a `--pdk` value. `uniform` (and any loaded stack that turns
+/// out uniform) resolves to `None` — the uniform grid is the identity,
+/// so treating it exactly like "no flag" keeps output byte-identical.
+fn resolve_pdk(flag: Option<&str>) -> Result<Option<mlv_grid::pdk::Pdk>, String> {
+    match flag {
+        None | Some("uniform") => Ok(None),
+        Some("hv6") => Ok(Some(mlv_grid::pdk::Pdk::hv6())),
+        Some(spec) => {
+            let Some(path) = spec.strip_prefix('@') else {
+                return Err(format!(
+                    "unknown PDK '{spec}' (use uniform, hv6, or @file.pdk)"
+                ));
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let pdk = mlv_grid::pdk::read_pdk(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Some(pdk).filter(|p| !p.is_uniform()))
+        }
+    }
 }
 
 fn cmd_layout(args: &[String]) -> ExitCode {
@@ -248,7 +292,14 @@ fn cmd_layout(args: &[String]) -> ExitCode {
         Some(Err(e)) => return fail(e),
         None => 2,
     };
+    let pdk = match resolve_pdk(flags.pdk.as_deref()) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     if flags.tiled {
+        if pdk.is_some() {
+            return fail("--pdk with a non-uniform stack needs flat geometry; drop --tiled");
+        }
         return cmd_layout_tiled(&family, layers, &flags);
     }
     let mut layout = match flags.active_layers {
@@ -258,17 +309,25 @@ fn cmd_layout(args: &[String]) -> ExitCode {
                 layers,
                 active_layers: la,
                 node_side: flags.node_side,
+                pdk: pdk.clone(),
             },
         ),
         _ => family.realize_with(&RealizeOptions {
             layers,
             node_side: flags.node_side,
             jog_strategy: Default::default(),
+            pdk: pdk.clone(),
         }),
     };
     let mut rep = Report::collect(&layout);
+    if let Some(p) = &pdk {
+        rep.physical = Some(mlv_grid::metrics::PhysicalMetrics::of(&layout, p));
+    }
     if flags.check {
-        let r = checker::check(&layout, Some(&family.graph));
+        let r = match &pdk {
+            Some(p) => checker::check_with_pdk(&layout, Some(&family.graph), p),
+            None => checker::check(&layout, Some(&family.graph)),
+        };
         rep.checked = Some(r.is_legal());
         if !r.is_legal() {
             eprintln!(
@@ -327,6 +386,7 @@ fn cmd_layout_tiled(
                 layers,
                 active_layers: la,
                 node_side: flags.node_side,
+                pdk: None,
             },
         ),
         _ => mlv_layout::realize_tiled(
@@ -335,6 +395,7 @@ fn cmd_layout_tiled(
                 layers,
                 node_side: flags.node_side,
                 jog_strategy: Default::default(),
+                pdk: None,
             },
         ),
     };
@@ -420,6 +481,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
+    let pdk = match resolve_pdk(flags.pdk.as_deref()) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     let jobs: Vec<Job> = if flags.lattice {
         if !flags.positional.is_empty() {
             return fail("--lattice enumerates the registry; drop the <family-spec>");
@@ -429,8 +494,14 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             .or_else(|| std::env::var("MLV_SEED").ok()?.parse().ok())
             .unwrap_or(2000);
         let cases = flags.cases.unwrap_or(8).max(1);
-        eprintln!("sweep: lattice seed={seed} cases/family={cases}");
-        mlv_layout::engine::lattice_jobs(seed, cases)
+        match &pdk {
+            Some(p) => eprintln!(
+                "sweep: lattice seed={seed} cases/family={cases} pdk={}",
+                p.name
+            ),
+            None => eprintln!("sweep: lattice seed={seed} cases/family={cases}"),
+        }
+        mlv_layout::engine::lattice_jobs_with_pdk(seed, cases, pdk.as_ref())
     } else {
         let Some(spec) = flags.positional.first() else {
             return fail("missing <family-spec> (or use --lattice)");
@@ -446,7 +517,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         };
         layers
             .into_iter()
-            .map(|l| Job::new(spec.as_str(), family.clone(), l))
+            .map(|l| match &pdk {
+                Some(p) => Job::with_pdk(spec.as_str(), family.clone(), l, p.clone()),
+                None => Job::new(spec.as_str(), family.clone(), l),
+            })
             .collect()
     };
     let mut engine = Engine::new(EngineOptions {
@@ -531,11 +605,18 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         Some(Err(e)) => return fail(e),
         None => 4,
     };
+    let pdk = match resolve_pdk(flags.pdk.as_deref()) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     let mut engine = Engine::new(EngineOptions {
         check: !flags.no_check,
         ..EngineOptions::default()
     });
-    let jobs = vec![Job::new(spec.as_str(), family, layers)];
+    let jobs = vec![match pdk {
+        Some(p) => Job::with_pdk(spec.as_str(), family, layers, p),
+        None => Job::new(spec.as_str(), family, layers),
+    }];
     let clock = std::time::Instant::now();
     let trace = mlv_core::trace::Trace::new();
     let report = trace.collect(|| engine.run(&jobs));
@@ -566,13 +647,28 @@ fn cmd_profile(args: &[String]) -> ExitCode {
 /// legality checks (no topology reference).
 fn cmd_check(args: &[String]) -> ExitCode {
     let mut tiled = false;
+    let mut pdk_flag: Option<String> = None;
     let mut path: Option<&String> = None;
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--tiled" => tiled = true,
+            "--pdk" => {
+                pdk_flag = Some(match it.next() {
+                    Some(v) => v.clone(),
+                    None => return fail("--pdk needs a value (uniform, hv6, or @file.pdk)"),
+                })
+            }
             other if other.starts_with("--") => return fail(format!("unknown flag '{other}'")),
             _ => path = Some(a),
         }
+    }
+    let pdk = match resolve_pdk(pdk_flag.as_deref()) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    if tiled && pdk.is_some() {
+        return fail("--pdk with a non-uniform stack needs the full checker; drop --tiled");
     }
     let Some(path) = path else {
         return fail("missing <layout-file.mlv>");
@@ -593,7 +689,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
             mlv_grid::metrics_stream(&layout),
         )
     } else {
-        (checker::check(&layout, None), LayoutMetrics::of(&layout))
+        match &pdk {
+            Some(p) => (
+                checker::check_with_pdk(&layout, None, p),
+                LayoutMetrics::of(&layout),
+            ),
+            None => (checker::check(&layout, None), LayoutMetrics::of(&layout)),
+        }
     };
     println!(
         "{}: {} nodes, {} wires, area {}, layers {}",
@@ -603,6 +705,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         m.area,
         layout.layers
     );
+    if let Some(p) = &pdk {
+        let ph = mlv_grid::metrics::PhysicalMetrics::of(&layout, p);
+        println!(
+            "physical [{}]: area {} ({} x {}), wirelength {} (vias {})",
+            ph.pdk, ph.area, ph.width, ph.height, ph.wirelength, ph.via_cost
+        );
+    }
     if r.is_legal() {
         println!("legality: VERIFIED");
         ExitCode::SUCCESS
@@ -650,21 +759,29 @@ fn cmd_conformance(args: &[String]) -> ExitCode {
                 config.families = families;
             }
             "--no-inject" => config.inject = false,
+            "--pdk-axis" => config.pdk_axis = true,
             other => return fail(format!("unknown conformance flag '{other}'")),
         }
     }
     // full kind coverage is only demanded when the run can deliver it:
     // injection on, the whole family vocabulary in play, and enough
-    // cases per family to cycle through every strategy
+    // cases per family to cycle through every strategy (the cycle is
+    // longer when the PDK axis adds its strategies)
+    let cycle = if config.pdk_axis {
+        mlv_conformance::inject::Strategy::ALL_WITH_PDK.len()
+    } else {
+        mlv_conformance::inject::Strategy::ALL.len()
+    };
     let full = config.inject
         && config.families.len() == mlv_conformance::cases::family_names().len()
-        && config.cases_per_family >= mlv_conformance::inject::Strategy::ALL.len();
+        && config.cases_per_family >= cycle;
     eprintln!(
-        "conformance: seed={} cases/family={} families={} inject={}",
+        "conformance: seed={} cases/family={} families={} inject={} pdk_axis={}",
         config.seed,
         config.cases_per_family,
         config.families.len(),
-        config.inject
+        config.inject,
+        config.pdk_axis
     );
     let report = mlv_conformance::run(&config);
     for r in &report.results {

@@ -2,7 +2,7 @@
 
 use mlv_grid::analytics;
 use mlv_grid::layout::Layout;
-use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::metrics::{LayoutMetrics, PhysicalMetrics};
 
 /// Everything `mlv layout` reports about one realized layout.
 #[derive(Clone, Debug)]
@@ -29,6 +29,8 @@ pub struct Report {
     pub footprint_fraction: f64,
     /// Peak vertical-cut congestion.
     pub max_cut_flux: usize,
+    /// Pitch-weighted metrics under a non-uniform stack (`--pdk`).
+    pub physical: Option<PhysicalMetrics>,
 }
 
 impl Report {
@@ -47,6 +49,7 @@ impl Report {
             wire_stats: analytics::wire_length_stats(layout),
             footprint_fraction: analytics::footprint_fraction(layout),
             max_cut_flux: analytics::max_cut_flux(layout),
+            physical: None,
         }
     }
 
@@ -97,15 +100,23 @@ impl Report {
             self.max_cut_flux
         ));
         s.push_str(&format!("layers   : usage {:?}\n", self.layer_usage));
+        if let Some(ph) = &self.physical {
+            s.push_str(&format!(
+                "physical : [{}] area {} ({} x {}), wirelength {} (vias {}), max wire {}\n",
+                ph.pdk, ph.area, ph.width, ph.height, ph.wirelength, ph.via_cost, ph.max_wire
+            ));
+        }
         s
     }
 
     /// JSON rendering (hand-rolled; flat structure, no external deps).
+    /// Byte-identical to the PDK-free report unless a non-uniform
+    /// stack added [`Report::physical`] fields.
     pub fn json(&self) -> String {
         let m = &self.metrics;
         let (mean, p50, p95, max) = self.wire_stats;
         let (lanes, lmean, lmax) = self.lanes;
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\n",
                 "  \"name\": \"{}\",\n",
@@ -160,7 +171,31 @@ impl Report {
             self.footprint_fraction,
             self.max_cut_flux,
             self.layer_usage,
-        )
+        );
+        if let Some(ph) = &self.physical {
+            out.truncate(out.len() - "\n}\n".len());
+            out.push_str(&format!(
+                concat!(
+                    ",\n",
+                    "  \"pdk\": \"{}\",\n",
+                    "  \"phys_width\": {},\n",
+                    "  \"phys_height\": {},\n",
+                    "  \"phys_area\": {},\n",
+                    "  \"phys_wirelength\": {},\n",
+                    "  \"phys_max_wire\": {},\n",
+                    "  \"phys_via_cost\": {}\n",
+                    "}}\n",
+                ),
+                ph.pdk.replace('"', "'"),
+                ph.width,
+                ph.height,
+                ph.area,
+                ph.wirelength,
+                ph.max_wire,
+                ph.via_cost,
+            ));
+        }
+        out
     }
 }
 

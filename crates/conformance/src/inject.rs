@@ -12,8 +12,9 @@
 use mlv_core::rng::Rng;
 use mlv_grid::checker::CheckError;
 use mlv_grid::geom::{Point3, Rect};
-use mlv_grid::layout::Layout;
+use mlv_grid::layout::{Layout, Wire};
 use mlv_grid::path::WirePath;
+use mlv_grid::pdk::Pdk;
 use mlv_topology::NodeId;
 
 /// One class of injected defect.
@@ -39,6 +40,12 @@ pub enum Strategy {
     NodeOnWire,
     /// Remove the placement of a wire's endpoint node.
     DeleteNode,
+    /// Detour a planar run onto a layer whose preferred direction
+    /// forbids it (PDK-only; needs a non-uniform stack).
+    WrongDirection,
+    /// Add a wire running parallel to an existing run at distance 1 on
+    /// a pitch ≥ 2 layer (PDK-only; needs a non-uniform stack).
+    PitchSqueeze,
 }
 
 impl Strategy {
@@ -56,6 +63,32 @@ impl Strategy {
         Strategy::DeleteNode,
     ];
 
+    /// [`Strategy::ALL`] plus the PDK-only strategies — the cycle the
+    /// harness uses when the PDK axis is enabled. Their guaranteed
+    /// kinds jointly cover the full [`CheckError::KINDS`] universe,
+    /// including [`CheckError::PDK_KINDS`].
+    pub const ALL_WITH_PDK: [Strategy; 12] = [
+        Strategy::DeleteWire,
+        Strategy::DuplicateWire,
+        Strategy::RewireEndpoint,
+        Strategy::LayerEscape,
+        Strategy::NegativeLayer,
+        Strategy::MoveNode,
+        Strategy::OverlapNodes,
+        Strategy::DiagonalPath,
+        Strategy::NodeOnWire,
+        Strategy::DeleteNode,
+        Strategy::WrongDirection,
+        Strategy::PitchSqueeze,
+    ];
+
+    /// `true` for strategies that only exist on a non-uniform stack
+    /// (they mutate direction/pitch legality, which the uniform grid
+    /// cannot violate).
+    pub fn needs_pdk(self) -> bool {
+        matches!(self, Strategy::WrongDirection | Strategy::PitchSqueeze)
+    }
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -69,13 +102,16 @@ impl Strategy {
             Strategy::DiagonalPath => "DiagonalPath",
             Strategy::NodeOnWire => "NodeOnWire",
             Strategy::DeleteNode => "DeleteNode",
+            Strategy::WrongDirection => "WrongDirection",
+            Strategy::PitchSqueeze => "PitchSqueeze",
         }
     }
 
     /// The [`CheckError::kind`] the checker is guaranteed to report for
     /// this injection (the mutated layout may additionally trip others;
     /// `DeleteWire` needs the reference graph passed to `check`). The
-    /// union over [`Strategy::ALL`] equals [`CheckError::KINDS`].
+    /// union over [`Strategy::ALL_WITH_PDK`] equals
+    /// [`CheckError::KINDS`].
     pub fn expected_kind(self) -> &'static str {
         match self {
             Strategy::DeleteWire => "TopologyMismatch",
@@ -88,6 +124,8 @@ impl Strategy {
             Strategy::DiagonalPath => "BadPath",
             Strategy::NodeOnWire => "WireThroughNode",
             Strategy::DeleteNode => "MissingNode",
+            Strategy::WrongDirection => "DirectionViolation",
+            Strategy::PitchSqueeze => "PitchViolation",
         }
     }
 }
@@ -104,7 +142,21 @@ pub struct Injection {
 /// Apply `strategy` to `layout` at a seeded location. Returns `None`
 /// when the layout cannot host the mutation (no wires, a single node,
 /// no interior wire point, …) — the layout is untouched in that case.
+/// PDK-only strategies always return `None` here; use
+/// [`inject_with_pdk`] for those.
 pub fn inject(layout: &mut Layout, strategy: Strategy, rng: &mut Rng) -> Option<Injection> {
+    inject_with_pdk(layout, strategy, rng, None)
+}
+
+/// [`inject`] with a technology stack: the PDK-only strategies mutate
+/// direction/pitch legality against `pdk` (they return `None` without
+/// a non-uniform stack); every other strategy ignores `pdk` entirely.
+pub fn inject_with_pdk(
+    layout: &mut Layout,
+    strategy: Strategy,
+    rng: &mut Rng,
+    pdk: Option<&Pdk>,
+) -> Option<Injection> {
     let done = |detail: String| Some(Injection { strategy, detail });
     match strategy {
         Strategy::DeleteWire => {
@@ -231,6 +283,109 @@ pub fn inject(layout: &mut Layout, strategy: Strategy, rng: &mut Rng) -> Option<
             layout.nodes.remove(pos);
             done(format!("removed placement of node {u}"))
         }
+        Strategy::WrongDirection => {
+            let pdk = pdk.filter(|p| !p.is_uniform())?;
+            if layout.wires.is_empty() {
+                return None;
+            }
+            // find a planar run plus an in-budget layer whose preferred
+            // direction forbids that run's axis; detour the run there
+            let first = rng.gen_range_usize(0..layout.wires.len());
+            for k in 0..layout.wires.len() {
+                let i = (first + k) % layout.wires.len();
+                let corners = layout.wires[i].path.corners().to_vec();
+                for (j, pair) in corners.windows(2).enumerate() {
+                    let (a, b) = (pair[0], pair[1]);
+                    if a.z != b.z || a.z < 0 || (a.x == b.x && a.y == b.y) {
+                        continue;
+                    }
+                    let forbids = |z: usize| {
+                        let d = pdk.layer_at(z).dir;
+                        if a.x != b.x {
+                            !d.allows_x()
+                        } else {
+                            !d.allows_y()
+                        }
+                    };
+                    let Some(zf) = (0..layout.layers).find(|&z| forbids(z)) else {
+                        continue;
+                    };
+                    let mut path = corners[..=j].to_vec();
+                    path.push(Point3::new(a.x, a.y, zf as i32));
+                    path.push(Point3::new(b.x, b.y, zf as i32));
+                    path.extend_from_slice(&corners[j + 1..]);
+                    layout.wires[i].path = WirePath::new(path);
+                    return done(format!(
+                        "detoured wire {i} run {a:?}->{b:?} onto layer {zf} ({})",
+                        pdk.layer_at(zf).name
+                    ));
+                }
+            }
+            None
+        }
+        Strategy::PitchSqueeze => {
+            let pdk = pdk.filter(|p| !p.is_uniform())?;
+            if layout.wires.is_empty() {
+                return None;
+            }
+            // find a non-exempt planar run on a pitch >= 2 layer and
+            // drop a parallel wire one track away; the intruder's own
+            // terminals sit off its long run, so it is not stub-exempt
+            let first = rng.gen_range_usize(0..layout.wires.len());
+            for k in 0..layout.wires.len() {
+                let i = (first + k) % layout.wires.len();
+                let w = &layout.wires[i];
+                let (start, end) = (w.path.start(), w.path.end());
+                let corners = w.path.corners().to_vec();
+                for pair in corners.windows(2) {
+                    let (a, b) = (pair[0], pair[1]);
+                    if a.z != b.z || a.z < 0 || (a.x == b.x && a.y == b.y) {
+                        continue;
+                    }
+                    if pdk.layer_at(a.z as usize).pitch <= 1 {
+                        continue;
+                    }
+                    let x_run = a.y == b.y;
+                    let (fixed, lo, hi) = if x_run {
+                        (a.y, a.x.min(b.x), a.x.max(b.x))
+                    } else {
+                        (a.x, a.y.min(b.y), a.y.max(b.y))
+                    };
+                    let covers = |p: Point3| {
+                        let (pf, pl) = if x_run { (p.y, p.x) } else { (p.x, p.y) };
+                        pf == fixed && (lo..=hi).contains(&pl)
+                    };
+                    if covers(start) || covers(end) {
+                        continue; // stub-exempt host run: pick another
+                    }
+                    let pt = |along: i64, across: i64| {
+                        if x_run {
+                            Point3::new(along, across, a.z)
+                        } else {
+                            Point3::new(across, along, a.z)
+                        }
+                    };
+                    let (u, v) = (w.u, w.v);
+                    layout.wires.push(Wire {
+                        u,
+                        v,
+                        path: WirePath::new(vec![
+                            pt(lo, fixed + 2),
+                            pt(lo, fixed + 1),
+                            pt(hi, fixed + 1),
+                            pt(hi, fixed + 2),
+                        ]),
+                    });
+                    return done(format!(
+                        "squeezed a parallel wire 1 from run at {fixed} \
+                         (layer {}, pitch {})",
+                        a.z,
+                        pdk.layer_at(a.z as usize).pitch
+                    ));
+                }
+            }
+            None
+        }
     }
 }
 
@@ -242,7 +397,11 @@ pub fn uncovered_kinds() -> Vec<&'static str> {
     CheckError::KINDS
         .iter()
         .copied()
-        .filter(|k| !Strategy::ALL.iter().any(|s| s.expected_kind() == *k))
+        .filter(|k| {
+            !Strategy::ALL_WITH_PDK
+                .iter()
+                .any(|s| s.expected_kind() == *k)
+        })
         .collect()
 }
 
@@ -261,7 +420,20 @@ mod tests {
 
     #[test]
     fn strategy_names_unique() {
-        let names: std::collections::HashSet<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), Strategy::ALL.len());
+        let names: std::collections::HashSet<_> =
+            Strategy::ALL_WITH_PDK.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Strategy::ALL_WITH_PDK.len());
+    }
+
+    #[test]
+    fn all_is_a_prefix_of_all_with_pdk() {
+        assert_eq!(
+            Strategy::ALL[..],
+            Strategy::ALL_WITH_PDK[..Strategy::ALL.len()]
+        );
+        assert!(Strategy::ALL.iter().all(|s| !s.needs_pdk()));
+        assert!(Strategy::ALL_WITH_PDK[Strategy::ALL.len()..]
+            .iter()
+            .all(|s| s.needs_pdk()));
     }
 }

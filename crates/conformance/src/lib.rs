@@ -14,11 +14,19 @@
 //! 4. [`oracles::tiled_oracle`] — tiled-vs-flat differential: the tiled
 //!    IR materializes byte-identically to the flat layout and its
 //!    streaming checker/metrics agree with the full-grid versions;
+//! 5. [`oracles::pdk_oracle`] (PDK axis only, [`Config::pdk_axis`]) —
+//!    the uniform PDK is the identity (fresh realization digest +
+//!    physical metrics match the PDK-free run), the `hv6` stack
+//!    realizes legally under direction/pitch checks, and physical
+//!    metrics obey the pitch-scaling laws;
 //!
 //! and then one [`inject::Strategy`] per case (cycling so every
 //! strategy — and hence every `CheckError` kind — is exercised) to a
 //! clone of the layout, asserting the checker reports the strategy's
-//! guaranteed error kind.
+//! guaranteed error kind. With the PDK axis on, the cycle extends to
+//! [`inject::Strategy::ALL_WITH_PDK`]: the PDK-only strategies mutate
+//! a fresh `hv6` realization and must be caught by
+//! `checker::check_with_pdk`.
 //!
 //! Everything is driven by the `mlv-core` RNG and executor:
 //! reproduce any failure with `MLV_SEED=<printed seed>`; results are
@@ -47,6 +55,10 @@ pub struct Config {
     pub families: Vec<String>,
     /// Apply fault injection (on by default).
     pub inject: bool,
+    /// Exercise the technology axis: run [`oracles::pdk_oracle`] per
+    /// case and extend the injection cycle to the PDK-only strategies
+    /// (off by default; env `MLV_PDK_AXIS=1`).
+    pub pdk_axis: bool,
 }
 
 /// Default master seed (the paper's year).
@@ -65,6 +77,7 @@ impl Default for Config {
                 .map(String::from)
                 .collect(),
             inject: true,
+            pdk_axis: false,
         }
     }
 }
@@ -80,6 +93,9 @@ impl Config {
         }
         if let Some(n) = env_u64("MLV_CONFORMANCE_CASES") {
             c.cases_per_family = n as usize;
+        }
+        if let Some(n) = env_u64("MLV_PDK_AXIS") {
+            c.pdk_axis = n != 0;
         }
         c
     }
@@ -158,6 +174,8 @@ fn json_escape(s: &str) -> String {
 pub struct RunReport {
     /// Master seed the run used (echo for reproduction).
     pub seed: u64,
+    /// Whether the technology axis was on ([`Config::pdk_axis`]).
+    pub pdk_axis: bool,
     /// One result per requested family, in request order.
     pub results: Vec<FamilyResult>,
 }
@@ -165,6 +183,9 @@ pub struct RunReport {
 impl RunReport {
     /// `CheckError` kinds *not* observed by any injection this run —
     /// must be empty for a full-lattice run with injection enabled.
+    /// Without the PDK axis the direction/pitch kinds
+    /// ([`CheckError::PDK_KINDS`]) are unreachable and excluded from
+    /// the accounting.
     pub fn uncovered_kinds(&self) -> Vec<&'static str> {
         let covered: BTreeSet<&str> = self
             .results
@@ -174,6 +195,7 @@ impl RunReport {
         CheckError::KINDS
             .iter()
             .copied()
+            .filter(|k| self.pdk_axis || !CheckError::PDK_KINDS.contains(k))
             .filter(|k| !covered.contains(k))
             .collect()
     }
@@ -224,6 +246,7 @@ pub fn run(config: &Config) -> RunReport {
         .collect();
     RunReport {
         seed: config.seed,
+        pdk_axis: config.pdk_axis,
         results,
     }
 }
@@ -259,6 +282,7 @@ fn run_family(name: &str, config: &Config, engine: &mut Engine) -> FamilyResult 
                 label: case.label.clone(),
                 family: case.family.clone(),
                 layers,
+                pdk: None,
             };
             [at(case.layers), at(2)]
         })
@@ -338,16 +362,39 @@ fn run_case(
         &thompson.metrics,
     ));
     violations.extend(oracles::tiled_oracle(case, direct));
+    if config.pdk_axis {
+        violations.extend(oracles::pdk_oracle(case, direct));
+    }
 
     let mut kinds = BTreeSet::new();
     let mut injected = false;
     if config.inject {
-        // cycle so every strategy appears within any 10 consecutive cases
-        let strategy = inject::Strategy::ALL[index % inject::Strategy::ALL.len()];
-        let mut mutated = dl.clone();
-        if let Some(done) = inject::inject(&mut mutated, strategy, &mut rng) {
+        // cycle so every strategy appears within one trip through the
+        // axis-dependent strategy list
+        let cycle: &[inject::Strategy] = if config.pdk_axis {
+            &inject::Strategy::ALL_WITH_PDK
+        } else {
+            &inject::Strategy::ALL
+        };
+        let strategy = cycle[index % cycle.len()];
+        // PDK-only strategies need direction/pitch structure to
+        // violate: mutate a fresh hv6 realization instead of the
+        // engine's uniform layout, and check against that stack
+        let hv6 = strategy.needs_pdk().then(mlv_grid::pdk::Pdk::hv6);
+        let mut mutated = match &hv6 {
+            Some(pdk) => mlv_layout::realize_fresh(
+                &case.family.spec,
+                &mlv_layout::RealizeOptions::with_pdk(case.layers, pdk.clone()),
+            ),
+            None => dl.clone(),
+        };
+        if let Some(done) = inject::inject_with_pdk(&mut mutated, strategy, &mut rng, hv6.as_ref())
+        {
             injected = true;
-            let report = checker::check(&mutated, Some(&case.family.graph));
+            let report = match &hv6 {
+                Some(pdk) => checker::check_with_pdk(&mutated, Some(&case.family.graph), pdk),
+                None => checker::check(&mutated, Some(&case.family.graph)),
+            };
             let seen: BTreeSet<&'static str> = report.errors.iter().map(|e| e.kind()).collect();
             if !seen.contains(strategy.expected_kind()) {
                 violations.push(format!(
@@ -441,6 +488,7 @@ mod tests {
             cases_per_family: 3,
             families: vec!["hypercube".into(), "mesh".into()],
             inject: true,
+            pdk_axis: false,
         };
         let trace = mlv_core::trace::Trace::new();
         let report = trace.collect(|| run(&config));
@@ -479,6 +527,7 @@ mod tests {
             cases_per_family: 3,
             families: vec!["hypercube".into()],
             inject: true,
+            pdk_axis: false,
         };
         let report = run(&config);
         assert_eq!(report.results.len(), 1);

@@ -1,5 +1,5 @@
-//! The four conformance oracles, each returning human-readable
-//! violation strings (empty = pass).
+//! The conformance oracles, each returning human-readable violation
+//! strings (empty = pass).
 //!
 //! 1. [`checker_oracle`] — the grid legality checker with the source
 //!    graph as reference, on both the direct L-layer layout and the
@@ -17,12 +17,17 @@
 //!    tiled realization is byte-identical to the flat layout, and the
 //!    streaming checker/metrics walking the tile instances agree with
 //!    the full-grid checker/metrics.
+//! 5. [`pdk_oracle`] (run only with the PDK axis on) — the technology
+//!    differential: the uniform PDK is the identity, the built-in
+//!    `hv6` stack realizes legally under direction/pitch checks, and
+//!    physical metrics obey the pitch-scaling laws.
 
 use crate::cases::Case;
 use mlv_grid::checker;
 use mlv_grid::fold::FoldedEstimate;
 use mlv_grid::layout::Layout;
-use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::metrics::{LayoutMetrics, PhysicalMetrics};
+use mlv_grid::pdk::Pdk;
 use mlv_topology::NodeId;
 use std::collections::BTreeMap;
 
@@ -270,6 +275,81 @@ pub fn tiled_oracle(case: &Case, direct: &mlv_layout::engine::JobOutcome) -> Vec
         v.push(format!(
             "[{l}] streaming point totals diverge: wires {} vs {}, nodes {} vs {}",
             stream.wire_points, full.wire_points, stream.node_points, full.node_points
+        ));
+    }
+    v
+}
+
+/// Oracle 5: technology differential, pinning four laws of the PDK
+/// threading against the engine's (PDK-free) direct realization:
+///
+/// 1. **uniform identity** — a *fresh* realization under an explicit
+///    [`Pdk::uniform`] stack (no memo cache involved) is byte-identical
+///    to the PDK-free layout;
+/// 2. [`PhysicalMetrics`] under the uniform stack reduce exactly to the
+///    grid [`LayoutMetrics`];
+/// 3. the built-in `hv6` stack realizes legally under the full
+///    direction/pitch checker ([`checker::check_with_pdk`]);
+/// 4. pitch scaling is exactly linear: tripling every pitch/via cost
+///    triples wirelength and via cost and multiplies area by 9.
+pub fn pdk_oracle(case: &Case, direct: &mlv_layout::engine::JobOutcome) -> Vec<String> {
+    let mut v = Vec::new();
+    let l = case.label.as_str();
+    let Some(dl) = &direct.layout else {
+        return v;
+    };
+
+    // 1. uniform identity, realized fresh so a memo-cache hit cannot
+    // make the comparison vacuous
+    let uniform = Pdk::uniform(case.layers);
+    let ul = mlv_layout::realize_fresh(
+        &case.family.spec,
+        &mlv_layout::RealizeOptions::with_pdk(case.layers, uniform.clone()),
+    );
+    let udigest = mlv_layout::engine::layout_digest(&ul);
+    if udigest != direct.digest {
+        v.push(format!(
+            "[{l}] uniform-PDK realization digest {udigest:#018x} != PDK-free {:#018x}",
+            direct.digest
+        ));
+    }
+
+    // 2. physical metrics reduce to grid metrics on the uniform stack
+    let ph = PhysicalMetrics::of(dl, &uniform);
+    let m = &direct.metrics;
+    if ph.wirelength != m.total_wire
+        || ph.max_wire != m.max_wire_full
+        || ph.via_cost != m.via_count
+        || ph.area != m.area
+    {
+        v.push(format!(
+            "[{l}] uniform physical metrics not the identity: {ph:?} vs {m:?}"
+        ));
+    }
+
+    // 3. hv6 realizes legally under direction/pitch checks
+    let hv6 = Pdk::hv6();
+    let hl = mlv_layout::realize_fresh(
+        &case.family.spec,
+        &mlv_layout::RealizeOptions::with_pdk(case.layers, hv6.clone()),
+    );
+    let report = checker::check_with_pdk(&hl, Some(&case.family.graph), &hv6);
+    if !report.is_legal() {
+        v.push(format!(
+            "[{l}] hv6 realization illegal: {:?}",
+            &report.errors[..report.errors.len().min(2)]
+        ));
+    }
+
+    // 4. exact linearity under pitch scaling
+    let p1 = PhysicalMetrics::of(&hl, &hv6);
+    let p3 = PhysicalMetrics::of(&hl, &hv6.scaled(3));
+    if p3.wirelength != 3 * p1.wirelength
+        || p3.via_cost != 3 * p1.via_cost
+        || p3.area != 9 * p1.area
+    {
+        v.push(format!(
+            "[{l}] pitch scaling not linear: x3 gave {p3:?} from {p1:?}"
         ));
     }
     v

@@ -29,6 +29,7 @@
 use crate::geom::Point3;
 use crate::hasher::FxBuildHasher;
 use crate::layout::Layout;
+use crate::pdk::Pdk;
 use mlv_core::exec;
 use mlv_topology::{Graph, NodeId};
 use std::collections::HashMap;
@@ -94,6 +95,30 @@ pub enum CheckError {
         /// Description of the first difference found.
         detail: String,
     },
+    /// A planar run travels across its layer's preferred direction
+    /// (PDK check: only reported by [`check_with_pdk`] under a
+    /// non-uniform stack).
+    DirectionViolation {
+        /// Index into `layout.wires`.
+        wire: usize,
+        /// The offending layer.
+        layer: i32,
+        /// Start of the offending run.
+        point: Point3,
+    },
+    /// Two same-layer parallel runs sit closer than the layer's track
+    /// pitch (PDK check: only reported by [`check_with_pdk`] under a
+    /// non-uniform stack).
+    PitchViolation {
+        /// First wire index.
+        a: usize,
+        /// Second wire index.
+        b: usize,
+        /// The shared layer.
+        layer: i32,
+        /// Center-to-center spacing observed (positive, below pitch).
+        gap: i64,
+    },
 }
 
 impl CheckError {
@@ -101,7 +126,7 @@ impl CheckError {
     /// declaration order — the coverage universe for fault-injection
     /// completeness accounting (the conformance harness asserts every
     /// one of these is triggered by at least one injected defect).
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 10] = [
         "LayerOutOfRange",
         "BadPath",
         "NodeOverlap",
@@ -110,7 +135,14 @@ impl CheckError {
         "WireThroughNode",
         "MissingNode",
         "TopologyMismatch",
+        "DirectionViolation",
+        "PitchViolation",
     ];
+
+    /// The subset of [`CheckError::KINDS`] only reachable through
+    /// [`check_with_pdk`] with a non-uniform stack — excluded from
+    /// injection-coverage accounting when the PDK axis is off.
+    pub const PDK_KINDS: [&'static str; 2] = ["DirectionViolation", "PitchViolation"];
 
     /// Stable, machine-readable variant name (one of
     /// [`CheckError::KINDS`]).
@@ -124,6 +156,8 @@ impl CheckError {
             CheckError::WireThroughNode { .. } => "WireThroughNode",
             CheckError::MissingNode { .. } => "MissingNode",
             CheckError::TopologyMismatch { .. } => "TopologyMismatch",
+            CheckError::DirectionViolation { .. } => "DirectionViolation",
+            CheckError::PitchViolation { .. } => "PitchViolation",
         }
     }
 }
@@ -320,6 +354,142 @@ fn finish(layout: &Layout, errors: Vec<CheckError>) -> CheckReport {
         errors,
         wire_points,
         node_points,
+    }
+}
+
+/// One maximal planar run of a wire, for the PDK pitch sweep.
+struct PlanarRun {
+    /// 0 = x-run (y fixed), 1 = y-run (x fixed).
+    axis: u8,
+    layer: i32,
+    /// The fixed perpendicular coordinate.
+    fixed: i64,
+    lo: i64,
+    hi: i64,
+    wire: usize,
+    /// Runs whose planar projection covers the wire's own terminal
+    /// position: the 1-unit-spaced stubs along node edges, which the
+    /// pitch rule does not govern.
+    exempt: bool,
+}
+
+/// [`check`] plus the PDK legality rules of a non-uniform stack:
+///
+/// * **direction** — a run with `Δx ≠ 0` may not ride a [`crate::pdk::Dir::V`]
+///   layer, a run with `Δy ≠ 0` may not ride a [`crate::pdk::Dir::H`] layer;
+/// * **pitch** — two parallel same-layer runs from different contexts
+///   must sit at least `pitch(z)` apart. Terminal stubs (runs covering
+///   a wire's own endpoint position) are exempt: terminals are packed
+///   1 apart along node edges by the grid model itself.
+///
+/// Under a stack where [`Pdk::is_uniform`] holds this is exactly
+/// [`check`] — the identity of the PDK axis.
+pub fn check_with_pdk(layout: &Layout, reference: Option<&Graph>, pdk: &Pdk) -> CheckReport {
+    let mut report = check(layout, reference);
+    if pdk.is_uniform() {
+        return report;
+    }
+    let _span = mlv_core::span!("checker.pdk");
+    let cap = CheckReport::ERROR_CAP;
+    if report.errors.len() < cap {
+        direction_errors(layout, pdk, &mut report.errors);
+    }
+    if report.errors.len() < cap {
+        pitch_errors(layout, pdk, &mut report.errors);
+    }
+    report.errors.truncate(cap);
+    mlv_core::counter!("checker.pdk_errors", report.errors.len() as u64);
+    report
+}
+
+/// Direction rule: every planar run must ride a layer whose preferred
+/// direction allows its axis.
+fn direction_errors(layout: &Layout, pdk: &Pdk, errors: &mut Vec<CheckError>) {
+    let per_wire: Vec<Vec<CheckError>> = exec::par_map(&layout.wires, |i, w| {
+        let mut errs = Vec::new();
+        for pair in w.path.corners().windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.z != b.z || a.z < 0 {
+                continue; // vias are direction-free; negative layers
+                          // are already LayerOutOfRange
+            }
+            let dir = pdk.layer_at(a.z as usize).dir;
+            if (a.x != b.x && !dir.allows_x()) || (a.y != b.y && !dir.allows_y()) {
+                errs.push(CheckError::DirectionViolation {
+                    wire: i,
+                    layer: a.z,
+                    point: a,
+                });
+            }
+        }
+        errs
+    });
+    for mut e in per_wire {
+        errors.append(&mut e);
+        if errors.len() >= CheckReport::ERROR_CAP {
+            return;
+        }
+    }
+}
+
+/// Pitch rule: parallel same-layer runs (terminal stubs exempt) must be
+/// at least the layer's pitch apart, measured center to center.
+fn pitch_errors(layout: &Layout, pdk: &Pdk, errors: &mut Vec<CheckError>) {
+    let mut runs: Vec<PlanarRun> = exec::par_flat_map(&layout.wires, |i, w, out| {
+        let corners = w.path.corners();
+        let (start, end) = (w.path.start(), w.path.end());
+        for pair in corners.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.z != b.z || a.z < 0 || (a.x == b.x && a.y == b.y) {
+                continue;
+            }
+            if pdk.layer_at(a.z as usize).pitch <= 1 {
+                continue; // a unit-pitch layer cannot be violated
+            }
+            let (axis, fixed, lo, hi) = if a.y == b.y {
+                (0u8, a.y, a.x.min(b.x), a.x.max(b.x))
+            } else {
+                (1u8, a.x, a.y.min(b.y), a.y.max(b.y))
+            };
+            let covers = |p: Point3| {
+                let (pf, pl) = if axis == 0 { (p.y, p.x) } else { (p.x, p.y) };
+                pf == fixed && (lo..=hi).contains(&pl)
+            };
+            out.push(PlanarRun {
+                axis,
+                layer: a.z,
+                fixed,
+                lo,
+                hi,
+                wire: i,
+                exempt: covers(start) || covers(end),
+            });
+        }
+    });
+    runs.retain(|r| !r.exempt);
+    runs.sort_unstable_by_key(|r| (r.layer, r.axis, r.fixed, r.lo));
+    for i in 0..runs.len() {
+        let a = &runs[i];
+        let pitch = pdk.layer_at(a.layer as usize).pitch as i64;
+        for b in runs[(i + 1)..].iter() {
+            if b.layer != a.layer || b.axis != a.axis || b.fixed - a.fixed >= pitch {
+                break;
+            }
+            let gap = b.fixed - a.fixed;
+            // gap 0 with overlap is a WireConflict (or a legal via-split
+            // run of one wire); the pitch rule governs 0 < gap < pitch
+            if gap > 0 && b.lo <= a.hi && a.lo <= b.hi {
+                errors.push(CheckError::PitchViolation {
+                    a: a.wire,
+                    b: b.wire,
+                    layer: a.layer,
+                    gap,
+                });
+                if errors.len() >= CheckReport::ERROR_CAP {
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -537,6 +707,17 @@ mod tests {
             CheckError::TopologyMismatch {
                 detail: String::new(),
             },
+            CheckError::DirectionViolation {
+                wire: 0,
+                layer: 0,
+                point: pt,
+            },
+            CheckError::PitchViolation {
+                a: 0,
+                b: 1,
+                layer: 0,
+                gap: 1,
+            },
         ];
         // one sample per variant, each kind distinct, KINDS in sync
         assert_eq!(samples.len(), CheckError::KINDS.len());
@@ -544,6 +725,104 @@ mod tests {
         assert_eq!(kinds, CheckError::KINDS);
         let distinct: std::collections::HashSet<_> = kinds.iter().collect();
         assert_eq!(distinct.len(), CheckError::KINDS.len());
+    }
+
+    #[test]
+    fn pdk_check_is_identity_under_uniform() {
+        use crate::pdk::Pdk;
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        let plain = check(&l, None);
+        let pdk = check_with_pdk(&l, None, &Pdk::uniform(2));
+        assert_eq!(plain.errors, pdk.errors);
+        assert_eq!(plain.wire_points, pdk.wire_points);
+        assert!(pdk.is_legal());
+    }
+
+    #[test]
+    fn detects_direction_violation() {
+        use crate::pdk::Pdk;
+        // hv6 layer 1 (M2) is vertical; an x-run on it is illegal
+        let mut l = two_nodes();
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 0, 0), p(1, 0, 1), p(5, 0, 1), p(5, 0, 0)]),
+        );
+        assert!(check(&l, None).is_legal());
+        let r = check_with_pdk(&l, None, &Pdk::hv6());
+        assert!(r.errors.iter().any(|e| matches!(
+            e,
+            CheckError::DirectionViolation {
+                wire: 0,
+                layer: 1,
+                ..
+            }
+        )));
+        // the same x-run on layer 0 (M1, horizontal) is fine
+        let mut l = two_nodes();
+        l.add_wire(0, 1, WirePath::new(vec![p(1, 0, 0), p(5, 0, 0)]));
+        assert!(check_with_pdk(&l, None, &Pdk::hv6()).is_legal());
+    }
+
+    #[test]
+    fn detects_pitch_violation_and_exempts_terminal_stubs() {
+        use crate::pdk::Pdk;
+        // two parallel interior x-runs 1 apart on a pitch-2 layer
+        let mut l = Layout::new("squeeze", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(9, 0, 9, 0));
+        l.place_node(2, Rect::new(0, 4, 0, 4));
+        l.place_node(3, Rect::new(9, 4, 9, 4));
+        // both wires jog into interior tracks y=2 and y=3: the long
+        // x-runs cover neither wire's own terminals, so no exemption
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(0, 0, 0), p(0, 2, 0), p(9, 2, 0), p(9, 0, 0)]),
+        );
+        l.add_wire(
+            2,
+            3,
+            WirePath::new(vec![p(0, 4, 0), p(0, 3, 0), p(9, 3, 0), p(9, 4, 0)]),
+        );
+        assert!(check(&l, None).is_legal());
+        let r = check_with_pdk(&l, None, &Pdk::hv6());
+        assert!(
+            r.errors.iter().any(|e| matches!(
+                e,
+                CheckError::PitchViolation {
+                    layer: 0,
+                    gap: 1,
+                    ..
+                }
+            )),
+            "{:?}",
+            r.errors
+        );
+        // the vertical stubs (x=0 and x=9 pairs) cover their wires'
+        // terminals and are 9 apart anyway; shrink the grid so stubs
+        // sit 1 apart: still legal, because stubs are exempt
+        let mut l = Layout::new("stubs", 2);
+        l.place_node(0, Rect::new(0, 0, 0, 0));
+        l.place_node(1, Rect::new(1, 0, 1, 0));
+        l.place_node(2, Rect::new(0, 5, 0, 5));
+        l.place_node(3, Rect::new(1, 5, 1, 5));
+        l.add_wire(
+            0,
+            2,
+            WirePath::new(vec![p(0, 0, 0), p(0, 0, 1), p(0, 5, 1), p(0, 5, 0)]),
+        );
+        l.add_wire(
+            1,
+            3,
+            WirePath::new(vec![p(1, 0, 0), p(1, 0, 1), p(1, 5, 1), p(1, 5, 0)]),
+        );
+        assert!(check(&l, None).is_legal());
+        assert!(
+            check_with_pdk(&l, None, &Pdk::hv6()).is_legal(),
+            "terminal-covering runs must be pitch-exempt"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod io;
 pub mod layout;
 pub mod metrics;
 pub mod path;
+pub mod pdk;
 pub mod render;
 pub mod streaming;
 pub mod svg;
@@ -41,6 +42,7 @@ pub mod svg;
 pub use checker::{check, CheckError, CheckReport};
 pub use geom::{Point3, Rect};
 pub use layout::{Layout, NodePlacement, Wire};
-pub use metrics::LayoutMetrics;
+pub use metrics::{LayoutMetrics, PhysicalMetrics};
 pub use path::WirePath;
+pub use pdk::{DbUnits, Dir, Pdk, PdkLayer};
 pub use streaming::{check_stream, metrics_stream, StreamSource};

@@ -13,6 +13,7 @@
 //!   lengths into BFS shortest paths of the reference graph.
 
 use crate::layout::Layout;
+use crate::pdk::{DbUnits, Pdk};
 use mlv_core::exec;
 use mlv_topology::routing::max_route_cost;
 use mlv_topology::Graph;
@@ -77,6 +78,12 @@ impl LayoutMetrics {
         }
     }
 
+    /// Pitch-weighted physical metrics of this layout under `pdk`
+    /// (convenience over [`PhysicalMetrics::of`]).
+    pub fn physical(layout: &Layout, pdk: &Pdk) -> PhysicalMetrics {
+        PhysicalMetrics::of(layout, pdk)
+    }
+
     /// Maximum total wire length along a shortest routing path between
     /// any source–destination pair (paper §1 claim 4). Requires the
     /// reference graph whose edge order matches `layout.wires` — i.e.
@@ -91,6 +98,94 @@ impl LayoutMetrics {
         }
         let lens: Vec<u64> = layout.wires.iter().map(|w| w.path.length()).collect();
         max_route_cost(graph, |e| lens[e as usize])
+    }
+}
+
+/// Pitch-weighted physical metrics of a layout under a [`Pdk`] — the
+/// units in which the exact-wirelength embedding literature states its
+/// results.
+///
+/// This is a **pure cost model** over the layout's grid geometry: a
+/// planar unit step on layer `z` costs `pitch(z)` [`DbUnits`], and a
+/// via crossing from layer `z` to `z + 1` costs `via_cost(z)`. The
+/// bounding box is scaled by the stack's track-spacing scales. Two
+/// exact laws follow by construction (and are pinned by the
+/// conformance PDK oracle):
+///
+/// * **identity** — under [`Pdk::uniform`] the physical wirelength
+///   equals [`LayoutMetrics::total_wire`] exactly and the physical
+///   area equals the grid area;
+/// * **linearity** — under [`Pdk::scaled`]`(k)` the physical
+///   wirelength of the same layout is exactly `k` times larger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhysicalMetrics {
+    /// Stack the metrics were computed under.
+    pub pdk: String,
+    /// Bounding-box width × horizontal track-spacing scale.
+    pub width: DbUnits,
+    /// Bounding-box height × vertical track-spacing scale.
+    pub height: DbUnits,
+    /// `width × height`.
+    pub area: DbUnits,
+    /// Sum over wires of pitch-weighted planar steps plus via costs.
+    pub wirelength: DbUnits,
+    /// Longest single wire under the same weighting.
+    pub max_wire: DbUnits,
+    /// The via-cost portion of `wirelength`.
+    pub via_cost: DbUnits,
+}
+
+impl PhysicalMetrics {
+    /// Compute the pitch-weighted metrics of `layout` under `pdk`.
+    /// Corners below layer 0 (only possible in deliberately illegal
+    /// layouts) are priced as layer 0.
+    pub fn of(layout: &Layout, pdk: &Pdk) -> Self {
+        let (bb, _) = layout.extents();
+        let (gw, gh) = match bb {
+            Some(bb) => (bb.width(), bb.height()),
+            None => (0, 0),
+        };
+        let width = gw * pdk.xscale(layout.layers) as DbUnits;
+        let height = gh * pdk.yscale(layout.layers) as DbUnits;
+        let wire_cost = |w: &crate::layout::Wire| -> (DbUnits, DbUnits) {
+            let mut planar = 0u64;
+            let mut vias = 0u64;
+            for pair in w.path.corners().windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a.z != b.z {
+                    let (lo, hi) = (a.z.min(b.z).max(0), a.z.max(b.z).max(0));
+                    for z in lo..hi {
+                        vias += pdk.layer_at(z as usize).via_cost;
+                    }
+                } else {
+                    let steps = (a.x - b.x).unsigned_abs() + (a.y - b.y).unsigned_abs();
+                    planar += steps * pdk.layer_at(a.z.max(0) as usize).pitch;
+                }
+            }
+            (planar, vias)
+        };
+        let (wirelength, max_wire, via_cost) = exec::par_chunk_reduce(
+            &layout.wires,
+            (0u64, 0u64, 0u64),
+            |acc, w| {
+                let (planar, vias) = wire_cost(w);
+                (
+                    acc.0 + planar + vias,
+                    acc.1.max(planar + vias),
+                    acc.2 + vias,
+                )
+            },
+            |a, b| (a.0 + b.0, a.1.max(b.1), a.2 + b.2),
+        );
+        PhysicalMetrics {
+            pdk: pdk.name.clone(),
+            width,
+            height,
+            area: width * height,
+            wirelength,
+            max_wire,
+            via_cost,
+        }
     }
 }
 
@@ -162,6 +257,47 @@ mod tests {
         l.place_node(0, Rect::new(0, 0, 0, 0));
         l.add_wire(0, 1, WirePath::new(vec![p(0, 0, 0), p(5, 0, 0)]));
         assert_eq!(LayoutMetrics::max_routed_path(&l, &g), None);
+    }
+
+    #[test]
+    fn physical_uniform_is_the_identity() {
+        let mut l = Layout::new("t", 4);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(8, 0, 9, 1));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 1, 0), p(1, 1, 1), p(8, 1, 1), p(8, 1, 0)]),
+        );
+        let m = LayoutMetrics::of(&l);
+        let ph = PhysicalMetrics::of(&l, &Pdk::uniform(4));
+        assert_eq!(ph.wirelength, m.total_wire);
+        assert_eq!(ph.max_wire, m.max_wire_full);
+        assert_eq!(ph.via_cost, m.via_count);
+        assert_eq!(ph.area, m.area);
+        assert_eq!((ph.width, ph.height), (m.width, m.height));
+    }
+
+    #[test]
+    fn physical_weights_by_pitch_and_via_cost() {
+        // one x-run of 7 on layer 1 (hv6 M2: V, pitch 2), two via
+        // crossings of the M1->M2 boundary (via_cost 2 each)
+        let mut l = Layout::new("t", 2);
+        l.place_node(0, Rect::new(0, 0, 1, 1));
+        l.place_node(1, Rect::new(8, 0, 9, 1));
+        l.add_wire(
+            0,
+            1,
+            WirePath::new(vec![p(1, 1, 0), p(1, 1, 1), p(8, 1, 1), p(8, 1, 0)]),
+        );
+        let hv6 = Pdk::hv6();
+        let ph = PhysicalMetrics::of(&l, &hv6);
+        assert_eq!(ph.via_cost, 2 * hv6.layers[0].via_cost);
+        assert_eq!(ph.wirelength, 7 * hv6.layers[1].pitch + ph.via_cost);
+        // exact linearity under pitch scaling
+        let ph3 = PhysicalMetrics::of(&l, &hv6.scaled(3));
+        assert_eq!(ph3.wirelength, 3 * ph.wirelength);
+        assert_eq!(ph3.via_cost, 3 * ph.via_cost);
     }
 
     #[test]

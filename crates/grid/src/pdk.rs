@@ -1,0 +1,449 @@
+//! Technology / PDK model: per-layer preferred directions, track
+//! pitches, and via costs — the vocabulary for realizing layouts onto
+//! realistic metal stacks instead of the paper's identical unit grid.
+//!
+//! A [`Pdk`] is an ordered list of [`PdkLayer`]s; layer `z` of a layout
+//! maps onto `layers[z % len]` ([`Pdk::layer_at`]), so one stack
+//! description serves every layer budget. Two stacks are built in:
+//!
+//! * [`Pdk::uniform`] — every layer direction-unconstrained
+//!   ([`Dir::Any`]) with pitch 1 and via cost 1. This is the paper's
+//!   grid model, and the **identity** of the whole PDK axis: realizing,
+//!   checking, and measuring under the uniform PDK is byte-identical
+//!   to the PDK-free pipeline.
+//! * [`Pdk::hv6`] — a realistic alternating-HV 6-layer stack with
+//!   coarser pitches on the upper layers.
+//!
+//! Stacks round-trip through a plain-text format ([`write_pdk`] /
+//! [`read_pdk`]) using the same name escaping as the layout format
+//! (`mlv_grid::io`), so a `--pdk @file` flag can load custom stacks.
+//!
+//! All lengths are integer [`DbUnits`] — the Layout21 `DbUnits`
+//! idiom — so every physical quantity stays exact.
+
+use crate::io::{escape, unescape, ParseError};
+use std::fmt::Write as _;
+
+/// Integer database units: the exact physical length unit every pitch,
+/// via cost, and physical metric is stated in.
+pub type DbUnits = u64;
+
+/// Preferred routing direction of one metal layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Horizontal: carries x-runs only.
+    H,
+    /// Vertical: carries y-runs only.
+    V,
+    /// Unconstrained: carries runs of either direction (the uniform
+    /// grid model).
+    Any,
+}
+
+impl Dir {
+    /// May a run with `Δx ≠ 0` ride this layer?
+    pub fn allows_x(self) -> bool {
+        self != Dir::V
+    }
+
+    /// May a run with `Δy ≠ 0` ride this layer?
+    pub fn allows_y(self) -> bool {
+        self != Dir::H
+    }
+
+    /// Stable token used by the text format.
+    pub fn token(self) -> &'static str {
+        match self {
+            Dir::H => "H",
+            Dir::V => "V",
+            Dir::Any => "any",
+        }
+    }
+
+    /// Inverse of [`Dir::token`].
+    pub fn from_token(t: &str) -> Option<Dir> {
+        match t {
+            "H" => Some(Dir::H),
+            "V" => Some(Dir::V),
+            "any" => Some(Dir::Any),
+            _ => None,
+        }
+    }
+}
+
+/// One metal layer of a stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PdkLayer {
+    /// Layer name (unique within a stack).
+    pub name: String,
+    /// Preferred routing direction.
+    pub dir: Dir,
+    /// Track pitch: minimum center-to-center spacing of parallel runs
+    /// on this layer, in [`DbUnits`] (≥ 1).
+    pub pitch: DbUnits,
+    /// Cost of one via crossing from this layer to the next one up,
+    /// in [`DbUnits`] (contributes to physical wirelength).
+    pub via_cost: DbUnits,
+}
+
+/// An ordered metal stack. Layer `z` of a layout uses entry
+/// `z % layers.len()`, so a stack serves any layer budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pdk {
+    /// Stack name (reported in traces, sweeps, and metrics).
+    pub name: String,
+    /// The layers, bottom-up. Never empty for stacks built by the
+    /// constructors or the parser.
+    pub layers: Vec<PdkLayer>,
+}
+
+impl Pdk {
+    /// The trivial uniform stack: `n` direction-unconstrained layers of
+    /// pitch 1 and via cost 1 — the paper's grid model. The whole
+    /// pipeline is byte-identical under this stack to the PDK-free
+    /// path (the identity of the PDK axis).
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Pdk {
+        assert!(n >= 1, "a PDK needs at least one layer");
+        Pdk {
+            name: "uniform".to_string(),
+            layers: (0..n)
+                .map(|i| PdkLayer {
+                    name: format!("M{i}"),
+                    dir: Dir::Any,
+                    pitch: 1,
+                    via_cost: 1,
+                })
+                .collect(),
+        }
+    }
+
+    /// A realistic alternating-HV 6-layer stack: horizontal even
+    /// layers, vertical odd layers, pitches coarsening upward.
+    pub fn hv6() -> Pdk {
+        let spec: [(&str, Dir, DbUnits, DbUnits); 6] = [
+            ("M1", Dir::H, 2, 2),
+            ("M2", Dir::V, 2, 2),
+            ("M3", Dir::H, 3, 2),
+            ("M4", Dir::V, 3, 2),
+            ("M5", Dir::H, 4, 3),
+            ("M6", Dir::V, 4, 3),
+        ];
+        Pdk {
+            name: "hv6".to_string(),
+            layers: spec
+                .iter()
+                .map(|&(name, dir, pitch, via_cost)| PdkLayer {
+                    name: name.to_string(),
+                    dir,
+                    pitch,
+                    via_cost,
+                })
+                .collect(),
+        }
+    }
+
+    /// Look up a built-in stack by name.
+    pub fn named(name: &str) -> Option<Pdk> {
+        match name {
+            "uniform" => Some(Pdk::uniform(1)),
+            "hv6" => Some(Pdk::hv6()),
+            _ => None,
+        }
+    }
+
+    /// The stack entry backing layout layer `z` (cyclic).
+    pub fn layer_at(&self, z: usize) -> &PdkLayer {
+        &self.layers[z % self.layers.len()]
+    }
+
+    /// `true` when this stack is behaviorally the uniform grid: every
+    /// layer unconstrained with pitch 1 and via cost 1. Such stacks
+    /// take the PDK-free fast paths everywhere (identical cache keys,
+    /// reports, and digests).
+    pub fn is_uniform(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.dir == Dir::Any && l.pitch == 1 && l.via_cost == 1)
+    }
+
+    /// The same stack with every pitch and via cost multiplied by `k`
+    /// (names suffixed `x<k>`). Physical wirelength of any fixed
+    /// layout is exactly `k` times larger under the scaled stack —
+    /// the linearity law the conformance oracle pins.
+    ///
+    /// Panics on `k == 0` or arithmetic overflow.
+    pub fn scaled(&self, k: DbUnits) -> Pdk {
+        assert!(k >= 1, "scale factor must be >= 1");
+        let mul = |v: DbUnits| v.checked_mul(k).expect("pitch/via overflow in Pdk::scaled");
+        Pdk {
+            name: format!("{}x{k}", self.name),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| PdkLayer {
+                    name: l.name.clone(),
+                    dir: l.dir,
+                    pitch: mul(l.pitch),
+                    via_cost: mul(l.via_cost),
+                })
+                .collect(),
+        }
+    }
+
+    /// Horizontal track-spacing scale for a `layers`-deep layout: the
+    /// maximum pitch over the stack entries that may carry y-runs
+    /// (vertical tracks sit at distinct x positions, so their x
+    /// spacing must cover the widest vertical-capable layer). 1 for
+    /// the uniform stack.
+    pub fn xscale(&self, layers: usize) -> i64 {
+        self.dir_scale(layers, Dir::allows_y)
+    }
+
+    /// Vertical track-spacing scale: the maximum pitch over the stack
+    /// entries that may carry x-runs. 1 for the uniform stack.
+    pub fn yscale(&self, layers: usize) -> i64 {
+        self.dir_scale(layers, Dir::allows_x)
+    }
+
+    fn dir_scale(&self, layers: usize, carries: fn(Dir) -> bool) -> i64 {
+        let visible = layers.max(1).min(self.layers.len());
+        (0..visible)
+            .map(|z| self.layer_at(z))
+            .filter(|l| carries(l.dir))
+            .map(|l| i64::try_from(l.pitch).expect("pitch exceeds i64"))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+/// Serialize a stack to the text format:
+///
+/// ```text
+/// mlvpdk 1
+/// pdk <escaped-name>
+/// layer <escaped-name> <H|V|any> pitch=<p> via=<c>
+/// ```
+pub fn write_pdk(pdk: &Pdk) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mlvpdk 1");
+    let _ = writeln!(out, "pdk {}", escape(&pdk.name));
+    for l in &pdk.layers {
+        let _ = writeln!(
+            out,
+            "layer {} {} pitch={} via={}",
+            escape(&l.name),
+            l.dir.token(),
+            l.pitch,
+            l.via_cost
+        );
+    }
+    out
+}
+
+/// Parse a stack from the text format. Rejects — with the offending
+/// line number — zero or overflowing pitches and via costs, duplicate
+/// layer names, and stacks with no layers.
+pub fn read_pdk(text: &str) -> Result<Pdk, ParseError> {
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (i, magic) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    if magic.trim() != "mlvpdk 1" {
+        return Err(err(i + 1, "expected header 'mlvpdk 1'"));
+    }
+    let (i, header) = lines.next().ok_or_else(|| err(2, "missing pdk line"))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("pdk") {
+        return Err(err(i + 1, "expected 'pdk <name>'"));
+    }
+    let name = unescape(parts.next().ok_or_else(|| err(i + 1, "missing pdk name"))?)
+        .map_err(|m| err(i + 1, &m))?;
+    let mut layers: Vec<PdkLayer> = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("layer") => {
+                let lname = unescape(
+                    parts
+                        .next()
+                        .ok_or_else(|| err(i + 1, "missing layer name"))?,
+                )
+                .map_err(|m| err(i + 1, &m))?;
+                if layers.iter().any(|l| l.name == lname) {
+                    return Err(err(i + 1, &format!("duplicate layer name '{lname}'")));
+                }
+                let dir = parts
+                    .next()
+                    .and_then(Dir::from_token)
+                    .ok_or_else(|| err(i + 1, "expected direction H, V, or any"))?;
+                let mut field = |key: &str| -> Result<DbUnits, ParseError> {
+                    let tok = parts
+                        .next()
+                        .and_then(|t| t.strip_prefix(key))
+                        .and_then(|t| t.strip_prefix('='))
+                        .ok_or_else(|| err(i + 1, &format!("missing {key}=<n>")))?;
+                    tok.parse()
+                        .map_err(|_| err(i + 1, &format!("bad or overflowing {key} '{tok}'")))
+                };
+                let pitch = field("pitch")?;
+                if pitch == 0 {
+                    return Err(err(i + 1, "pitch must be >= 1"));
+                }
+                if i64::try_from(pitch).is_err() {
+                    return Err(err(i + 1, "pitch exceeds the coordinate range (i64)"));
+                }
+                let via_cost = field("via")?;
+                layers.push(PdkLayer {
+                    name: lname,
+                    dir,
+                    pitch,
+                    via_cost,
+                });
+            }
+            Some(other) => return Err(err(i + 1, &format!("unknown record '{other}'"))),
+            None => {}
+        }
+    }
+    if layers.is_empty() {
+        return Err(err(
+            text.lines().count().max(1),
+            "a PDK needs at least one layer",
+        ));
+    }
+    Ok(Pdk { name, layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_uniform_and_scales_are_one() {
+        for n in [1usize, 2, 4, 9] {
+            let p = Pdk::uniform(n);
+            assert!(p.is_uniform());
+            assert_eq!(p.layers.len(), n);
+            for layers in [1usize, 2, 8] {
+                assert_eq!(p.xscale(layers), 1);
+                assert_eq!(p.yscale(layers), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hv6_alternates_and_is_not_uniform() {
+        let p = Pdk::hv6();
+        assert!(!p.is_uniform());
+        assert_eq!(p.layers.len(), 6);
+        for (z, l) in p.layers.iter().enumerate() {
+            assert_eq!(l.dir, if z % 2 == 0 { Dir::H } else { Dir::V }, "{z}");
+            assert!(l.pitch >= 2);
+        }
+        // cyclic extension past the stack depth
+        assert_eq!(p.layer_at(6).name, "M1");
+        assert_eq!(p.layer_at(7).name, "M2");
+        // scales: max pitch over the direction-capable prefix
+        assert_eq!(p.xscale(2), 2); // only M2 (V) visible
+        assert_eq!(p.yscale(2), 2); // only M1 (H) visible
+        assert_eq!(p.xscale(6), 4); // M6 (V, pitch 4)
+        assert_eq!(p.yscale(6), 4); // M5 (H, pitch 4)
+    }
+
+    #[test]
+    fn named_lookup() {
+        assert!(Pdk::named("uniform").unwrap().is_uniform());
+        assert_eq!(Pdk::named("hv6").unwrap().name, "hv6");
+        assert!(Pdk::named("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_multiplies_pitches_and_vias() {
+        let p = Pdk::hv6().scaled(3);
+        assert_eq!(p.name, "hv6x3");
+        for (a, b) in p.layers.iter().zip(Pdk::hv6().layers.iter()) {
+            assert_eq!(a.pitch, 3 * b.pitch);
+            assert_eq!(a.via_cost, 3 * b.via_cost);
+        }
+        // scaling the uniform stack leaves direction freedom intact
+        assert!(!Pdk::uniform(4).scaled(2).is_uniform());
+    }
+
+    #[test]
+    fn round_trip() {
+        for p in [Pdk::uniform(3), Pdk::hv6(), Pdk::hv6().scaled(5)] {
+            let text = write_pdk(&p);
+            let back = read_pdk(&text).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(back, p);
+            assert_eq!(write_pdk(&back), text);
+        }
+    }
+
+    #[test]
+    fn adversarial_names_round_trip() {
+        let p = Pdk {
+            name: "a b\\c\nd".to_string(),
+            layers: vec![PdkLayer {
+                name: "metal one\t".to_string(),
+                dir: Dir::Any,
+                pitch: 7,
+                via_cost: 0,
+            }],
+        };
+        let back = read_pdk(&write_pdk(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn rejects_zero_pitch() {
+        let text = "mlvpdk 1\npdk x\nlayer M1 H pitch=0 via=1\n";
+        let e = read_pdk(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("pitch"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_overflowing_pitch() {
+        // past u64
+        let text = "mlvpdk 1\npdk x\nlayer M1 H pitch=99999999999999999999999 via=1\n";
+        let e = read_pdk(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        // fits u64 but not the i64 coordinate range
+        let text = "mlvpdk 1\npdk x\nlayer M1 H pitch=9223372036854775808 via=1\n";
+        let e = read_pdk(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("i64"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_empty_layer_list() {
+        let e = read_pdk("mlvpdk 1\npdk empty\n").unwrap_err();
+        assert!(e.message.contains("at least one layer"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_duplicate_layer_names() {
+        let text = "mlvpdk 1\npdk x\nlayer M1 H pitch=2 via=1\nlayer M1 V pitch=2 via=1\n";
+        let e = read_pdk(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(read_pdk("").is_err());
+        assert!(read_pdk("nope").is_err());
+        assert!(read_pdk("mlvpdk 1\nblob\n").is_err());
+        assert!(read_pdk("mlvpdk 1\npdk x\nlayer M1 D pitch=1 via=1\n").is_err());
+        assert!(read_pdk("mlvpdk 1\npdk x\nlayer M1 H pitch=abc via=1\n").is_err());
+        assert!(read_pdk("mlvpdk 1\npdk x\nlayer M1 H via=1\n").is_err());
+    }
+}

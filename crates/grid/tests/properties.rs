@@ -8,8 +8,9 @@ use mlv_grid::fold::FoldedEstimate;
 use mlv_grid::geom::{Point3, Rect};
 use mlv_grid::io::{read_layout, write_layout};
 use mlv_grid::layout::Layout;
-use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::metrics::{LayoutMetrics, PhysicalMetrics};
 use mlv_grid::path::WirePath;
+use mlv_grid::pdk::Pdk;
 
 /// Build a rectilinear path from a list of axis-aligned steps.
 fn path_from_steps(start: (i64, i64, i32), steps: &[(u8, i64)]) -> WirePath {
@@ -211,6 +212,35 @@ mlv_proptest! {
         for &(x, y) in &nodes {
             prop_assert!(bb.contains_xy(x, y));
             prop_assert!(bb.contains_xy(x + 1, y + 1));
+        }
+    }
+
+    /// PDK metric laws over arbitrary rectilinear wires: the uniform
+    /// stack is the exact identity onto the grid metrics, and scaling
+    /// every pitch/via cost by a constant k scales wirelength and via
+    /// cost by k and area by k².
+    #[test]
+    fn physical_metrics_identity_and_linearity(
+        steps in prop::vec((0u8..3, -6i64..7), 1..12),
+        k in 1u64..5
+    ) {
+        let p = path_from_steps((0, 0, 1), &steps);
+        if p.validate().is_ok() {
+            let mut l = Layout::new("prop", 4);
+            l.add_wire(0, 1, p);
+            let m = LayoutMetrics::of(&l);
+            let ph = PhysicalMetrics::of(&l, &Pdk::uniform(4));
+            prop_assert_eq!(ph.wirelength, m.total_wire);
+            prop_assert_eq!(ph.max_wire, m.max_wire_full);
+            prop_assert_eq!(ph.via_cost, m.via_count);
+            prop_assert_eq!(ph.area, m.area);
+            let hv6 = Pdk::hv6();
+            let p1 = PhysicalMetrics::of(&l, &hv6);
+            let pk = PhysicalMetrics::of(&l, &hv6.scaled(k));
+            prop_assert_eq!(pk.wirelength, k * p1.wirelength);
+            prop_assert_eq!(pk.via_cost, k * p1.via_cost);
+            prop_assert_eq!(pk.max_wire, k * p1.max_wire);
+            prop_assert_eq!(pk.area, k * k * p1.area);
         }
     }
 }

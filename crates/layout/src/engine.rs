@@ -43,7 +43,8 @@ use mlv_core::rng::{Rng, SplitMix64};
 use mlv_grid::checker;
 use mlv_grid::hasher::{fnv1a, fnv1a_u64, FNV_BASIS};
 use mlv_grid::layout::Layout;
-use mlv_grid::metrics::LayoutMetrics;
+use mlv_grid::metrics::{LayoutMetrics, PhysicalMetrics};
+use mlv_grid::pdk::Pdk;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -56,6 +57,11 @@ pub struct Job {
     pub family: Family,
     /// Layer budget `L ≥ 2`.
     pub layers: usize,
+    /// Technology stack to realize onto. `None` — and any stack with
+    /// [`Pdk::is_uniform`] — is the paper's unit grid: the memo key,
+    /// report lines, and realized geometry are all byte-identical to a
+    /// PDK-free job.
+    pub pdk: Option<Pdk>,
 }
 
 impl Job {
@@ -66,7 +72,22 @@ impl Job {
             label: format!("{} L={layers}", label.as_ref()),
             family,
             layers,
+            pdk: None,
         }
+    }
+
+    /// [`Job::new`] targeting a technology stack.
+    pub fn with_pdk(label: impl AsRef<str>, family: Family, layers: usize, pdk: Pdk) -> Self {
+        Job {
+            pdk: Some(pdk),
+            ..Job::new(label, family, layers)
+        }
+    }
+
+    /// The job's stack when it actually deviates from the uniform
+    /// grid; `None` for both `pdk: None` and explicit uniform stacks.
+    fn effective_pdk(&self) -> Option<&Pdk> {
+        self.pdk.as_ref().filter(|p| !p.is_uniform())
     }
 }
 
@@ -108,6 +129,9 @@ pub struct JobOutcome {
     pub check: CheckStatus,
     /// Per-pass wall-clock timing of the (single) realization.
     pub timing: PassTimings,
+    /// Physical (pitch/via-weighted) metrics — present only for jobs
+    /// realized onto a non-uniform stack.
+    pub physical: Option<PhysicalMetrics>,
     /// The layout itself, kept only when
     /// [`EngineOptions::keep_layouts`] is set.
     pub layout: Option<Layout>,
@@ -133,14 +157,16 @@ impl JobResult {
     /// One deterministic JSON line for this result — the `mlv sweep`
     /// report format. Contains only thread-count-independent fields
     /// (no wall-clock timing), so sweep output is byte-identical for
-    /// any `MLV_THREADS`.
+    /// any `MLV_THREADS`. PDK fields appear only for non-uniform
+    /// stacks, keeping uniform sweep output byte-identical to the
+    /// PDK-free format.
     pub fn json_line(&self) -> String {
         let o = &self.outcome;
         let m = &o.metrics;
-        format!(
+        let mut line = format!(
             "{{\"label\":\"{}\",\"layers\":{},\"digest\":\"{:016x}\",\"cached\":{},\
              \"area\":{},\"volume\":{},\"max_wire_planar\":{},\"max_wire_full\":{},\
-             \"total_wire\":{},\"wires\":{},\"vias\":{},\"checked\":{}}}",
+             \"total_wire\":{},\"wires\":{},\"vias\":{},\"checked\":{}",
             json_escape(&self.label),
             self.layers,
             o.digest,
@@ -156,7 +182,20 @@ impl JobResult {
                 Some(b) => b.to_string(),
                 None => "null".into(),
             },
-        )
+        );
+        if let Some(p) = &o.physical {
+            line.push_str(&format!(
+                ",\"pdk\":\"{}\",\"phys_area\":{},\"phys_wirelength\":{},\
+                 \"phys_max_wire\":{},\"phys_via_cost\":{}",
+                json_escape(&p.pdk),
+                p.area,
+                p.wirelength,
+                p.max_wire,
+                p.via_cost,
+            ));
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -371,18 +410,21 @@ fn compute(job: &Job, opts: &EngineOptions, pool: &ScratchPool) -> JobOutcome {
     } else {
         Scratch::new()
     };
-    let (layout, timing) = realize_timed_with(
-        &job.family.spec,
-        &RealizeOptions::with_layers(job.layers),
-        &mut scratch,
-    );
+    let pdk = job.effective_pdk();
+    let mut ropts = RealizeOptions::with_layers(job.layers);
+    ropts.pdk = pdk.cloned();
+    let (layout, timing) = realize_timed_with(&job.family.spec, &ropts, &mut scratch);
     let metrics = LayoutMetrics::of(&layout);
+    let physical = pdk.map(|p| PhysicalMetrics::of(&layout, p));
     mlv_grid::io::write_layout_into(&layout, &mut scratch.io_buf);
     let digest = fnv1a(FNV_BASIS, scratch.io_buf.as_bytes());
     mlv_core::histogram!("engine.job.wires", metrics.wire_count as u64);
     mlv_core::histogram!("engine.job.area", metrics.area);
     let check = if opts.check {
-        let r = checker::check(&layout, Some(&job.family.graph));
+        let r = match pdk {
+            Some(p) => checker::check_with_pdk(&layout, Some(&job.family.graph), p),
+            None => checker::check(&layout, Some(&job.family.graph)),
+        };
         if r.is_legal() {
             CheckStatus::Legal
         } else {
@@ -405,6 +447,7 @@ fn compute(job: &Job, opts: &EngineOptions, pool: &ScratchPool) -> JobOutcome {
         metrics,
         check,
         timing,
+        physical,
         layout,
     }
 }
@@ -453,7 +496,20 @@ fn job_key(job: &Job) -> u64 {
         h = fnv1a_u64(h, w.b.1 as u64);
     }
     h = fnv1a_u64(h, 0xA5);
-    fnv1a_u64(h, job.layers as u64)
+    h = fnv1a_u64(h, job.layers as u64);
+    // the uniform stack folds nothing: a uniform-PDK job must share its
+    // memo entry (and digest) with the PDK-free job it is identical to
+    if let Some(p) = job.effective_pdk() {
+        h = fnv1a_u64(h, 0xA6);
+        h = fnv1a(h, p.name.as_bytes());
+        for l in &p.layers {
+            h = fnv1a(h, l.name.as_bytes());
+            h = fnv1a_u64(h, l.dir as u64);
+            h = fnv1a_u64(h, l.pitch);
+            h = fnv1a_u64(h, l.via_cost);
+        }
+    }
+    h
 }
 
 /// Stable per-family sub-seed: master seed mixed with an FNV-1a hash
@@ -474,6 +530,14 @@ pub fn family_seed(master: u64, family: &str) -> u64 {
 /// makes the memo cache pay: small pools re-draw the same parameters,
 /// and every case shares the Thompson point of its spec.
 pub fn lattice_jobs(seed: u64, cases_per_family: usize) -> Vec<Job> {
+    lattice_jobs_with_pdk(seed, cases_per_family, None)
+}
+
+/// [`lattice_jobs`] with every job targeting a technology stack. The
+/// RNG discipline and labels are identical to the PDK-free lattice —
+/// only the jobs' `pdk` field differs — so `None` (or a uniform
+/// stack) reproduces [`lattice_jobs`] exactly.
+pub fn lattice_jobs_with_pdk(seed: u64, cases_per_family: usize, pdk: Option<&Pdk>) -> Vec<Job> {
     let mut jobs = Vec::new();
     for entry in registry::REGISTRY {
         let Some(lattice) = &entry.lattice else {
@@ -485,8 +549,12 @@ pub fn lattice_jobs(seed: u64, cases_per_family: usize) -> Vec<Job> {
             let mut rng = Rng::seed_from_u64(s);
             let layers = registry::LAYER_POOL[rng.gen_range_usize(0..registry::LAYER_POOL.len())];
             let draw = (lattice.draw)(&mut rng);
-            jobs.push(Job::new(&draw.label, draw.family.clone(), layers));
-            jobs.push(Job::new(&draw.label, draw.family, 2));
+            let mut a = Job::new(&draw.label, draw.family.clone(), layers);
+            let mut b = Job::new(&draw.label, draw.family, 2);
+            a.pdk = pdk.cloned();
+            b.pdk = pdk.cloned();
+            jobs.push(a);
+            jobs.push(b);
         }
     }
     jobs
@@ -740,6 +808,7 @@ mod tests {
                     spec: spec.clone(),
                 },
                 layers,
+                pdk: None,
             })
         };
         assert_ne!(key(&with_row, 2), key(&with_col, 2));

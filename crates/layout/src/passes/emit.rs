@@ -19,7 +19,7 @@
 //! additionally recycles pooled corner buffers from the scratch.
 
 use super::geometry::Resolver;
-use super::PassConfig;
+use super::{PassConfig, PassContext};
 use crate::arena::Scratch;
 use crate::spec::OrthogonalSpec;
 use crate::tiled::{TileInstance, TiledLayout};
@@ -30,30 +30,37 @@ use mlv_grid::path::WirePath;
 
 /// Fill the scratch's prefix-summed gap origins (`col_x0`, `slot_y0`)
 /// from the per-gap widths — shared by the flat and tiled emitters.
-fn fill_origins(s: &mut Scratch) {
+/// Gap widths stretch by the stack's track pitches (1 under the
+/// uniform stack); node footprints stay `side × side`.
+fn fill_origins(s: &mut Scratch, ctx: &PassContext) {
     let side = s.side;
     s.col_x0.clear();
     s.col_x0.push(0);
     let mut acc = 0i64;
     for &w in &s.wpl {
-        acc += side + w;
+        acc += side + w * ctx.xscale;
         s.col_x0.push(acc);
     }
     s.slot_y0.clear();
     s.slot_y0.push(0);
     let mut acc = 0i64;
     for &h in &s.hpl_slot {
-        acc += side + h;
+        acc += side + h * ctx.yscale;
         s.slot_y0.push(acc);
     }
 }
 
 /// Run the emit pass, consuming the scratch's columns into a
 /// [`Layout`] (built on the scratch's recycled node/wire storage).
-pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> Layout {
+pub(crate) fn run(
+    spec: &OrthogonalSpec,
+    cfg: &PassConfig,
+    ctx: &PassContext,
+    s: &mut Scratch,
+) -> Layout {
     let (rows, cols) = (spec.rows, spec.cols);
     let side = s.side;
-    fill_origins(s);
+    fill_origins(s, ctx);
 
     let (nodes, wires) = s.take_layout_bufs();
     // field-literal construction reuses the recycled vectors;
@@ -104,6 +111,8 @@ pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> L
         track_width,
         col_x0,
         slot_y0,
+        xscale: ctx.xscale,
+        yscale: ctx.yscale,
     };
     let build = |ki: usize, mut corners: Vec<Point3>| -> Wire {
         let g = resolver.resolve(ki);
@@ -143,8 +152,13 @@ pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> L
 /// distinct shapes into the tile table (first-use order) instead of
 /// expanding corners. Nodes stay implicit — the grid metadata is
 /// copied, not the placements.
-pub(crate) fn run_tiled(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> TiledLayout {
-    fill_origins(s);
+pub(crate) fn run_tiled(
+    spec: &OrthogonalSpec,
+    cfg: &PassConfig,
+    ctx: &PassContext,
+    s: &mut Scratch,
+) -> TiledLayout {
+    fill_origins(s, ctx);
     let slabs = s.slabs;
     let side = s.side;
     let resolver = Resolver {
@@ -158,6 +172,8 @@ pub(crate) fn run_tiled(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch
         track_width: &s.track_width,
         col_x0: &s.col_x0,
         slot_y0: &s.slot_y0,
+        xscale: ctx.xscale,
+        yscale: ctx.yscale,
     };
     let mut tiles: Vec<crate::tiled::TileShape> = Vec::new();
     let mut instances: Vec<TileInstance> = Vec::with_capacity(s.kinds.len());

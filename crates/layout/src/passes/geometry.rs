@@ -54,6 +54,10 @@ pub(crate) struct Resolver<'a> {
     pub track_width: &'a [i64],
     pub col_x0: &'a [i64],
     pub slot_y0: &'a [i64],
+    /// Horizontal track pitch (1 under the uniform stack).
+    pub xscale: i64,
+    /// Vertical track pitch (1 under the uniform stack).
+    pub yscale: i64,
 }
 
 impl Resolver<'_> {
@@ -90,7 +94,7 @@ impl Resolver<'_> {
                 LayerAssign::Intra { zb, zh, zv },
             ) => {
                 let w = &spec.row_wires[idx];
-                let ty = self.gap_y0(self.slabs.slot_of(w.row)) + tidx;
+                let ty = self.gap_y0(self.slabs.slot_of(w.row)) + tidx * self.yscale;
                 (
                     TileShape::Row { zb, zh, zv },
                     spec.node(w.row, w.lo),
@@ -105,7 +109,7 @@ impl Resolver<'_> {
                 LayerAssign::Intra { zb, zh, zv },
             ) => {
                 let w = &spec.col_wires[idx];
-                let tx = self.gap_x0(w.col) + tidx;
+                let tx = self.gap_x0(w.col) + tidx * self.xscale;
                 (
                     TileShape::Col { zb, zh, zv },
                     spec.node(w.lo, w.col),
@@ -120,8 +124,8 @@ impl Resolver<'_> {
                 LayerAssign::Intra { zb, zh, zv },
             ) => {
                 let w = &spec.jog_wires[idx];
-                let tx = self.gap_x0(w.a.1) + tx;
-                let ty = self.gap_y0(self.slabs.slot_of(w.b.0)) + ty;
+                let tx = self.gap_x0(w.a.1) + tx * self.xscale;
+                let ty = self.gap_y0(self.slabs.slot_of(w.b.0)) + ty * self.yscale;
                 (
                     TileShape::Jog { zb, zh, zv },
                     spec.node(w.a.0, w.a.1),
@@ -142,8 +146,8 @@ impl Resolver<'_> {
                 },
             ) => {
                 let (ra, ca, rb, cb) = k.inter_ends(spec).unwrap();
-                let riser_x = self.gap_x0(ca) + self.track_width[ca] + riser;
-                let ty = self.gap_y0(self.slabs.slot_of(rb)) + ty;
+                let riser_x = self.gap_x0(ca) + (self.track_width[ca] + riser) * self.xscale;
+                let ty = self.gap_y0(self.slabs.slot_of(rb)) + ty * self.yscale;
                 (
                     TileShape::Riser {
                         za,

@@ -1,18 +1,23 @@
-//! Pass 3 — layers: the odd/even group-to-layer assignment.
+//! Pass 3 — layers: the group-to-layer assignment.
 //!
-//! Within a slab based at layer `zb`, group `g` runs its x-segments on
-//! layer `zb + 2g` and its y-segments on `zb + 2g + 1` — the paper's
-//! assignment of horizontal groups to layers 1,3,5,… and vertical
-//! groups to 2,4,6,… (0-indexed here, with the active layer doubling as
-//! group 0's x-layer, exactly as the multilayer grid model allows). For
-//! odd per-slab budgets the top layer is left unused, which is where
-//! the paper's `L² − 1` odd-L denominators come from.
+//! Group `g` of a slab runs its x-segments on the slab's `g`-th
+//! x-carrying layer and its y-segments on the `g`-th y-carrying layer,
+//! as partitioned by the technology context
+//! ([`crate::passes::PassContext`]). For the uniform stack the
+//! partition is the legacy odd/even split — x-runs on `zb + 2g`,
+//! y-runs on `zb + 2g + 1` — the paper's assignment of horizontal
+//! groups to layers 1,3,5,… and vertical groups to 2,4,6,…
+//! (0-indexed here, with the active layer doubling as group 0's
+//! x-layer, exactly as the multilayer grid model allows). For odd
+//! per-slab budgets the top layer is left unused, which is where the
+//! paper's `L² − 1` odd-L denominators come from. Non-uniform stacks
+//! instead respect each layer's preferred direction.
 //!
 //! Slab-crossing wires get layers on both sides: the x-run layer of
 //! their source-slab group, and the x/y pair of their destination-slab
 //! group; the riser climbs between the two in `z`.
 
-use super::WireKind;
+use super::{PassContext, WireKind};
 use crate::arena::Scratch;
 use crate::passes::tracks::TrackAssign;
 use crate::spec::OrthogonalSpec;
@@ -48,7 +53,7 @@ pub(crate) enum LayerAssign {
 
 /// Run the layers pass, filling the scratch's `layer` column (parallel
 /// to `kinds`).
-pub(crate) fn run(spec: &OrthogonalSpec, s: &mut Scratch) {
+pub(crate) fn run(spec: &OrthogonalSpec, ctx: &PassContext, s: &mut Scratch) {
     let slabs = s.slabs;
     s.layer.clear();
     s.layer.reserve(s.kinds.len());
@@ -65,25 +70,23 @@ pub(crate) fn run(spec: &OrthogonalSpec, s: &mut Scratch) {
                 else {
                     unreachable!("inter wire without inter track assignment")
                 };
-                let za = slabs.zbase(slabs.slab_of(ra));
-                let zb = slabs.zbase(slabs.slab_of(rb));
-                let zvb = zb + 2 * group_b as i32 + 1;
+                let (sa, sb) = (slabs.slab_of(ra), slabs.slab_of(rb));
                 s.layer.push(LayerAssign::Inter {
-                    za,
-                    zha: za + 2 * group_a as i32,
-                    zb,
-                    zhb: zvb - 1,
-                    zvb,
+                    za: slabs.zbase(sa),
+                    zha: ctx.h[sa][group_a],
+                    zb: slabs.zbase(sb),
+                    zhb: ctx.h[sb][group_b],
+                    zvb: ctx.v[sb][group_b],
                 });
                 continue;
             }
         };
-        let zb = slabs.zbase(slabs.slab_of(home_row));
-        let g = t.home_group() as i32;
+        let slab = slabs.slab_of(home_row);
+        let g = t.home_group();
         s.layer.push(LayerAssign::Intra {
-            zb,
-            zh: zb + 2 * g,
-            zv: zb + 2 * g + 1,
+            zb: slabs.zbase(slab),
+            zh: ctx.h[slab][g],
+            zv: ctx.v[slab][g],
         });
     }
 }

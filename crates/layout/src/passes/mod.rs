@@ -47,6 +47,7 @@ use crate::arena::Scratch;
 use crate::realize::JogStrategy;
 use crate::spec::OrthogonalSpec;
 use mlv_grid::layout::Layout;
+use mlv_grid::pdk::{Dir, Pdk};
 
 /// Wire count above which the placement/emit passes fan out
 /// intra-layout over `mlv_core::exec` (sorting terminal items and
@@ -75,6 +76,10 @@ pub(crate) struct PassConfig {
     pub jog_strategy: JogStrategy,
     /// Name for the emitted layout.
     pub layout_name: String,
+    /// Technology stack to realize onto. `None` (or any stack with
+    /// [`Pdk::is_uniform`]) is the paper's unit grid and leaves the
+    /// pipeline byte-identical to the PDK-free path.
+    pub pdk: Option<Pdk>,
 }
 
 impl PassConfig {
@@ -82,12 +87,106 @@ impl PassConfig {
     pub fn slab_layers(&self) -> usize {
         self.layers / self.active_layers
     }
+}
 
-    /// Track groups per slab: `⌊(L/L_A)/2⌋`. For odd per-slab budgets
-    /// the top layer is left unused — the paper's `L² − 1` odd-L
-    /// denominators.
-    pub fn groups(&self) -> usize {
-        self.slab_layers() / 2
+/// Technology context derived once per realization from
+/// [`PassConfig::pdk`] and consumed by the tracks / layers / emit
+/// passes. For the uniform stack (`pdk: None` or [`Pdk::is_uniform`])
+/// every field degenerates to the legacy unit-grid values, so the
+/// passes produce byte-identical output by construction.
+#[derive(Clone, Debug)]
+pub(crate) struct PassContext {
+    /// Track groups per slab under the stack's direction budget:
+    /// `min` over slabs of `min(|h|, |v|)`. For the uniform stack this
+    /// is `⌊(L/L_A)/2⌋` — for odd per-slab budgets the top layer is
+    /// left unused, the paper's `L² − 1` odd-L denominators.
+    pub groups: usize,
+    /// Horizontal track pitch (column-gap scale). 1 for uniform.
+    pub xscale: i64,
+    /// Vertical track pitch (row-gap scale). 1 for uniform.
+    pub yscale: i64,
+    /// Per-slab layers carrying x-runs, `h[slab][g]`, ascending z.
+    /// Uniform: `zbase + 2g` — the legacy even layers.
+    pub h: Vec<Vec<i32>>,
+    /// Per-slab layers carrying y-runs, `v[slab][g]`, ascending z.
+    /// Uniform: `zbase + 2g + 1` — the legacy odd layers.
+    pub v: Vec<Vec<i32>>,
+    /// Stack name used to tag pass spans; `None` for uniform stacks
+    /// (keeps trace digests of PDK-free runs unchanged).
+    pub tag: Option<String>,
+}
+
+impl PassContext {
+    /// Derive the context for one realization. Panics if the stack
+    /// starves a slab of either direction (no legal group exists).
+    pub fn new(cfg: &PassConfig) -> PassContext {
+        let slab_layers = cfg.slab_layers();
+        let pdk = cfg.pdk.as_ref().filter(|p| !p.is_uniform());
+        let mut h = Vec::with_capacity(cfg.active_layers);
+        let mut v = Vec::with_capacity(cfg.active_layers);
+        for slab in 0..cfg.active_layers {
+            let zb = (slab * slab_layers) as i32;
+            let (mut hs, mut vs) = (Vec::new(), Vec::new());
+            for dz in 0..slab_layers {
+                let z = zb + dz as i32;
+                let dir = pdk.map_or(Dir::Any, |p| p.layer_at(z as usize).dir);
+                match dir {
+                    Dir::H => hs.push(z),
+                    Dir::V => vs.push(z),
+                    // Balance free layers, ties to h: reproduces the
+                    // legacy even/odd split when every layer is free.
+                    Dir::Any => {
+                        if hs.len() <= vs.len() {
+                            hs.push(z);
+                        } else {
+                            vs.push(z);
+                        }
+                    }
+                }
+            }
+            h.push(hs);
+            v.push(vs);
+        }
+        let groups = h
+            .iter()
+            .zip(&v)
+            .map(|(hs, vs)| hs.len().min(vs.len()))
+            .min()
+            .unwrap_or(0);
+        assert!(
+            groups >= 1,
+            "stack {:?} leaves a slab without an H/V layer pair \
+             (L={}, L_A={})",
+            cfg.pdk.as_ref().map(|p| p.name.as_str()),
+            cfg.layers,
+            cfg.active_layers,
+        );
+        let (xscale, yscale, tag) = match pdk {
+            Some(p) => (
+                p.xscale(cfg.layers),
+                p.yscale(cfg.layers),
+                Some(p.name.clone()),
+            ),
+            None => (1, 1, None),
+        };
+        PassContext {
+            groups,
+            xscale,
+            yscale,
+            h,
+            v,
+            tag,
+        }
+    }
+}
+
+/// Open one [`PASS_SPANS`] span, tagged with the stack name for
+/// non-uniform PDKs (`pass.emit{pdk=hv6}`) so trace digests
+/// distinguish stacks; plain key — unchanged digests — otherwise.
+fn pass_span(key: &'static str, ctx: &PassContext) -> mlv_core::trace::SpanGuard {
+    match ctx.tag.as_deref() {
+        Some(name) => mlv_core::trace::span_with(key, &[("pdk", &name as &dyn std::fmt::Display)]),
+        None => mlv_core::trace::span(key),
     }
 }
 
@@ -202,20 +301,21 @@ impl PassTimings {
 /// whole pipeline wrapped in [`SPAN_PIPELINE`].
 pub(crate) fn run_pipeline(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) -> Layout {
     let _pipeline = mlv_core::span!(SPAN_PIPELINE);
+    let ctx = PassContext::new(cfg);
     {
-        let _s = mlv_core::span!(PASS_SPANS[0]);
+        let _s = pass_span(PASS_SPANS[0], &ctx);
         placement::run(spec, cfg, s);
     }
     {
-        let _s = mlv_core::span!(PASS_SPANS[1]);
-        tracks::run(spec, cfg, s);
+        let _s = pass_span(PASS_SPANS[1], &ctx);
+        tracks::run(spec, cfg, &ctx, s);
     }
     {
-        let _s = mlv_core::span!(PASS_SPANS[2]);
-        layers::run(spec, s);
+        let _s = pass_span(PASS_SPANS[2], &ctx);
+        layers::run(spec, &ctx, s);
     }
-    let _s = mlv_core::span!(PASS_SPANS[3]);
-    emit::run(spec, cfg, s)
+    let _s = pass_span(PASS_SPANS[3], &ctx);
+    emit::run(spec, cfg, &ctx, s)
 }
 
 /// Run the full pipeline into the **tiled IR**: the same placement →
@@ -227,20 +327,21 @@ pub(crate) fn run_pipeline_tiled(
     s: &mut Scratch,
 ) -> crate::tiled::TiledLayout {
     let _pipeline = mlv_core::span!(SPAN_PIPELINE);
+    let ctx = PassContext::new(cfg);
     {
-        let _s = mlv_core::span!(PASS_SPANS[0]);
+        let _s = pass_span(PASS_SPANS[0], &ctx);
         placement::run(spec, cfg, s);
     }
     {
-        let _s = mlv_core::span!(PASS_SPANS[1]);
-        tracks::run(spec, cfg, s);
+        let _s = pass_span(PASS_SPANS[1], &ctx);
+        tracks::run(spec, cfg, &ctx, s);
     }
     {
-        let _s = mlv_core::span!(PASS_SPANS[2]);
-        layers::run(spec, s);
+        let _s = pass_span(PASS_SPANS[2], &ctx);
+        layers::run(spec, &ctx, s);
     }
-    let _s = mlv_core::span!(PASS_SPANS[3]);
-    emit::run_tiled(spec, cfg, s)
+    let _s = pass_span(PASS_SPANS[3], &ctx);
+    emit::run_tiled(spec, cfg, &ctx, s)
 }
 
 /// [`run_pipeline`] under a local [`mlv_core::trace::Trace`], with the

@@ -20,7 +20,7 @@
 //! `base_w`) are likewise built in one pass over the spec's wires
 //! instead of one scan *per* row and column.
 
-use super::{PassConfig, WireKind};
+use super::{PassConfig, PassContext, WireKind};
 use crate::arena::Scratch;
 use crate::realize::JogStrategy;
 use crate::spec::OrthogonalSpec;
@@ -155,8 +155,8 @@ pub(crate) struct IAssign {
 
 /// Run the tracks pass, filling the scratch's track columns
 /// (`assign`, `hpl_slot`, `wpl`, `track_width`).
-pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, s: &mut Scratch) {
-    let groups = cfg.groups();
+pub(crate) fn run(spec: &OrthogonalSpec, cfg: &PassConfig, ctx: &PassContext, s: &mut Scratch) {
+    let groups = ctx.groups;
     let slabs = s.slabs;
     let (rows, cols) = (spec.rows, spec.cols);
     let nslabs = cfg.active_layers;

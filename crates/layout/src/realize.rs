@@ -72,6 +72,10 @@ pub struct RealizeOptions {
     pub node_side: Option<usize>,
     /// Jog distribution strategy (ablation knob).
     pub jog_strategy: JogStrategy,
+    /// Technology stack to realize onto. `None` (the default) and any
+    /// stack with [`mlv_grid::Pdk::is_uniform`] are the paper's unit
+    /// grid — byte-identical output to the PDK-free pipeline.
+    pub pdk: Option<mlv_grid::Pdk>,
 }
 
 impl RealizeOptions {
@@ -81,6 +85,15 @@ impl RealizeOptions {
             layers,
             node_side: None,
             jog_strategy: JogStrategy::RoundRobin,
+            pdk: None,
+        }
+    }
+
+    /// [`RealizeOptions::with_layers`] targeting a technology stack.
+    pub fn with_pdk(layers: usize, pdk: mlv_grid::Pdk) -> Self {
+        RealizeOptions {
+            pdk: Some(pdk),
+            ..RealizeOptions::with_layers(layers)
         }
     }
 }
@@ -155,6 +168,7 @@ pub(crate) fn pass_config(spec: &OrthogonalSpec, opts: &RealizeOptions) -> PassC
         node_side: opts.node_side,
         jog_strategy: opts.jog_strategy,
         layout_name: format!("{} @ L={}", spec.name, opts.layers),
+        pdk: opts.pdk.clone(),
     }
 }
 
@@ -326,6 +340,7 @@ mod tests {
                 layers: 2,
                 node_side: Some(7),
                 jog_strategy: Default::default(),
+                pdk: None,
             },
         );
         checker::assert_legal(&l, None);
@@ -351,6 +366,7 @@ mod tests {
                 layers: 2,
                 node_side: Some(2),
                 jog_strategy: Default::default(),
+                pdk: None,
             },
         );
     }

@@ -55,6 +55,11 @@ pub struct Realize3dOptions {
     /// 3-D model's payoff is proportional to the node size — see the
     /// module docs.
     pub node_side: Option<usize>,
+    /// Technology stack to realize onto. `None` (and any uniform
+    /// stack) is the paper's unit grid — byte-identical output to the
+    /// PDK-free pipeline. Layer directions are taken per slab window,
+    /// so every slab must retain at least one H/V pair.
+    pub pdk: Option<mlv_grid::Pdk>,
 }
 
 impl Realize3dOptions {
@@ -101,6 +106,7 @@ pub fn realize_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Layout {
             "{} @ L={} LA={} (3-D)",
             spec.name, opts.layers, opts.active_layers
         ),
+        pdk: opts.pdk.clone(),
     };
     crate::realize::with_scratch(|s| passes::run_pipeline(spec, &cfg, s))
 }
@@ -124,6 +130,7 @@ mod tests {
                 layers: l,
                 active_layers: la,
                 node_side,
+                pdk: None,
             },
         );
         checker::assert_legal(&layout, Some(&fam.graph));
@@ -206,6 +213,7 @@ mod tests {
                 layers: l,
                 active_layers: la,
                 node_side: None,
+                pdk: None,
             };
             assert!(opts.validate().is_ok(), "L={l} LA={la} should be legal");
         }
@@ -217,6 +225,7 @@ mod tests {
             layers: 8,
             active_layers: 3,
             node_side: None,
+            pdk: None,
         };
         assert!(opts.validate().unwrap_err().contains("must divide"));
     }
@@ -228,6 +237,7 @@ mod tests {
             layers: 4,
             active_layers: 4,
             node_side: None,
+            pdk: None,
         };
         assert!(opts.validate().unwrap_err().contains("per slab"));
     }
@@ -239,6 +249,7 @@ mod tests {
                 layers: l,
                 active_layers: la,
                 node_side: None,
+                pdk: None,
             };
             assert!(opts.validate().is_err(), "L={l} LA={la} should be rejected");
         }
@@ -246,6 +257,7 @@ mod tests {
             layers: 8,
             active_layers: 0,
             node_side: None,
+            pdk: None,
         };
         assert!(opts.validate().is_err(), "LA=0 should be rejected");
     }
@@ -260,6 +272,7 @@ mod tests {
                 layers: 8,
                 active_layers: 3,
                 node_side: None,
+                pdk: None,
             },
         );
     }

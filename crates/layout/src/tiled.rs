@@ -430,6 +430,7 @@ pub fn realize_tiled_3d(spec: &OrthogonalSpec, opts: &Realize3dOptions) -> Tiled
             "{} @ L={} LA={} (3-D)",
             spec.name, opts.layers, opts.active_layers
         ),
+        pdk: opts.pdk.clone(),
     };
     crate::realize::with_scratch(|s| crate::passes::run_pipeline_tiled(spec, &cfg, s))
 }
@@ -504,6 +505,7 @@ mod tests {
             layers: 8,
             active_layers: 2,
             node_side: None,
+            pdk: None,
         };
         let flat = crate::realize3d::realize_3d(&fam.spec, &opts);
         let tiled = realize_tiled_3d(&fam.spec, &opts);

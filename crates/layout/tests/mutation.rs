@@ -10,7 +10,7 @@
 //! escapes, detours below the die, reroutes through foreign nodes —
 //! and the random-perturbation properties.
 
-use mlv_conformance::inject::{inject, Strategy};
+use mlv_conformance::inject::{inject, inject_with_pdk, Strategy};
 use mlv_core::rng::Rng;
 use mlv_core::{mlv_proptest, prop_assert, prop_assume};
 use mlv_grid::checker::{check, CheckError};
@@ -63,13 +63,26 @@ fn strategies_cover_every_check_error_variant() {
         "CheckError variants without an injection strategy: {uncovered:?}"
     );
     // and the guarantee is dynamic, not just declared: collect the kinds
-    // actually reported across one injection of each strategy
+    // actually reported across one injection of each strategy (the two
+    // PDK strategies need a non-uniform stack and the PDK-aware checker)
     let mut seen = std::collections::BTreeSet::new();
-    for strategy in Strategy::ALL {
-        let (mut layout, graph) = legal_layout();
+    for strategy in Strategy::ALL_WITH_PDK {
+        let hv6 = strategy.needs_pdk().then(mlv_grid::pdk::Pdk::hv6);
+        let fam = families::hypercube(4);
+        let mut layout = match &hv6 {
+            Some(pdk) => mlv_layout::realize_fresh(
+                &fam.spec,
+                &mlv_layout::RealizeOptions::with_pdk(4, pdk.clone()),
+            ),
+            None => fam.realize(4),
+        };
         let mut rng = Rng::seed_from_u64(1);
-        if inject(&mut layout, strategy, &mut rng).is_some() {
-            seen.extend(check(&layout, Some(&graph)).errors.iter().map(|e| e.kind()));
+        if inject_with_pdk(&mut layout, strategy, &mut rng, hv6.as_ref()).is_some() {
+            let report = match &hv6 {
+                Some(pdk) => mlv_grid::checker::check_with_pdk(&layout, Some(&fam.graph), pdk),
+                None => check(&layout, Some(&fam.graph)),
+            };
+            seen.extend(report.errors.iter().map(|e| e.kind()));
         }
     }
     let missing: Vec<&str> = CheckError::KINDS

@@ -33,6 +33,7 @@ fn node_side_scaling_case(extra: usize, layers: usize) {
             layers,
             node_side: Some((min_side as usize) + extra),
             jog_strategy: Default::default(),
+            pdk: None,
         },
     );
     assert!(check(&grown, Some(&fam.graph)).is_legal());
@@ -171,6 +172,7 @@ mlv_proptest! {
                 layers,
                 active_layers: la,
                 node_side: None,
+                pdk: None,
             },
         );
         let report = check(&layout, Some(&g));
@@ -194,6 +196,7 @@ mlv_proptest! {
                 layers: 8,
                 active_layers: la,
                 node_side: Some(12),
+                pdk: None,
             },
         );
         prop_assert!(check(&layout, Some(&fam.graph)).is_legal());

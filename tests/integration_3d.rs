@@ -20,6 +20,7 @@ fn metrics_3d(
             layers,
             active_layers: la,
             node_side: side,
+            pdk: None,
         },
     );
     checker::assert_legal(&layout, Some(&fam.graph));
@@ -88,6 +89,7 @@ fn three_d_layout_round_trips() {
             layers: 8,
             active_layers: 2,
             node_side: None,
+            pdk: None,
         },
     );
     checker::assert_legal(&layout, Some(&fam.graph));

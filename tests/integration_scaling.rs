@@ -21,6 +21,7 @@ fn node_size_scalability() {
             layers: 2,
             node_side: Some(24),
             jog_strategy: Default::default(),
+            pdk: None,
         },
         false,
     );
