@@ -1,0 +1,396 @@
+//! Load generator for the `mlv serve` layout service.
+//!
+//! Starts a [`mlv_serve::Service`] on a loopback TCP listener — the
+//! same transport `mlv serve --listen` runs — and drives it with a
+//! mixed workload cycling every request kind (realize, check, metrics,
+//! sweep-shard, profile, stats) across several families, so the memo
+//! cache sees both hits and misses.
+//!
+//! Two driver modes:
+//!
+//! * **closed-loop** (default): `--clients N` connections, each
+//!   sending one request and waiting for its response — measures
+//!   service latency under a fixed concurrency. Per-request latency is
+//!   recorded both exactly (for the percentile rows) and into the
+//!   run's [`mlv_core::trace`] log2 histogram
+//!   (`serve.client_latency_ns`).
+//! * **open-loop** (`--mode open`): one writer per connection firing
+//!   at `--rate R` requests/second total without waiting, one reader
+//!   matching responses back to send timestamps by request id —
+//!   measures behavior past saturation, where the bounded queues shed
+//!   load with busy frames instead of buffering (shed responses are
+//!   counted, not latency-tracked).
+//!
+//! Results go to stdout (one JSON summary line) and to
+//! `BENCH_serve.json` at the repo root. `--check-regression` compares
+//! this run's closed-loop throughput against the committed
+//! `BENCH_serve.json` instead of overwriting it, failing the run if
+//! throughput fell below `1/`[`REGRESSION_BOUND`] of the baseline;
+//! when `GITHUB_STEP_SUMMARY` is set a markdown delta table is
+//! appended to it. The bound is loose — CI machines are noisy — so
+//! only real collapses trip it.
+//!
+//! `MLV_BENCH_REQUESTS` overrides the per-client request count
+//! (default 200); CI legs use small counts.
+
+use mlv_core::trace::Trace;
+use mlv_serve::{listen, ServeConfig, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Maximum tolerated `baseline_rps / this_run_rps` in
+/// `--check-regression` mode.
+const REGRESSION_BOUND: f64 = 3.0;
+
+/// The request mix: every kind, several families, some repeats so the
+/// memo cache gets hits. `i` is the request sequence number (also the
+/// frame id, which the open-loop reader uses to match responses).
+fn request(i: u64) -> String {
+    match i % 8 {
+        0 => format!("{{\"id\":{i},\"kind\":\"realize\",\"family\":\"hypercube:4\",\"layers\":4}}"),
+        1 => format!("{{\"id\":{i},\"kind\":\"check\",\"family\":\"mesh:4,4\"}}"),
+        2 => format!(
+            "{{\"id\":{i},\"kind\":\"metrics\",\"family\":\"hypercube:3\",\"layers\":4,\"pdk\":\"hv6\"}}"
+        ),
+        3 => format!(
+            "{{\"id\":{i},\"kind\":\"sweep-shard\",\"seed\":2000,\"cases\":1,\"shard\":{},\"shards\":4}}",
+            i % 4
+        ),
+        4 => format!("{{\"id\":{i},\"kind\":\"profile\",\"family\":\"hypercube:3\",\"layers\":2}}"),
+        5 => format!("{{\"id\":{i},\"kind\":\"stats\"}}"),
+        6 => format!("{{\"id\":{i},\"kind\":\"realize\",\"family\":\"karyn:4,2\",\"layers\":4}}"),
+        _ => format!("{{\"id\":{i},\"kind\":\"check\",\"family\":\"hypercube:4\",\"layers\":4}}"),
+    }
+}
+
+struct RunStats {
+    sent: u64,
+    answered: u64,
+    shed: u64,
+    elapsed: Duration,
+    /// Exact latencies, nanoseconds (closed loop: every request;
+    /// open loop: every id-matched non-shed response).
+    latencies_ns: Vec<u64>,
+}
+
+impl RunStats {
+    fn throughput_rps(&self) -> f64 {
+        self.answered as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_ns(&mut self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        self.latencies_ns.sort_unstable();
+        let rank = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
+        self.latencies_ns[rank]
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let check_regression = args.iter().any(|a| a == "--check-regression");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let mode = flag("--mode").unwrap_or("closed");
+    if mode != "closed" && mode != "open" {
+        eprintln!("--mode needs 'closed' or 'open', got '{mode}'");
+        return ExitCode::FAILURE;
+    }
+    let clients: usize = flag("--clients").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let requests: u64 = flag("--requests")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| std::env::var("MLV_BENCH_REQUESTS").ok()?.parse().ok())
+        .unwrap_or(200);
+    let rate: u64 = flag("--rate").and_then(|v| v.parse().ok()).unwrap_or(2000);
+    if clients == 0 || requests == 0 || rate == 0 {
+        eprintln!("--clients/--requests/--rate must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let service = Arc::new(Service::new(ServeConfig::default()));
+    let server = match listen(Arc::clone(&service), "127.0.0.1:0", clients + 1) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+
+    // warm the cache with one pass of the mix so the measured run sees
+    // the steady-state hit/miss blend rather than a cold cache
+    for i in 0..8 {
+        service.handle_line(&request(i));
+    }
+
+    let trace = Trace::new();
+    let mut stats = match mode {
+        "closed" => run_closed(&trace, addr, clients, requests),
+        _ => run_open(&trace, addr, clients, requests, rate),
+    };
+    server.shutdown();
+
+    let (p50, p95, p99) = (
+        stats.percentile_ns(0.50),
+        stats.percentile_ns(0.95),
+        stats.percentile_ns(0.99),
+    );
+    let agg = trace.aggregate();
+    let summary = format!(
+        "{{\"bench\":\"serve\",\"mode\":\"{mode}\",\"clients\":{clients},\
+         \"requests_per_client\":{requests},\"sent\":{},\"answered\":{},\
+         \"shed\":{},\"elapsed_ms\":{:.1},\"throughput_rps\":{:.0},\
+         \"p50_ns\":{p50},\"p95_ns\":{p95},\"p99_ns\":{p99}}}",
+        stats.sent,
+        stats.answered,
+        stats.shed,
+        stats.elapsed.as_secs_f64() * 1e3,
+        stats.throughput_rps(),
+    );
+    println!("{summary}");
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_serve.json");
+    if check_regression {
+        return check_against_baseline(&path, mode, stats.throughput_rps());
+    }
+    // the trace block carries the log2 latency histogram
+    // (serve.client_latency_ns) alongside the service's own counters
+    let doc = format!(
+        "{{\"bench\":\"serve\",\"mode\":\"{mode}\",\"result\":\n{summary},\n\
+         \"trace\":[\n{}\n]}}\n",
+        agg.json_lines().join(",\n")
+    );
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+/// Closed loop: each client thread sends one request and blocks on its
+/// response; latency is the full write-to-read round trip.
+fn run_closed(
+    trace: &Trace,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: u64,
+) -> RunStats {
+    let clock = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let trace = trace.clone();
+            std::thread::spawn(move || {
+                trace.collect(|| {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let _ = stream.set_nodelay(true);
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut lat = Vec::with_capacity(requests as usize);
+                    let mut shed = 0u64;
+                    let mut line = String::new();
+                    for i in 0..requests {
+                        let req = request(c as u64 * 1_000_000 + i);
+                        let t0 = Instant::now();
+                        writer.write_all(req.as_bytes()).expect("write");
+                        writer.write_all(b"\n").expect("write");
+                        line.clear();
+                        if reader.read_line(&mut line).expect("read") == 0 {
+                            break;
+                        }
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        if line.contains("\"error\":\"busy\"") {
+                            shed += 1; // closed loop: only over-cap admission
+                        } else {
+                            lat.push(ns);
+                            mlv_core::histogram!("serve.client_latency_ns", ns);
+                        }
+                    }
+                    (lat, shed)
+                })
+            })
+        })
+        .collect();
+    let mut stats = RunStats {
+        sent: clients as u64 * requests,
+        answered: 0,
+        shed: 0,
+        elapsed: Duration::ZERO,
+        latencies_ns: Vec::new(),
+    };
+    for w in workers {
+        let (lat, shed) = w.join().expect("client panicked");
+        stats.answered += lat.len() as u64 + shed;
+        stats.shed += shed;
+        stats.latencies_ns.extend(lat);
+    }
+    stats.elapsed = clock.elapsed();
+    stats
+}
+
+/// Open loop: writers fire at a fixed aggregate rate without waiting;
+/// a reader per connection matches responses to send times by id.
+/// Past saturation the queues shed — busy frames come back fast and
+/// are counted separately rather than polluting the latency series.
+fn run_open(
+    trace: &Trace,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: u64,
+    rate: u64,
+) -> RunStats {
+    let interval = Duration::from_nanos(1_000_000_000 * clients as u64 / rate.max(1));
+    let clock = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let trace = trace.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone");
+                let reader = BufReader::new(stream);
+                let sent_at: Arc<Mutex<std::collections::HashMap<u64, Instant>>> =
+                    Arc::new(Mutex::new(std::collections::HashMap::new()));
+                let reader_sent = Arc::clone(&sent_at);
+                let reader_trace = trace.clone();
+                let drain = std::thread::spawn(move || {
+                    reader_trace.collect(|| {
+                        let mut lat = Vec::new();
+                        let mut shed = 0u64;
+                        for line in reader.lines() {
+                            let Ok(line) = line else { break };
+                            if line.contains("\"error\":\"busy\"") {
+                                shed += 1;
+                                continue;
+                            }
+                            if let Some(t0) = frame_id(&line)
+                                .and_then(|id| reader_sent.lock().unwrap().remove(&id))
+                            {
+                                let ns = t0.elapsed().as_nanos() as u64;
+                                lat.push(ns);
+                                mlv_core::histogram!("serve.client_latency_ns", ns);
+                            }
+                        }
+                        (lat, shed)
+                    })
+                });
+                let mut next = Instant::now();
+                for i in 0..requests {
+                    let id = c as u64 * 1_000_000 + i;
+                    sent_at.lock().unwrap().insert(id, Instant::now());
+                    let req = request(id);
+                    if writer.write_all(req.as_bytes()).is_err() || writer.write_all(b"\n").is_err()
+                    {
+                        break;
+                    }
+                    next += interval;
+                    if let Some(wait) = next.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                // half-close the write side so the service drains its
+                // queue and closes, giving the reader EOF
+                let _ = writer.flush();
+                let _ = writer.shutdown(std::net::Shutdown::Write);
+                let (lat, shed) = drain.join().expect("reader panicked");
+                (lat, shed)
+            })
+        })
+        .collect();
+    let mut stats = RunStats {
+        sent: clients as u64 * requests,
+        answered: 0,
+        shed: 0,
+        elapsed: Duration::ZERO,
+        latencies_ns: Vec::new(),
+    };
+    for w in workers {
+        let (lat, shed) = w.join().expect("client panicked");
+        stats.answered += lat.len() as u64 + shed;
+        stats.shed += shed;
+        stats.latencies_ns.extend(lat);
+    }
+    stats.elapsed = clock.elapsed();
+    stats
+}
+
+/// Pull `"id":N` out of a response frame (the frames this bench sends
+/// always carry a numeric id).
+fn frame_id(line: &str) -> Option<u64> {
+    let tail = line.split("\"id\":").nth(1)?;
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Compare this run's throughput against the committed baseline.
+/// Open- and closed-loop throughputs are not comparable, so a
+/// baseline written in a different mode is skipped with a note.
+fn check_against_baseline(path: &Path, mode: &str, rps: f64) -> ExitCode {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("no baseline at {} ({e}); nothing to check", path.display());
+            return ExitCode::SUCCESS;
+        }
+    };
+    if !doc.contains(&format!("\"mode\":\"{mode}\"")) {
+        eprintln!(
+            "baseline {} was written in a different mode; skipped",
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(old) = baseline_rps(&doc) else {
+        eprintln!("baseline {} has no throughput_rps; skipped", path.display());
+        return ExitCode::SUCCESS;
+    };
+    let ratio = old / rps.max(1e-9);
+    let ok = ratio <= REGRESSION_BOUND;
+    eprintln!(
+        "serve throughput: baseline {old:.0} rps -> this run {rps:.0} rps ({ratio:.2}x {})",
+        if ok { "ok" } else { "FAIL" }
+    );
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let md = format!(
+            "### Serve throughput vs. committed baseline\n\n\
+             | metric | baseline | this run | slowdown | ≤ {REGRESSION_BOUND}x |\n\
+             |---|---:|---:|---:|:---:|\n\
+             | throughput (rps) | {old:.0} | {rps:.0} | {ratio:.2}x | {} |\n\n",
+            if ok { "✅" } else { "❌" }
+        );
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&summary) {
+            let _ = f.write_all(md.as_bytes());
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "REGRESSION: serve throughput {rps:.0} rps vs baseline {old:.0} rps \
+             ({ratio:.2}x > {REGRESSION_BOUND}x)"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Extract `"throughput_rps":N` from the baseline document.
+fn baseline_rps(doc: &str) -> Option<f64> {
+    let tail = doc.split("\"throughput_rps\":").nth(1)?;
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}

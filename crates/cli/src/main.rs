@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
@@ -64,6 +65,9 @@ USAGE:
   mlv profile <family> [<params>] [--layers <L>] [--no-check]
              [--pdk uniform|hv6|@file.pdk]
   mlv check  <layout-file.mlv> [--tiled] [--pdk uniform|hv6|@file.pdk]
+  mlv serve  [--stdio] [--listen <addr>] [--queue-depth <n>]
+             [--max-connections <n>] [--cache-capacity <n>]
+             [--pdk uniform|hv6|@file.pdk]
   mlv figures [f1|f2|f3|f4|folded|layout]
   mlv conformance [--seed <u64>] [--cases <n>] [--families a,b,...]
                   [--no-inject] [--pdk-axis]
@@ -76,6 +80,8 @@ EXAMPLES:
   mlv sweep --lattice --seed 2000 --cases 8 --trace sweep.trace
   mlv profile hypercube 6 --layers 4
   mlv conformance --seed 2000 --cases 12 --pdk-axis
+  mlv serve --stdio
+  mlv serve --listen 127.0.0.1:7171 --max-connections 8
 
 `mlv sweep` drives the parallel batch-realization engine: one JSON
 line per (family, L) job on stdout (label, layout digest, metrics,
@@ -105,6 +111,16 @@ differential, and prediction oracles + fault injection), prints one
 JSON line per family, and exits nonzero on any violation. Env
 fallbacks: MLV_SEED, MLV_CONFORMANCE_CASES, MLV_PDK_AXIS; MLV_THREADS
 sizes the executor (the report is byte-identical for any thread count).
+
+`mlv serve` runs the persistent layout service: one engine (shared
+memo cache, parallel fan-out) answering JSON-lines requests — kinds
+realize, check, metrics, sweep-shard, profile, stats — over stdio
+and/or a TCP listener. Per-connection queues are bounded; a full queue
+or an over-cap connection is answered with one busy frame carrying
+retry_after_ms instead of buffering. Response bytes are deterministic
+for any MLV_THREADS. --pdk sets the default stack for requests that
+don't carry their own `pdk`/`pdk_text` field. With neither --stdio nor
+--listen, serve defaults to stdio.
 
 `--pdk` threads a technology stack through the pipeline: per-layer
 preferred directions steer the layer-assignment pass, per-layer pitches
@@ -321,7 +337,10 @@ fn cmd_layout(args: &[String]) -> ExitCode {
     };
     let mut rep = Report::collect(&layout);
     if let Some(p) = &pdk {
-        rep.physical = Some(mlv_grid::metrics::PhysicalMetrics::of(&layout, p));
+        match mlv_grid::metrics::PhysicalMetrics::of(&layout, p) {
+            Ok(ph) => rep.physical = Some(ph),
+            Err(e) => eprintln!("warning: {e}"),
+        }
     }
     if flags.check {
         let r = match &pdk {
@@ -706,11 +725,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         layout.layers
     );
     if let Some(p) = &pdk {
-        let ph = mlv_grid::metrics::PhysicalMetrics::of(&layout, p);
-        println!(
-            "physical [{}]: area {} ({} x {}), wirelength {} (vias {})",
-            ph.pdk, ph.area, ph.width, ph.height, ph.wirelength, ph.via_cost
-        );
+        match mlv_grid::metrics::PhysicalMetrics::of(&layout, p) {
+            Ok(ph) => println!(
+                "physical [{}]: area {} ({} x {}), wirelength {} (vias {})",
+                ph.pdk, ph.area, ph.width, ph.height, ph.wirelength, ph.via_cost
+            ),
+            Err(e) => println!("physical: unavailable ({e})"),
+        }
     }
     if r.is_legal() {
         println!("legality: VERIFIED");
@@ -721,6 +742,88 @@ fn cmd_check(args: &[String]) -> ExitCode {
             println!("  {e:?}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// `mlv serve`: run the persistent layout service. `--listen <addr>`
+/// starts the TCP transport; `--stdio` (the default when no transport
+/// is named) serves stdin/stdout as one connection until EOF. Both may
+/// be combined — the TCP listener runs on background threads while the
+/// stdio loop blocks the main thread.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use mlv_serve::{listen, serve_stdio, ServeConfig, Service};
+    let mut stdio = false;
+    let mut listen_addr: Option<String> = None;
+    let mut max_connections = 16usize;
+    let mut pdk_flag: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => {
+                listen_addr = Some(match it.next() {
+                    Some(v) => v.clone(),
+                    None => return fail("--listen needs an address (e.g. 127.0.0.1:7171)"),
+                })
+            }
+            "--queue-depth" => {
+                config.queue_depth = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return fail("--queue-depth needs a positive integer"),
+                }
+            }
+            "--max-connections" => {
+                max_connections = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return fail("--max-connections needs a positive integer"),
+                }
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return fail("--cache-capacity needs a positive integer"),
+                }
+            }
+            "--pdk" => {
+                pdk_flag = Some(match it.next() {
+                    Some(v) => v.clone(),
+                    None => return fail("--pdk needs a value (uniform, hv6, or @file.pdk)"),
+                })
+            }
+            other => return fail(format!("unknown serve flag '{other}'")),
+        }
+    }
+    config.default_pdk = match resolve_pdk(pdk_flag.as_deref()) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let service = std::sync::Arc::new(Service::new(config));
+    let server = match &listen_addr {
+        Some(addr) => match listen(std::sync::Arc::clone(&service), addr, max_connections) {
+            Ok(h) => {
+                eprintln!("serve: listening on {}", h.addr());
+                Some(h)
+            }
+            Err(e) => return fail(format!("binding {addr}: {e}")),
+        },
+        None => None,
+    };
+    if stdio || listen_addr.is_none() {
+        eprintln!("serve: reading JSON-lines requests from stdin");
+        let stats = serve_stdio(&service);
+        eprintln!(
+            "serve: stdio closed — {} accepted, {} shed, {} oversize",
+            stats.accepted, stats.shed, stats.oversize
+        );
+        if let Some(h) = server {
+            h.shutdown();
+        }
+        ExitCode::SUCCESS
+    } else {
+        // TCP only: the accept loop owns the process lifetime
+        server.expect("--listen was given").join();
+        ExitCode::SUCCESS
     }
 }
 

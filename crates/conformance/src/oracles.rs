@@ -315,16 +315,20 @@ pub fn pdk_oracle(case: &Case, direct: &mlv_layout::engine::JobOutcome) -> Vec<S
     }
 
     // 2. physical metrics reduce to grid metrics on the uniform stack
-    let ph = PhysicalMetrics::of(dl, &uniform);
-    let m = &direct.metrics;
-    if ph.wirelength != m.total_wire
-        || ph.max_wire != m.max_wire_full
-        || ph.via_cost != m.via_count
-        || ph.area != m.area
-    {
-        v.push(format!(
-            "[{l}] uniform physical metrics not the identity: {ph:?} vs {m:?}"
-        ));
+    match PhysicalMetrics::of(dl, &uniform) {
+        Err(e) => v.push(format!("[{l}] uniform physical metrics failed: {e}")),
+        Ok(ph) => {
+            let m = &direct.metrics;
+            if ph.wirelength != m.total_wire
+                || ph.max_wire != m.max_wire_full
+                || ph.via_cost != m.via_count
+                || ph.area != m.area
+            {
+                v.push(format!(
+                    "[{l}] uniform physical metrics not the identity: {ph:?} vs {m:?}"
+                ));
+            }
+        }
     }
 
     // 3. hv6 realizes legally under direction/pitch checks
@@ -342,15 +346,24 @@ pub fn pdk_oracle(case: &Case, direct: &mlv_layout::engine::JobOutcome) -> Vec<S
     }
 
     // 4. exact linearity under pitch scaling
-    let p1 = PhysicalMetrics::of(&hl, &hv6);
-    let p3 = PhysicalMetrics::of(&hl, &hv6.scaled(3));
-    if p3.wirelength != 3 * p1.wirelength
-        || p3.via_cost != 3 * p1.via_cost
-        || p3.area != 9 * p1.area
-    {
-        v.push(format!(
-            "[{l}] pitch scaling not linear: x3 gave {p3:?} from {p1:?}"
-        ));
+    let scaled = hv6.scaled(3).expect("hv6 x3 cannot overflow");
+    match (
+        PhysicalMetrics::of(&hl, &hv6),
+        PhysicalMetrics::of(&hl, &scaled),
+    ) {
+        (Ok(p1), Ok(p3)) => {
+            if p3.wirelength != 3 * p1.wirelength
+                || p3.via_cost != 3 * p1.via_cost
+                || p3.area != 9 * p1.area
+            {
+                v.push(format!(
+                    "[{l}] pitch scaling not linear: x3 gave {p3:?} from {p1:?}"
+                ));
+            }
+        }
+        (r1, r3) => v.push(format!(
+            "[{l}] hv6 physical metrics failed: {r1:?} / {r3:?}"
+        )),
     }
     v
 }

@@ -17,6 +17,9 @@
 //!   reports that print the generated inputs and the case seed;
 //! * [`mod@bench`] — a wall-clock micro-bench harness (warmup + calibration
 //!   + median-of-N, one JSON line per benchmark) replacing criterion;
+//! * [`queue`] — a bounded FIFO with reject-don't-buffer backpressure
+//!   (non-blocking producers, blocking consumers), the admission
+//!   control primitive behind `mlv serve`'s per-connection queues;
 //! * [`trace`] — zero-dependency structured tracing + metrics (span
 //!   guards via [`span!`], counters via [`counter!`], log2 histograms
 //!   via [`histogram!`]), aggregated deterministically across threads
@@ -34,5 +37,6 @@
 pub mod bench;
 pub mod exec;
 pub mod prop;
+pub mod queue;
 pub mod rng;
 pub mod trace;

@@ -1,0 +1,317 @@
+//! A bounded multi-producer FIFO with **reject-don't-buffer**
+//! backpressure — the admission-control primitive behind `mlv serve`'s
+//! per-connection request queues.
+//!
+//! The design rule (ROADMAP item 2, the serving north star) is that a
+//! server under overload must shed load at the edge with a cheap,
+//! immediate "busy, retry later" instead of buffering without bound:
+//! producers call [`Bounded::try_push`], which **never blocks** — a
+//! full queue returns the item straight back so the caller can emit a
+//! retry-after response. The consumer side ([`Bounded::pop`]) blocks on
+//! a condvar until an item arrives or the queue is closed and drained,
+//! so a worker thread can run a plain `while let Some(x) = q.pop()`
+//! loop.
+//!
+//! Closing ([`Bounded::close`]) is idempotent and wakes every blocked
+//! consumer; items already queued are still delivered (drain
+//! semantics), after which `pop` returns `None`. Rejection and
+//! acceptance counters are tracked so a service can report backpressure
+//! in its stats without a second bookkeeping layer.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why [`Bounded::try_push`] handed the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller should shed load (the item
+    /// is returned unconsumed).
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item, regardless of the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(t) | PushError::Closed(t) => t,
+        }
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    accepted: u64,
+    rejected: u64,
+}
+
+/// A bounded FIFO queue: non-blocking producers, blocking consumers.
+/// See the module docs for the backpressure contract.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                accepted: 0,
+                rejected: 0,
+            }),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue without blocking. `Err(Full)` when at capacity (the
+    /// backpressure signal), `Err(Closed)` after [`Bounded::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            s.rejected += 1;
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        s.accepted += 1;
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item is available. Returns `None`
+    /// once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// [`Bounded::pop`] with a deadline: `Ok(None)` on close-and-drain,
+    /// `Err(())` on timeout with the queue still open.
+    #[allow(clippy::result_unit_err)]
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Ok(Some(item));
+            }
+            if s.closed {
+                return Ok(None);
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(());
+            };
+            let (guard, _timed_out) = self.ready.wait_timeout(s, left).expect("queue poisoned");
+            s = guard;
+        }
+    }
+
+    /// Close the queue: producers are rejected from now on, queued
+    /// items still drain, blocked consumers wake. Idempotent.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        s.closed = true;
+        drop(s);
+        self.ready.notify_all();
+    }
+
+    /// `true` after [`Bounded::close`].
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
+    /// Items currently queued (momentary).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` when nothing is queued (momentary).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(accepted, rejected)` lifetime counters: every `try_push` is
+    /// counted exactly once (closed-rejections are not counted —
+    /// shutdown is not backpressure).
+    pub fn counters(&self) -> (u64, u64) {
+        let s = self.state.lock().expect("queue poisoned");
+        (s.accepted, s.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let q = Bounded::new(3);
+        assert_eq!(q.capacity(), 3);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        // the fourth push is shed, item returned intact
+        match q.try_push(99) {
+            Err(PushError::Full(v)) => assert_eq!(v, 99),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.counters(), (3, 1));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        // a slot freed: accepted again
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert!(q.is_closed());
+        // post-close pushes are Closed, not Full, and not counted as shed
+        assert!(matches!(q.try_push("c"), Err(PushError::Closed("c"))));
+        assert_eq!(q.counters(), (2, 0));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "pop after drain stays None");
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q = Arc::new(Bounded::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(v) = q.pop() {
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        for i in 0..100u32 {
+            // producers spin rather than block: shed items are retried
+            let mut item = i;
+            loop {
+                match q.try_push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(v)) => {
+                        item = v;
+                        thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => panic!("closed early"),
+                }
+            }
+        }
+        q.close();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>(), "FIFO preserved");
+        let (accepted, _) = q.counters();
+        assert_eq!(accepted, 100);
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_delivers() {
+        let q: Bounded<u32> = Bounded::new(2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(()));
+        q.try_push(7).unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(Some(7)));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(None));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(Bounded::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut count = 0u64;
+                while let Some(v) = q.pop() {
+                    sum += v as u64;
+                    count += 1;
+                }
+                (sum, count)
+            })
+        };
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut shed = 0u64;
+                    for i in 0..50u32 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(PushError::Full(v)) => {
+                                    shed += 1;
+                                    item = v;
+                                    thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => unreachable!(),
+                            }
+                        }
+                    }
+                    shed
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let (sum, count) = consumer.join().unwrap();
+        assert_eq!(count, 200);
+        let expect: u64 = (0..4u64)
+            .flat_map(|p| (0..50u64).map(move |i| p * 1000 + i))
+            .sum();
+        assert_eq!(sum, expect);
+        let (accepted, _) = q.counters();
+        assert_eq!(accepted, 200);
+    }
+}

@@ -190,6 +190,40 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Escape a string for embedding inside a JSON string literal.
+///
+/// The workspace-wide JSON escaper: `mlv_layout::engine` report lines,
+/// `mlv serve` responses, and every other hand-rolled JSON emitter
+/// route names through here. Escapes the quote, the backslash, **every
+/// C0 control character** (the JSON grammar forbids them raw), *and*
+/// DEL (`0x7f`) — matching [`escape`]'s coverage, so a family or PDK
+/// name that round-trips through the layout text format also
+/// round-trips through a JSON report. `\n`, `\r`, and `\t` use their
+/// short forms; other controls and DEL use `\u00XX`.
+///
+/// (The engine's previous private escaper left DEL through raw —
+/// valid JSON, but the one name byte the text format escapes that the
+/// report did not, so a report label was not greppable against its
+/// layout file. Pinned by the `json_escape_covers_io_escape_range`
+/// regression test.)
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || c == '\x7f' => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Undo [`escape`]. Every malformed escape — a backslash not followed
 /// by `x` plus two hex digits, including truncations at end of input —
 /// is an `Err` (never a panic); [`read_layout`] surfaces it as a

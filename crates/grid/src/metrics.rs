@@ -80,7 +80,7 @@ impl LayoutMetrics {
 
     /// Pitch-weighted physical metrics of this layout under `pdk`
     /// (convenience over [`PhysicalMetrics::of`]).
-    pub fn physical(layout: &Layout, pdk: &Pdk) -> PhysicalMetrics {
+    pub fn physical(layout: &Layout, pdk: &Pdk) -> Result<PhysicalMetrics, String> {
         PhysicalMetrics::of(layout, pdk)
     }
 
@@ -139,15 +139,26 @@ impl PhysicalMetrics {
     /// Compute the pitch-weighted metrics of `layout` under `pdk`.
     /// Corners below layer 0 (only possible in deliberately illegal
     /// layouts) are priced as layer 0.
-    pub fn of(layout: &Layout, pdk: &Pdk) -> Self {
+    ///
+    /// All pitch multiplications and cost sums are checked: a stack
+    /// with adversarially large pitches or via costs (e.g. a hostile
+    /// `@file.pdk` handed to the server) surfaces as an `Err`, never a
+    /// debug-panic or a silently wrapped release number.
+    pub fn of(layout: &Layout, pdk: &Pdk) -> Result<Self, String> {
+        let overflow = || format!("pdk `{}`: physical metrics overflow", pdk.name);
         let (bb, _) = layout.extents();
         let (gw, gh) = match bb {
             Some(bb) => (bb.width(), bb.height()),
             None => (0, 0),
         };
-        let width = gw * pdk.xscale(layout.layers) as DbUnits;
-        let height = gh * pdk.yscale(layout.layers) as DbUnits;
-        let wire_cost = |w: &crate::layout::Wire| -> (DbUnits, DbUnits) {
+        let width = gw
+            .checked_mul(pdk.xscale(layout.layers) as DbUnits)
+            .ok_or_else(overflow)?;
+        let height = gh
+            .checked_mul(pdk.yscale(layout.layers) as DbUnits)
+            .ok_or_else(overflow)?;
+        let area = width.checked_mul(height).ok_or_else(overflow)?;
+        let wire_cost = |w: &crate::layout::Wire| -> Option<(DbUnits, DbUnits)> {
             let mut planar = 0u64;
             let mut vias = 0u64;
             for pair in w.path.corners().windows(2) {
@@ -155,37 +166,47 @@ impl PhysicalMetrics {
                 if a.z != b.z {
                     let (lo, hi) = (a.z.min(b.z).max(0), a.z.max(b.z).max(0));
                     for z in lo..hi {
-                        vias += pdk.layer_at(z as usize).via_cost;
+                        vias = vias.checked_add(pdk.layer_at(z as usize).via_cost)?;
                     }
                 } else {
                     let steps = (a.x - b.x).unsigned_abs() + (a.y - b.y).unsigned_abs();
-                    planar += steps * pdk.layer_at(a.z.max(0) as usize).pitch;
+                    let cost = steps.checked_mul(pdk.layer_at(a.z.max(0) as usize).pitch)?;
+                    planar = planar.checked_add(cost)?;
                 }
             }
-            (planar, vias)
+            Some((planar, vias))
         };
-        let (wirelength, max_wire, via_cost) = exec::par_chunk_reduce(
+        // `None` poisons the whole reduction; both closures short-circuit
+        // on it, so one overflowing wire fails the batch deterministically.
+        let reduced = exec::par_chunk_reduce(
             &layout.wires,
-            (0u64, 0u64, 0u64),
+            Some((0u64, 0u64, 0u64)),
             |acc, w| {
-                let (planar, vias) = wire_cost(w);
-                (
-                    acc.0 + planar + vias,
-                    acc.1.max(planar + vias),
-                    acc.2 + vias,
-                )
+                let (total, longest, via_total) = acc?;
+                let (planar, vias) = wire_cost(w)?;
+                let full = planar.checked_add(vias)?;
+                Some((
+                    total.checked_add(full)?,
+                    longest.max(full),
+                    via_total.checked_add(vias)?,
+                ))
             },
-            |a, b| (a.0 + b.0, a.1.max(b.1), a.2 + b.2),
+            |a, b| {
+                let (a0, a1, a2) = a?;
+                let (b0, b1, b2) = b?;
+                Some((a0.checked_add(b0)?, a1.max(b1), a2.checked_add(b2)?))
+            },
         );
-        PhysicalMetrics {
+        let (wirelength, max_wire, via_cost) = reduced.ok_or_else(overflow)?;
+        Ok(PhysicalMetrics {
             pdk: pdk.name.clone(),
             width,
             height,
-            area: width * height,
+            area,
             wirelength,
             max_wire,
             via_cost,
-        }
+        })
     }
 }
 
@@ -270,7 +291,7 @@ mod tests {
             WirePath::new(vec![p(1, 1, 0), p(1, 1, 1), p(8, 1, 1), p(8, 1, 0)]),
         );
         let m = LayoutMetrics::of(&l);
-        let ph = PhysicalMetrics::of(&l, &Pdk::uniform(4));
+        let ph = PhysicalMetrics::of(&l, &Pdk::uniform(4)).unwrap();
         assert_eq!(ph.wirelength, m.total_wire);
         assert_eq!(ph.max_wire, m.max_wire_full);
         assert_eq!(ph.via_cost, m.via_count);
@@ -291,11 +312,11 @@ mod tests {
             WirePath::new(vec![p(1, 1, 0), p(1, 1, 1), p(8, 1, 1), p(8, 1, 0)]),
         );
         let hv6 = Pdk::hv6();
-        let ph = PhysicalMetrics::of(&l, &hv6);
+        let ph = PhysicalMetrics::of(&l, &hv6).unwrap();
         assert_eq!(ph.via_cost, 2 * hv6.layers[0].via_cost);
         assert_eq!(ph.wirelength, 7 * hv6.layers[1].pitch + ph.via_cost);
         // exact linearity under pitch scaling
-        let ph3 = PhysicalMetrics::of(&l, &hv6.scaled(3));
+        let ph3 = PhysicalMetrics::of(&l, &hv6.scaled(3).unwrap()).unwrap();
         assert_eq!(ph3.wirelength, 3 * ph.wirelength);
         assert_eq!(ph3.via_cost, 3 * ph.via_cost);
     }

@@ -173,23 +173,32 @@ impl Pdk {
     /// layout is exactly `k` times larger under the scaled stack —
     /// the linearity law the conformance oracle pins.
     ///
-    /// Panics on `k == 0` or arithmetic overflow.
-    pub fn scaled(&self, k: DbUnits) -> Pdk {
-        assert!(k >= 1, "scale factor must be >= 1");
-        let mul = |v: DbUnits| v.checked_mul(k).expect("pitch/via overflow in Pdk::scaled");
-        Pdk {
+    /// Errors on `k == 0` or arithmetic overflow — adversarial scale
+    /// factors must surface as a reportable message, never a panic
+    /// (the serve path feeds user-supplied stacks through here).
+    pub fn scaled(&self, k: DbUnits) -> Result<Pdk, String> {
+        if k == 0 {
+            return Err(format!("pdk `{}`: scale factor must be >= 1", self.name));
+        }
+        let mul = |v: DbUnits| {
+            v.checked_mul(k)
+                .ok_or_else(|| format!("pdk `{}`: pitch/via overflow scaling by {k}", self.name))
+        };
+        Ok(Pdk {
             name: format!("{}x{k}", self.name),
             layers: self
                 .layers
                 .iter()
-                .map(|l| PdkLayer {
-                    name: l.name.clone(),
-                    dir: l.dir,
-                    pitch: mul(l.pitch),
-                    via_cost: mul(l.via_cost),
+                .map(|l| {
+                    Ok(PdkLayer {
+                        name: l.name.clone(),
+                        dir: l.dir,
+                        pitch: mul(l.pitch)?,
+                        via_cost: mul(l.via_cost)?,
+                    })
                 })
-                .collect(),
-        }
+                .collect::<Result<Vec<_>, String>>()?,
+        })
     }
 
     /// Horizontal track-spacing scale for a `layers`-deep layout: the
@@ -246,60 +255,66 @@ pub fn write_pdk(pdk: &Pdk) -> String {
 /// Parse a stack from the text format. Rejects — with the offending
 /// line number — zero or overflowing pitches and via costs, duplicate
 /// layer names, and stacks with no layers.
+///
+/// Line handling is normalized up front: `\r\n` endings and trailing
+/// whitespace are trimmed per line, and blank or `#` comment lines are
+/// skipped *everywhere* (including between the magic and `pdk`
+/// headers). Reported line numbers are always 1-based positions in the
+/// original text — skipped lines still count — so an error in a
+/// CRLF-saved or comment-padded file points at the right line.
 pub fn read_pdk(text: &str) -> Result<Pdk, ParseError> {
     let err = |line: usize, message: &str| ParseError {
         line,
         message: message.to_string(),
     };
-    let mut lines = text.lines().enumerate();
+    let last_line = text.lines().count().max(1);
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
     let (i, magic) = lines.next().ok_or_else(|| err(1, "empty input"))?;
-    if magic.trim() != "mlvpdk 1" {
-        return Err(err(i + 1, "expected header 'mlvpdk 1'"));
+    if magic != "mlvpdk 1" {
+        return Err(err(i, "expected header 'mlvpdk 1'"));
     }
-    let (i, header) = lines.next().ok_or_else(|| err(2, "missing pdk line"))?;
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| err(last_line, "missing pdk line"))?;
     let mut parts = header.split_whitespace();
     if parts.next() != Some("pdk") {
-        return Err(err(i + 1, "expected 'pdk <name>'"));
+        return Err(err(i, "expected 'pdk <name>'"));
     }
-    let name = unescape(parts.next().ok_or_else(|| err(i + 1, "missing pdk name"))?)
-        .map_err(|m| err(i + 1, &m))?;
+    let name = unescape(parts.next().ok_or_else(|| err(i, "missing pdk name"))?)
+        .map_err(|m| err(i, &m))?;
     let mut layers: Vec<PdkLayer> = Vec::new();
     for (i, line) in lines {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("layer") => {
-                let lname = unescape(
-                    parts
-                        .next()
-                        .ok_or_else(|| err(i + 1, "missing layer name"))?,
-                )
-                .map_err(|m| err(i + 1, &m))?;
+                let lname = unescape(parts.next().ok_or_else(|| err(i, "missing layer name"))?)
+                    .map_err(|m| err(i, &m))?;
                 if layers.iter().any(|l| l.name == lname) {
-                    return Err(err(i + 1, &format!("duplicate layer name '{lname}'")));
+                    return Err(err(i, &format!("duplicate layer name '{lname}'")));
                 }
                 let dir = parts
                     .next()
                     .and_then(Dir::from_token)
-                    .ok_or_else(|| err(i + 1, "expected direction H, V, or any"))?;
+                    .ok_or_else(|| err(i, "expected direction H, V, or any"))?;
                 let mut field = |key: &str| -> Result<DbUnits, ParseError> {
                     let tok = parts
                         .next()
                         .and_then(|t| t.strip_prefix(key))
                         .and_then(|t| t.strip_prefix('='))
-                        .ok_or_else(|| err(i + 1, &format!("missing {key}=<n>")))?;
+                        .ok_or_else(|| err(i, &format!("missing {key}=<n>")))?;
                     tok.parse()
-                        .map_err(|_| err(i + 1, &format!("bad or overflowing {key} '{tok}'")))
+                        .map_err(|_| err(i, &format!("bad or overflowing {key} '{tok}'")))
                 };
                 let pitch = field("pitch")?;
                 if pitch == 0 {
-                    return Err(err(i + 1, "pitch must be >= 1"));
+                    return Err(err(i, "pitch must be >= 1"));
                 }
                 if i64::try_from(pitch).is_err() {
-                    return Err(err(i + 1, "pitch exceeds the coordinate range (i64)"));
+                    return Err(err(i, "pitch exceeds the coordinate range (i64)"));
                 }
                 let via_cost = field("via")?;
                 layers.push(PdkLayer {
@@ -309,15 +324,12 @@ pub fn read_pdk(text: &str) -> Result<Pdk, ParseError> {
                     via_cost,
                 });
             }
-            Some(other) => return Err(err(i + 1, &format!("unknown record '{other}'"))),
-            None => {}
+            Some(other) => return Err(err(i, &format!("unknown record '{other}'"))),
+            None => unreachable!("blank lines are filtered"),
         }
     }
     if layers.is_empty() {
-        return Err(err(
-            text.lines().count().max(1),
-            "a PDK needs at least one layer",
-        ));
+        return Err(err(last_line, "a PDK needs at least one layer"));
     }
     Ok(Pdk { name, layers })
 }
@@ -367,19 +379,19 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_pitches_and_vias() {
-        let p = Pdk::hv6().scaled(3);
+        let p = Pdk::hv6().scaled(3).unwrap();
         assert_eq!(p.name, "hv6x3");
         for (a, b) in p.layers.iter().zip(Pdk::hv6().layers.iter()) {
             assert_eq!(a.pitch, 3 * b.pitch);
             assert_eq!(a.via_cost, 3 * b.via_cost);
         }
         // scaling the uniform stack leaves direction freedom intact
-        assert!(!Pdk::uniform(4).scaled(2).is_uniform());
+        assert!(!Pdk::uniform(4).scaled(2).unwrap().is_uniform());
     }
 
     #[test]
     fn round_trip() {
-        for p in [Pdk::uniform(3), Pdk::hv6(), Pdk::hv6().scaled(5)] {
+        for p in [Pdk::uniform(3), Pdk::hv6(), Pdk::hv6().scaled(5).unwrap()] {
             let text = write_pdk(&p);
             let back = read_pdk(&text).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert_eq!(back, p);
@@ -435,6 +447,37 @@ mod tests {
         let e = read_pdk(text).unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.message.contains("duplicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn crlf_input_parses_with_correct_line_numbers() {
+        // a CRLF-saved file with trailing whitespace and comment /
+        // blank padding parses identically to the LF original
+        let lf = "mlvpdk 1\npdk x\nlayer M1 H pitch=2 via=1\n";
+        let crlf = "mlvpdk 1\r\npdk x  \r\n\r\n# comment\r\nlayer M1 H pitch=2 via=1\t\r\n";
+        assert_eq!(read_pdk(crlf).unwrap(), read_pdk(lf).unwrap());
+
+        // errors in CRLF input still report the original line number:
+        // the bad layer record sits on (1-based) line 5
+        let bad = "mlvpdk 1\r\n# padding\r\npdk x\r\n\r\nlayer M1 H pitch=0 via=1\r\n";
+        let e = read_pdk(bad).unwrap_err();
+        assert_eq!(e.line, 5, "{e}");
+        assert!(e.message.contains("pitch"), "{}", e.message);
+    }
+
+    #[test]
+    fn comments_and_blanks_allowed_between_headers() {
+        let text = "# leading comment\n\nmlvpdk 1\n# mid\npdk x\nlayer M1 H pitch=2 via=1\n";
+        let p = read_pdk(text).unwrap();
+        assert_eq!(p.name, "x");
+        // duplicate-layer error on padded input points at the true line
+        let dup = "\nmlvpdk 1\npdk x\n\nlayer M1 H pitch=2 via=1\n# c\nlayer M1 V pitch=2 via=1\n";
+        let e = read_pdk(dup).unwrap_err();
+        assert_eq!(e.line, 7, "{e}");
+        // whitespace-only input is still "empty input" at line 1
+        let e = read_pdk("  \r\n\t\r\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("empty"), "{}", e.message);
     }
 
     #[test]

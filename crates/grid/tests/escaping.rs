@@ -6,7 +6,7 @@
 
 use mlv_core::prop;
 use mlv_core::{mlv_proptest, prop_assert, prop_assert_eq, prop_assume};
-use mlv_grid::io::{escape, read_layout, unescape};
+use mlv_grid::io::{escape, json_escape, read_layout, unescape};
 
 /// Map raw bytes onto the first 256 codepoints (Latin-1 style), so a
 /// generated `Vec<u8>` exercises every byte class the escaper
@@ -66,6 +66,85 @@ mlv_proptest! {
         prop_assume!(!s.starts_with("x") || !s[1..].chars().take(2).all(|c| c.is_ascii_hexdigit()));
         let malformed = format!("\\{s}");
         prop_assert!(unescape(&malformed).is_err(), "{:?} unescaped cleanly", malformed);
+    }
+}
+
+/// Decode a JSON string body (the part between the quotes) — a
+/// test-local reference decoder for the escapes `json_escape` may emit.
+fn json_unescape(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next().expect("truncated escape") {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).expect("bad \\u escape");
+                out.push(char::from_u32(code).expect("surrogate in test input"));
+            }
+            other => panic!("unknown escape \\{other}"),
+        }
+    }
+    out
+}
+
+/// The shared JSON escaper covers at least the byte range `io::escape`
+/// protects — every C0 control **and** DEL — plus the JSON
+/// structural characters. The engine report's original private escaper
+/// left DEL raw (it only tested `< 0x20`); this test pins the audited
+/// semantics (referenced from the `json_escape` doc comment).
+#[test]
+fn json_escape_covers_io_escape_range() {
+    for b in 0u8..=0xff {
+        let c = char::from(b);
+        let escaped = json_escape(&c.to_string());
+        let needs_escape = b < 0x20 || b == 0x7f || c == '"' || c == '\\';
+        if needs_escape {
+            assert!(
+                escaped.starts_with('\\'),
+                "byte {b:#04x} left unescaped: {escaped:?}"
+            );
+            assert!(
+                escaped.chars().skip(1).all(|c| {
+                    let u = c as u32;
+                    u >= 0x20 && u != 0x7f
+                }),
+                "byte {b:#04x} escape still carries a raw control: {escaped:?}"
+            );
+        } else {
+            assert_eq!(escaped, c.to_string(), "byte {b:#04x} mangled");
+        }
+    }
+}
+
+mlv_proptest! {
+    /// Round trip through a reference JSON string decoder over the full
+    /// byte range: embedding the escaped form in a JSON document and
+    /// decoding it must recover the original text exactly.
+    #[test]
+    fn json_escape_round_trips(bytes in prop::vec(0u16..256, 0..64)) {
+        let s = bytes_to_string(&bytes);
+        let escaped = json_escape(&s);
+        prop_assert!(
+            escaped.chars().all(|c| {
+                let u = c as u32;
+                u >= 0x20 && u != 0x7f
+            }),
+            "escaped form carries a raw control char: {:?}",
+            escaped
+        );
+        prop_assert_eq!(json_unescape(&escaped), s);
     }
 }
 

@@ -229,18 +229,53 @@ mlv_proptest! {
             let mut l = Layout::new("prop", 4);
             l.add_wire(0, 1, p);
             let m = LayoutMetrics::of(&l);
-            let ph = PhysicalMetrics::of(&l, &Pdk::uniform(4));
+            let ph = PhysicalMetrics::of(&l, &Pdk::uniform(4)).unwrap();
             prop_assert_eq!(ph.wirelength, m.total_wire);
             prop_assert_eq!(ph.max_wire, m.max_wire_full);
             prop_assert_eq!(ph.via_cost, m.via_count);
             prop_assert_eq!(ph.area, m.area);
             let hv6 = Pdk::hv6();
-            let p1 = PhysicalMetrics::of(&l, &hv6);
-            let pk = PhysicalMetrics::of(&l, &hv6.scaled(k));
+            let p1 = PhysicalMetrics::of(&l, &hv6).unwrap();
+            let pk = PhysicalMetrics::of(&l, &hv6.scaled(k).unwrap()).unwrap();
             prop_assert_eq!(pk.wirelength, k * p1.wirelength);
             prop_assert_eq!(pk.via_cost, k * p1.via_cost);
             prop_assert_eq!(pk.max_wire, k * p1.max_wire);
             prop_assert_eq!(pk.area, k * k * p1.area);
+        }
+    }
+
+    /// Adversarial scale factors and hostile huge-pitch stacks never
+    /// panic: `Pdk::scaled` and `PhysicalMetrics::of` run checked
+    /// arithmetic end to end and surface overflow as `Err`. (Pinned
+    /// because the serve path feeds user-supplied `@file.pdk` stacks
+    /// through both — before this, extreme `k` debug-panicked /
+    /// release-wrapped.)
+    #[test]
+    fn extreme_scale_factors_error_instead_of_panicking(
+        k_exp in 32u32..64,
+        steps in prop::vec((0u8..3, -6i64..7), 1..8)
+    ) {
+        let k = if k_exp == 63 { u64::MAX } else { 1u64 << k_exp };
+        // k = 0 is an error, not a panic
+        prop_assert!(Pdk::hv6().scaled(0).is_err());
+        // hv6's max pitch is 4, so k past 2^62 must overflow — and
+        // smaller k must round-trip the linearity law's precondition
+        match Pdk::hv6().scaled(k) {
+            Ok(scaled) => {
+                prop_assert!(k <= u64::MAX / 4);
+                // a realizable stack still prices small layouts, or
+                // errors cleanly when the weighted sums overflow
+                let p = path_from_steps((0, 0, 1), &steps);
+                if p.validate().is_ok() {
+                    let mut l = Layout::new("prop", 4);
+                    l.add_wire(0, 1, p);
+                    let _ = PhysicalMetrics::of(&l, &scaled); // must not panic
+                }
+            }
+            Err(e) => {
+                prop_assert!(k > u64::MAX / 4, "k={k} errored early: {e}");
+                prop_assert!(e.contains("overflow"), "unexpected error: {e}");
+            }
         }
     }
 }

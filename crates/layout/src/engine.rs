@@ -42,6 +42,7 @@ use mlv_core::exec;
 use mlv_core::rng::{Rng, SplitMix64};
 use mlv_grid::checker;
 use mlv_grid::hasher::{fnv1a, fnv1a_u64, FNV_BASIS};
+use mlv_grid::io::json_escape;
 use mlv_grid::layout::Layout;
 use mlv_grid::metrics::{LayoutMetrics, PhysicalMetrics};
 use mlv_grid::pdk::Pdk;
@@ -132,6 +133,11 @@ pub struct JobOutcome {
     /// Physical (pitch/via-weighted) metrics — present only for jobs
     /// realized onto a non-uniform stack.
     pub physical: Option<PhysicalMetrics>,
+    /// Why physical metrics are absent on a non-uniform stack job:
+    /// the checked pitch arithmetic overflowed (adversarial stack).
+    /// The job itself still succeeds — geometry and grid metrics are
+    /// PDK-independent.
+    pub phys_error: Option<String>,
     /// The layout itself, kept only when
     /// [`EngineOptions::keep_layouts`] is set.
     pub layout: Option<Layout>,
@@ -194,23 +200,12 @@ impl JobResult {
                 p.via_cost,
             ));
         }
+        if let Some(e) = &o.phys_error {
+            line.push_str(&format!(",\"phys_error\":\"{}\"", json_escape(e)));
+        }
         line.push('}');
         line
     }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Memo-cache counters (cumulative over an [`Engine`]'s lifetime).
@@ -291,6 +286,24 @@ impl Engine {
     /// Cumulative cache counters across every batch run so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Entries currently memoized (bounded by
+    /// [`EngineOptions::cache_capacity`] — `mlv serve`'s soak test pins
+    /// that this never exceeds the configured capacity).
+    pub fn cache_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Realize a single job — the request/response entry point `mlv
+    /// serve` dispatches through. Identical semantics to a one-job
+    /// [`Engine::run`] batch (same memo key, same cache counters, same
+    /// trace spans), returned unwrapped.
+    pub fn run_one(&mut self, job: &Job) -> JobResult {
+        self.run(std::slice::from_ref(job))
+            .results
+            .pop()
+            .expect("one job in, one result out")
     }
 
     /// Realize a batch of jobs. Results come back in job order and are
@@ -415,7 +428,11 @@ fn compute(job: &Job, opts: &EngineOptions, pool: &ScratchPool) -> JobOutcome {
     ropts.pdk = pdk.cloned();
     let (layout, timing) = realize_timed_with(&job.family.spec, &ropts, &mut scratch);
     let metrics = LayoutMetrics::of(&layout);
-    let physical = pdk.map(|p| PhysicalMetrics::of(&layout, p));
+    let (physical, phys_error) = match pdk.map(|p| PhysicalMetrics::of(&layout, p)) {
+        None => (None, None),
+        Some(Ok(ph)) => (Some(ph), None),
+        Some(Err(e)) => (None, Some(e)),
+    };
     mlv_grid::io::write_layout_into(&layout, &mut scratch.io_buf);
     let digest = fnv1a(FNV_BASIS, scratch.io_buf.as_bytes());
     mlv_core::histogram!("engine.job.wires", metrics.wire_count as u64);
@@ -448,6 +465,7 @@ fn compute(job: &Job, opts: &EngineOptions, pool: &ScratchPool) -> JobOutcome {
         check,
         timing,
         physical,
+        phys_error,
         layout,
     }
 }
@@ -501,8 +519,14 @@ fn job_key(job: &Job) -> u64 {
     // memo entry (and digest) with the PDK-free job it is identical to
     if let Some(p) = job.effective_pdk() {
         h = fnv1a_u64(h, 0xA6);
+        // every variable-length name is length-prefixed: without the
+        // prefixes, name bytes from adjacent fields concatenate, so
+        // pdk "ab" + layer "c" would alias pdk "a" + layer "bc"
+        h = fnv1a_u64(h, p.name.len() as u64);
         h = fnv1a(h, p.name.as_bytes());
+        h = fnv1a_u64(h, p.layers.len() as u64);
         for l in &p.layers {
+            h = fnv1a_u64(h, l.name.len() as u64);
             h = fnv1a(h, l.name.as_bytes());
             h = fnv1a_u64(h, l.dir as u64);
             h = fnv1a_u64(h, l.pitch);
@@ -816,6 +840,95 @@ mod tests {
         assert_eq!(key(&base, 2), key(&base.clone(), 2));
     }
 
+    fn stack(pdk_name: &str, layer_names: &[&str]) -> Pdk {
+        use mlv_grid::pdk::{Dir, PdkLayer};
+        Pdk {
+            name: pdk_name.to_string(),
+            layers: layer_names
+                .iter()
+                .map(|n| PdkLayer {
+                    name: n.to_string(),
+                    dir: Dir::Any,
+                    pitch: 2, // non-uniform, so effective_pdk keeps it
+                    via_cost: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn memo_key_uniform_pdk_shares_pdk_free_entry() {
+        // the uniform stack is behaviorally the unit grid: sharing the
+        // memo entry with the PDK-free job is intentional
+        let plain = job(3, 2);
+        let mut uniform = job(3, 2);
+        uniform.pdk = Some(Pdk::uniform(2));
+        assert_eq!(job_key(&plain), job_key(&uniform));
+        let mut engine = Engine::new(EngineOptions::default());
+        let report = engine.run(&[plain, uniform]);
+        assert!(report.results[1].cached, "uniform job must hit");
+        assert!(Arc::ptr_eq(
+            &report.results[0].outcome,
+            &report.results[1].outcome
+        ));
+        assert!(report.results[1].outcome.physical.is_none());
+    }
+
+    #[test]
+    fn memo_key_non_uniform_pdk_never_aliases_pdk_free() {
+        let plain = job(3, 2);
+        let mut hv = job(3, 2);
+        hv.pdk = Some(Pdk::hv6());
+        assert_ne!(job_key(&plain), job_key(&hv));
+        let mut engine = Engine::new(EngineOptions::default());
+        let report = engine.run(&[plain, hv]);
+        assert!(!report.results[1].cached, "hv6 job must realize fresh");
+        assert!(report.results[1].outcome.physical.is_some());
+        assert!(report.results[0].outcome.physical.is_none());
+    }
+
+    #[test]
+    fn memo_key_length_prefixes_defeat_name_aliasing() {
+        // adversarial stacks whose name bytes concatenate identically:
+        // without length prefixes in the key hash, all three serialized
+        // to the byte stream "abc" + identical dir/pitch/via words and
+        // shared one memo entry
+        let stacks = [
+            stack("ab", &["c"]),
+            stack("a", &["bc"]),
+            stack("abc", &[""]),
+        ];
+        let keys: Vec<u64> = stacks
+            .iter()
+            .map(|p| {
+                let mut j = job(3, 2);
+                j.pdk = Some(p.clone());
+                job_key(&j)
+            })
+            .collect();
+        for a in 0..keys.len() {
+            for b in a + 1..keys.len() {
+                assert_ne!(
+                    keys[a], keys[b],
+                    "stacks {:?} and {:?} alias",
+                    stacks[a].name, stacks[b].name
+                );
+            }
+        }
+        // layer-boundary aliasing within one stack: same pdk name,
+        // same concatenated layer-name bytes, different split
+        let mut two_a = job(3, 2);
+        two_a.pdk = Some(stack("p", &["ab", "c"]));
+        let mut two_b = job(3, 2);
+        two_b.pdk = Some(stack("p", &["a", "bc"]));
+        assert_ne!(job_key(&two_a), job_key(&two_b));
+        // and the engine really keeps them as distinct entries
+        let mut engine = Engine::new(EngineOptions::default());
+        let report = engine.run(&[two_a, two_b]);
+        assert!(!report.results[0].cached);
+        assert!(!report.results[1].cached, "aliased stacks shared an entry");
+    }
+
     #[test]
     fn keep_layouts_retains_the_layout() {
         let mut engine = Engine::new(EngineOptions {
@@ -834,10 +947,13 @@ mod tests {
     fn json_line_is_wellformed_and_label_escaped() {
         let mut engine = Engine::new(EngineOptions::default());
         let mut jobs = vec![job(3, 2)];
-        jobs[0].label = "weird \"label\"\n".into();
+        jobs[0].label = "weird \"label\"\n\x7f".into();
         let line = engine.run(&jobs).results[0].json_line();
-        assert!(line.starts_with("{\"label\":\"weird \\\"label\\\"\\n\""));
+        // DEL is escaped too — the original private escaper only
+        // covered codepoints < 0x20 and leaked \x7f raw into reports
+        assert!(line.starts_with("{\"label\":\"weird \\\"label\\\"\\n\\u007f\""));
         assert!(line.contains("\"checked\":true"));
+        assert!(!line.contains('\x7f'));
         assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 

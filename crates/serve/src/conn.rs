@@ -1,0 +1,216 @@
+//! One connection: a frame reader feeding a bounded request queue and
+//! a worker thread draining it.
+//!
+//! The backpressure contract lives here. The reader **never blocks on
+//! the queue**: a frame that doesn't fit ([`mlv_core::queue::Bounded`]
+//! is at capacity) is answered immediately with the service's busy
+//! frame and dropped — the connection keeps reading, memory use stays
+//! bounded by `queue_depth × max_frame_bytes`, and the client decides
+//! when to retry. Oversized frames are discarded to the next newline
+//! (never buffered whole) and answered with an error frame.
+//!
+//! Responses are written by the worker under a shared writer mutex, so
+//! busy/oversize frames (written by the reader) interleave with
+//! ordinary responses without tearing. A client that disconnects
+//! mid-request just makes the remaining writes fail; the worker drains
+//! the queue, counts the failures, and exits without unwinding.
+
+use crate::service::Service;
+use mlv_core::queue::{Bounded, PushError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// What one connection processed, for logs and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames accepted onto the queue.
+    pub accepted: u64,
+    /// Frames shed with a busy frame (queue full).
+    pub shed: u64,
+    /// Frames discarded for exceeding `max_frame_bytes`.
+    pub oversize: u64,
+    /// Responses that could not be written (client went away).
+    pub write_errors: u64,
+}
+
+/// Serve one already-established connection until the reader reaches
+/// EOF. Blocks the calling thread; the response worker runs on its own
+/// thread and is joined before returning.
+pub fn serve_connection<R, W>(service: &Arc<Service>, reader: R, writer: W) -> ConnStats
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    let queue: Arc<Bounded<String>> = Arc::new(Bounded::new(service.config().queue_depth));
+    let writer = Arc::new(Mutex::new(writer));
+    let worker = {
+        let queue = Arc::clone(&queue);
+        let writer = Arc::clone(&writer);
+        let service = Arc::clone(service);
+        thread::spawn(move || {
+            let mut write_errors = 0u64;
+            while let Some(line) = queue.pop() {
+                let response = service.handle_line(&line);
+                if write_frame(&writer, &response).is_err() {
+                    write_errors += 1;
+                    service.note("serve.write_error");
+                }
+            }
+            write_errors
+        })
+    };
+
+    let mut stats = ConnStats::default();
+    let mut frames = FrameReader::new(reader, service.config().max_frame_bytes);
+    loop {
+        match frames.next_frame() {
+            Ok(Frame::Eof) => break,
+            Ok(Frame::Oversize) => {
+                stats.oversize += 1;
+                service.note("serve.oversize");
+                let msg = format!(
+                    "{{\"id\":null,\"ok\":false,\"error\":\"frame exceeds {} bytes\"}}",
+                    service.config().max_frame_bytes
+                );
+                let _ = write_frame(&writer, &msg);
+            }
+            Ok(Frame::Line(raw)) => {
+                let line = match String::from_utf8(raw) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        service.note("serve.malformed_utf8");
+                        let _ = write_frame(
+                            &writer,
+                            "{\"id\":null,\"ok\":false,\"error\":\"frame is not UTF-8\"}",
+                        );
+                        continue;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match queue.try_push(line) {
+                    Ok(()) => stats.accepted += 1,
+                    Err(PushError::Full(line)) => {
+                        stats.shed += 1;
+                        service.note("serve.shed");
+                        let id = crate::json::parse(&line)
+                            .ok()
+                            .and_then(|v| v.get("id").and_then(crate::json::Value::as_u64));
+                        let _ = write_frame(&writer, &service.busy_response(id));
+                    }
+                    Err(PushError::Closed(_)) => break,
+                }
+            }
+            Err(_) => break, // transport error: treat as disconnect
+        }
+    }
+    queue.close();
+    stats.write_errors = worker.join().unwrap_or(0);
+    stats
+}
+
+fn write_frame<W: Write>(writer: &Mutex<W>, frame: &str) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+    w.write_all(frame.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+enum Frame {
+    Line(Vec<u8>),
+    Oversize,
+    Eof,
+}
+
+/// Newline-delimited frame reader with a hard length cap: a frame
+/// longer than `max` is consumed to its terminating newline **without
+/// ever being held in memory whole**.
+struct FrameReader<R: Read> {
+    inner: BufReader<R>,
+    max: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    fn new(reader: R, max: usize) -> Self {
+        FrameReader {
+            inner: BufReader::new(reader),
+            max: max.max(1),
+        }
+    }
+
+    fn next_frame(&mut self) -> std::io::Result<Frame> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut discarding = false;
+        loop {
+            let chunk = self.inner.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(match (discarding, buf.is_empty()) {
+                    (true, _) => Frame::Oversize,
+                    (false, true) => Frame::Eof,
+                    (false, false) => Frame::Line(std::mem::take(&mut buf)),
+                });
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let take = newline.map(|p| p + 1).unwrap_or(chunk.len());
+            if !discarding {
+                let keep = newline.unwrap_or(chunk.len());
+                if buf.len() + keep > self.max {
+                    buf.clear();
+                    discarding = true;
+                } else {
+                    buf.extend_from_slice(&chunk[..keep]);
+                }
+            }
+            self.inner.consume(take);
+            if newline.is_some() {
+                return Ok(if discarding {
+                    Frame::Oversize
+                } else {
+                    Frame::Line(std::mem::take(&mut buf))
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(input: &[u8], max: usize) -> Vec<String> {
+        let mut fr = FrameReader::new(input, max);
+        let mut out = Vec::new();
+        loop {
+            match fr.next_frame().unwrap() {
+                Frame::Eof => return out,
+                Frame::Oversize => out.push("<oversize>".to_string()),
+                Frame::Line(l) => out.push(String::from_utf8(l).unwrap()),
+            }
+        }
+    }
+
+    #[test]
+    fn splits_frames_and_handles_final_unterminated_line() {
+        assert_eq!(frames(b"a\nbb\nccc", 100), vec!["a", "bb", "ccc"]);
+        assert_eq!(frames(b"", 100), Vec::<String>::new());
+        assert_eq!(frames(b"\n\n", 100), vec!["", ""]);
+    }
+
+    #[test]
+    fn oversize_frames_are_discarded_not_buffered() {
+        let mut input = vec![b'x'; 10_000];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        assert_eq!(frames(&input, 16), vec!["<oversize>", "ok"]);
+        // oversize at EOF without a newline still reports
+        assert_eq!(frames(&[b'y'; 64], 16), vec!["<oversize>"]);
+    }
+
+    #[test]
+    fn frames_exactly_at_the_cap_pass() {
+        assert_eq!(frames(b"1234\nx\n", 4), vec!["1234", "x"]);
+        assert_eq!(frames(b"12345\nx\n", 4), vec!["<oversize>", "x"]);
+    }
+}

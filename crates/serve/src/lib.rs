@@ -1,0 +1,45 @@
+//! # mlv-serve
+//!
+//! The persistent layout service behind `mlv serve` — the ROADMAP's
+//! "serve layout workloads" north star made concrete. One process
+//! holds one [`engine`](mlv_layout::engine::Engine) (memo cache,
+//! parallel fan-out, trace instrumentation) and answers JSON-lines
+//! requests over stdin/stdout and/or a TCP listener:
+//!
+//! * [`service`] — the transport-agnostic dispatcher: request kinds
+//!   `realize`, `check`, `metrics`, `sweep-shard`, `profile`, and
+//!   `stats`, every response byte-identical for any `MLV_THREADS`;
+//! * [`conn`] — one connection's read → bounded-queue → respond loop,
+//!   with reject-with-retry-after backpressure and a frame-length cap
+//!   (nothing in the service buffers without bound);
+//! * [`tcp`] — the accept loop with a connection admission cap;
+//! * [`json`] — the std-only request parser (depth-capped, surrogate
+//!   aware, integer-preserving).
+//!
+//! Determinism discipline matches the rest of the workspace: the
+//! response bytes for a given request sequence — digests, metrics,
+//! legality verdicts, trace renderings — do not depend on thread
+//! count, which is what makes the CI smoke leg's `MLV_THREADS=1` vs
+//! `=8` comparison meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod json;
+pub mod service;
+pub mod tcp;
+
+pub use conn::{serve_connection, ConnStats};
+pub use service::{ServeConfig, Service};
+pub use tcp::{listen, ServerHandle};
+
+use std::sync::Arc;
+
+/// Serve stdin/stdout as one connection until EOF — the `mlv serve
+/// --stdio` main loop. Returns the connection's stats.
+pub fn serve_stdio(service: &Arc<Service>) -> ConnStats {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_connection(service, stdin.lock(), stdout)
+}

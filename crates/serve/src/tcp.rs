@@ -1,0 +1,121 @@
+//! The TCP transport: an accept loop handing each connection to
+//! [`crate::conn::serve_connection`] on its own thread, with a
+//! connection-count admission cap (over the cap, the server writes one
+//! busy frame and closes — the same reject-don't-buffer discipline as
+//! the per-connection queues).
+
+use crate::conn::serve_connection;
+use crate::service::Service;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// A running TCP server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the accept thread running for the
+/// process lifetime (the `mlv serve` CLI does exactly that and blocks
+/// on stdio instead).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block on the accept loop — the `mlv serve --listen` (without
+    /// `--stdio`) main loop, where the listener owns the process
+    /// lifetime. Returns only if the accept thread exits (a prior
+    /// `stop` flag or a listener error).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads =
+            std::mem::take(&mut *self.conn_threads.lock().unwrap_or_else(|p| p.into_inner()));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting, then join the accept thread and every
+    /// connection thread that has already finished its stream.
+    /// Connections still open block shutdown until their clients
+    /// disconnect — callers own that ordering.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads =
+            std::mem::take(&mut *self.conn_threads.lock().unwrap_or_else(|p| p.into_inner()));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve until
+/// [`ServerHandle::shutdown`]. At most `max_connections` streams are
+/// served concurrently.
+pub fn listen(
+    service: Arc<Service>,
+    addr: &str,
+    max_connections: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let conn_threads = Arc::clone(&conn_threads);
+        let max_connections = max_connections.max(1);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // response frames are small; never hold them for Nagle
+                let _ = stream.set_nodelay(true);
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    service.note("serve.connection_shed");
+                    let mut s = stream;
+                    let _ = s.write_all(service.busy_response(None).as_bytes());
+                    let _ = s.write_all(b"\n");
+                    continue; // drop: connection refused with a frame
+                }
+                let Ok(reader) = stream.try_clone() else {
+                    continue;
+                };
+                active.fetch_add(1, Ordering::SeqCst);
+                let service = Arc::clone(&service);
+                let active = Arc::clone(&active);
+                let t = thread::spawn(move || {
+                    serve_connection(&service, reader, stream);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+                conn_threads
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(t);
+            }
+        })
+    };
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+    })
+}
